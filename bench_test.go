@@ -1,0 +1,75 @@
+package rocket_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each benchmark
+// executes the corresponding experiment end to end on the simulated
+// platform and prints the regenerated rows once, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. Workload scale is controlled with the
+// ROCKET_SCALE environment variable (default 10; 1 = paper scale, slow).
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"rocket/internal/experiments"
+)
+
+var benchPrinted sync.Map
+
+func benchOptions() experiments.Options {
+	scale := 10
+	if v := os.Getenv("ROCKET_SCALE"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			scale = n
+		}
+	}
+	return experiments.Options{Scale: scale, Seed: 1}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := benchPrinted.LoadOrStore(id, true); !done {
+			fmt.Printf("\n=== %s (%s): %s ===\n%s\n", e.ID, e.Paper, e.Description, out)
+		}
+	}
+}
+
+// Paper artefacts.
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+
+// Ablations of the design choices called out in DESIGN.md §5.
+
+func BenchmarkAblationLeafSize(b *testing.B)    { benchExperiment(b, "ablation-leaf") }
+func BenchmarkAblationJobLimit(b *testing.B)    { benchExperiment(b, "ablation-joblimit") }
+func BenchmarkAblationStealPolicy(b *testing.B) { benchExperiment(b, "ablation-steal") }
+func BenchmarkAblationHops(b *testing.B)        { benchExperiment(b, "ablation-hops") }
+func BenchmarkAblationEviction(b *testing.B)    { benchExperiment(b, "ablation-eviction") }
+func BenchmarkAblationPrewarm(b *testing.B)     { benchExperiment(b, "ablation-prewarm") }
+func BenchmarkAblationBackoff(b *testing.B)     { benchExperiment(b, "ablation-backoff") }

@@ -1,0 +1,67 @@
+// Command rocketbench regenerates the paper's tables and figures from the
+// command line.
+//
+// Usage:
+//
+//	rocketbench -list
+//	rocketbench -exp fig12 [-scale 10] [-seed 1]
+//	rocketbench -exp all -scale 5
+//
+// Scale 1 reproduces paper-scale data sets (slow: hours of CPU time);
+// the default 10 preserves all capacity and cost ratios (see
+// internal/experiments) and finishes in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rocket/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run, or \"all\"")
+		scale = flag.Int("scale", 10, "workload scale divisor (1 = paper scale)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-18s %-8s %s\n", e.ID, e.Paper, e.Description)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.All()
+	} else {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		out, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%s): %s ===\n%s(completed in %v wall time)\n\n",
+			e.ID, e.Paper, e.Description, out, time.Since(start).Round(time.Millisecond))
+	}
+}

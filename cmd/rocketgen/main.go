@@ -1,0 +1,51 @@
+// Command rocketgen generates synthetic data sets for the three
+// applications and writes them to disk, so the examples and the
+// real-kernel pipeline can run against actual files.
+//
+// Usage:
+//
+//	rocketgen -app forensics  -n 40 -out ./data/images
+//	rocketgen -app phylogeny  -n 24 -out ./data/proteomes
+//	rocketgen -app microscopy -n 16 -out ./data/particles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rocket/internal/apps/forensics"
+	"rocket/internal/apps/microscopy"
+	"rocket/internal/apps/phylo"
+)
+
+func main() {
+	var (
+		app  = flag.String("app", "", "application: forensics, phylogeny, or microscopy")
+		n    = flag.Int("n", 16, "number of items to generate")
+		out  = flag.String("out", "", "output directory")
+		seed = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *out == "" || *app == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var err error
+	switch *app {
+	case "forensics":
+		err = forensics.WriteDataset(forensics.RealParams{N: *n, Seed: *seed}, *out)
+	case "phylogeny", "phylo", "bioinformatics":
+		err = phylo.WriteDataset(phylo.RealParams{N: *n, Seed: *seed}, *out)
+	case "microscopy":
+		err = microscopy.WriteDataset(microscopy.RealParams{N: *n, Seed: *seed}, *out)
+	default:
+		err = fmt.Errorf("unknown application %q", *app)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d %s files to %s\n", *n, *app, *out)
+}

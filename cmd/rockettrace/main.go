@@ -1,0 +1,80 @@
+// Command rockettrace runs a small all-pairs workload with detailed
+// profiling enabled and dumps the per-resource task timeline — the Fig. 6
+// view of Rocket's asynchronous processing.
+//
+// Usage:
+//
+//	rockettrace -app forensics -nodes 2 -n 24 -limit 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rocket/internal/core"
+	"rocket/internal/experiments"
+
+	"rocket"
+)
+
+func main() {
+	var (
+		app   = flag.String("app", "forensics", "application: forensics, bioinformatics, or microscopy")
+		nodes = flag.Int("nodes", 1, "number of simulated nodes")
+		n     = flag.Int("n", 24, "approximate number of items (microscopy always runs its full 256)")
+		limit = flag.Int("limit", 200, "maximum timeline rows to print (0 = all)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	// Build the smallest scaled setup, then shrink the data set to n.
+	setup, err := experiments.SetupByName(*app, experiments.Options{Scale: experimentsScaleFor(*n, *app), Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cl, err := rocket.Homogeneous(*nodes, rocket.DAS5Node(rocket.TitanXMaxwell))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, err := core.Run(core.Config{
+		App:           setup.App,
+		Cluster:       cl,
+		DeviceSlots:   setup.DevSlots,
+		HostSlots:     setup.HostSlots,
+		DistCache:     *nodes > 1,
+		Seed:          *seed,
+		DetailedTrace: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("app=%s nodes=%d items=%d pairs=%d runtime=%v R=%.2f\n\n",
+		*app, *nodes, setup.App.NumItems(), m.Pairs, m.Runtime, m.R)
+	fmt.Println("busy time per thread class:")
+	fmt.Print(m.Tracer.Summary())
+	fmt.Println("\ntask timeline (Fig. 6 view):")
+	if err := m.Tracer.WriteTimeline(os.Stdout, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// experimentsScaleFor picks a scale that brings the app's default data set
+// down to roughly n items.
+func experimentsScaleFor(n int, app string) int {
+	defaults := map[string]int{
+		"forensics":                4980,
+		"bioinformatics":           2500,
+		"microscopy":               256,
+		"bioinformatics-cartesius": 6818,
+	}
+	total, ok := defaults[app]
+	if !ok || n <= 0 || n >= total {
+		return 1
+	}
+	return total / n
+}

@@ -1,0 +1,79 @@
+// Microscopy example: all-to-all particle registration with real GMM
+// kernels (§5.3) on synthetic localization data.
+//
+// The example images one underlying structure several times (random
+// orientation, localization noise, under-labeling), registers every pair
+// of particles with Rocket, and checks the recovered relative rotations
+// against the ground truth — the consistency check that makes
+// template-free particle fusion robust.
+//
+//	go run ./examples/microscopy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"rocket"
+	"rocket/internal/apps/microscopy"
+)
+
+func main() {
+	const particles = 8
+	app, err := microscopy.NewReal(microscopy.RealParams{
+		N:           particles,
+		Noise:       1.5,
+		LabelEff:    0.9,
+		CoarseSteps: 36,
+		Seed:        5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	platform, err := rocket.Homogeneous(2, rocket.DAS5Node(rocket.TitanXMaxwell))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := rocket.Run(rocket.Config{
+		App:            app,
+		Cluster:        platform,
+		DistCache:      true,
+		CollectResults: true,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %d particle pairs in %v simulated time\n\n", m.Pairs, m.Runtime)
+	fmt.Println("pair      recovered   true      error     score    evals")
+
+	var worst float64
+	for _, r := range m.Results {
+		reg := r.Value.(microscopy.Registration)
+		want := wrap(app.Theta(r.I) - app.Theta(r.J))
+		errAngle := math.Abs(wrap(reg.Theta - want))
+		if errAngle > worst {
+			worst = errAngle
+		}
+		fmt.Printf("(%d, %d)   %+8.3f   %+8.3f  %8.4f  %7.4f  %5d\n",
+			r.I, r.J, reg.Theta, want, errAngle, reg.Score, reg.Evals)
+	}
+	fmt.Printf("\nworst angular error: %.4f rad", worst)
+	if worst < 0.25 {
+		fmt.Println(" — all pairwise registrations recover the true relative orientation")
+	} else {
+		fmt.Println(" — registration degraded (increase localizations or lower noise)")
+	}
+}
+
+func wrap(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a < -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

@@ -1,0 +1,96 @@
+// Phylogeny example: alignment-free tree reconstruction with real
+// composition-vector kernels (§5.2) on synthetic proteomes.
+//
+// The example evolves species from three ancestral clades, computes the
+// all-pairs composition-vector distance matrix with Rocket on a simulated
+// cluster, reconstructs the phylogeny with UPGMA, and prints the tree in
+// Newick format.
+//
+//	go run ./examples/phylogeny
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rocket"
+	"rocket/internal/apps/phylo"
+)
+
+func main() {
+	const (
+		species = 12
+		clades  = 3
+	)
+	app, err := phylo.NewReal(phylo.RealParams{
+		N:      species,
+		Groups: clades,
+		Seed:   11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	platform, err := rocket.Homogeneous(3, rocket.DAS5Node(rocket.TitanXMaxwell))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := rocket.Run(rocket.Config{
+		App:            app,
+		Cluster:        platform,
+		DistCache:      true,
+		CollectResults: true,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("computed %d pairwise distances (k=%d strings) in %v simulated time\n\n",
+		m.Pairs, app.K(), m.Runtime)
+
+	// Assemble the full distance matrix.
+	dist := make([][]float64, species)
+	for i := range dist {
+		dist[i] = make([]float64, species)
+	}
+	for _, r := range m.Results {
+		d := r.Value.(float64)
+		dist[r.I][r.J] = d
+		dist[r.J][r.I] = d
+	}
+
+	names := make([]string, species)
+	for i := range names {
+		names[i] = fmt.Sprintf("sp%02d_clade%d", i, app.Clade(i))
+	}
+	root, err := phylo.UPGMA(dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reconstructed phylogeny, UPGMA (Newick):")
+	fmt.Println(" ", root.Newick(names))
+
+	nj, err := phylo.NeighborJoining(dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reconstructed phylogeny, neighbor joining (Newick):")
+	fmt.Println(" ", nj.Newick(names))
+
+	// Verify the deepest split separates whole clades.
+	pure := func(leaves []int) bool {
+		for _, l := range leaves {
+			if app.Clade(l) != app.Clade(leaves[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	left, right := root.Left.Leaves(), root.Right.Leaves()
+	fmt.Printf("\nroot split: %d vs %d species\n", len(left), len(right))
+	if pure(left) || pure(right) {
+		fmt.Println("the deepest split isolates a complete clade — reconstruction consistent with ground truth")
+	} else {
+		fmt.Println("warning: root split mixes clades")
+	}
+}

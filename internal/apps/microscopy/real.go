@@ -1,0 +1,180 @@
+package microscopy
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rocket/internal/stats"
+)
+
+// Dataset supplies the raw JSON particle files.
+type Dataset interface {
+	File(item int) ([]byte, error)
+	Len() int
+}
+
+// MemDataset is an in-memory dataset.
+type MemDataset struct {
+	Files [][]byte
+	// Thetas are the ground-truth orientations of the generated particles.
+	Thetas []float64
+}
+
+// File implements Dataset.
+func (d *MemDataset) File(item int) ([]byte, error) {
+	if item < 0 || item >= len(d.Files) {
+		return nil, fmt.Errorf("microscopy: item %d out of range", item)
+	}
+	return d.Files[item], nil
+}
+
+// Len implements Dataset.
+func (d *MemDataset) Len() int { return len(d.Files) }
+
+// DirDataset reads numbered files ("particle%05d.json") from a directory.
+type DirDataset struct {
+	Dir string
+	N   int
+}
+
+// File implements Dataset.
+func (d *DirDataset) File(item int) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.Dir, fmt.Sprintf("particle%05d.json", item)))
+}
+
+// Len implements Dataset.
+func (d *DirDataset) Len() int { return d.N }
+
+// RealParams configures the real-kernel application.
+type RealParams struct {
+	// N is the number of particles.
+	N int
+	// Noise is the localization noise standard deviation.
+	Noise float64
+	// LabelEff is the labeling efficiency (detection probability).
+	LabelEff float64
+	// Sigma is the GMM kernel width used by the registration.
+	Sigma float64
+	// CoarseSteps is the number of coarse rotation-scan angles.
+	CoarseSteps int
+	Seed        uint64
+	// Dataset overrides generation with existing files.
+	Dataset Dataset
+}
+
+func (p *RealParams) fillDefaults() {
+	if p.N == 0 {
+		p.N = 8
+	}
+	if p.Noise == 0 {
+		p.Noise = 2
+	}
+	if p.LabelEff == 0 {
+		p.LabelEff = 0.7
+	}
+	if p.Sigma == 0 {
+		p.Sigma = 6
+	}
+	if p.CoarseSteps == 0 {
+		p.CoarseSteps = 24
+	}
+}
+
+// RealApp runs the actual registration pipeline. It implements
+// core.Application and core.Computer.
+type RealApp struct {
+	*App
+	params RealParams
+	ds     Dataset
+	thetas []float64 // ground truth when generated
+}
+
+// NewReal builds the real application, generating synthetic particles
+// unless a dataset is supplied.
+func NewReal(p RealParams) (*RealApp, error) {
+	p.fillDefaults()
+	a := &RealApp{App: New(Params{N: p.N, Seed: p.Seed}), params: p}
+	if p.Dataset != nil {
+		if p.Dataset.Len() != p.N {
+			return nil, fmt.Errorf("microscopy: dataset has %d items, want %d", p.Dataset.Len(), p.N)
+		}
+		a.ds = p.Dataset
+		if mem, ok := p.Dataset.(*MemDataset); ok {
+			a.thetas = mem.Thetas
+		}
+		return a, nil
+	}
+	ds, err := GenerateDataset(p)
+	if err != nil {
+		return nil, err
+	}
+	a.ds = ds
+	a.thetas = ds.Thetas
+	return a, nil
+}
+
+// GenerateDataset synthesizes particle files from the default template.
+func GenerateDataset(p RealParams) (*MemDataset, error) {
+	p.fillDefaults()
+	tpl := DefaultTemplate()
+	ds := &MemDataset{Files: make([][]byte, p.N), Thetas: make([]float64, p.N)}
+	for i := 0; i < p.N; i++ {
+		rng := stats.HashRNG(p.Seed, uint64(i), 0x9a671c1e)
+		particle, theta := tpl.Observe(rng, i, p.Noise, p.LabelEff)
+		raw, err := EncodeJSON(particle)
+		if err != nil {
+			return nil, err
+		}
+		ds.Files[i] = raw
+		ds.Thetas[i] = theta
+	}
+	return ds, nil
+}
+
+// WriteDataset materializes a generated data set into a directory.
+func WriteDataset(p RealParams, dir string) error {
+	ds, err := GenerateDataset(p)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, raw := range ds.Files {
+		name := filepath.Join(dir, fmt.Sprintf("particle%05d.json", i))
+		if err := os.WriteFile(name, raw, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Theta returns the ground-truth orientation of a generated particle
+// (0 when the dataset was supplied externally).
+func (a *RealApp) Theta(item int) float64 {
+	if item < len(a.thetas) {
+		return a.thetas[item]
+	}
+	return 0
+}
+
+// LoadItem implements core.Computer: parse the particle JSON. The
+// application has no pre-processing stage (§5.3).
+func (a *RealApp) LoadItem(item int) (interface{}, error) {
+	raw, err := a.ds.File(item)
+	if err != nil {
+		return nil, err
+	}
+	p, err := DecodeJSON(raw)
+	if err != nil {
+		return nil, fmt.Errorf("item %d: %w", item, err)
+	}
+	return p, nil
+}
+
+// ComparePair implements core.Computer: register the two particles and
+// return the Registration outcome.
+func (a *RealApp) ComparePair(i, j int, x, y interface{}) (interface{}, error) {
+	return Register(x.(*Particle), y.(*Particle), a.params.Sigma, a.params.CoarseSteps), nil
+}

@@ -1,0 +1,423 @@
+// Package cache implements the software-managed slot cache used at the
+// first (device) and second (host) levels of Rocket's memory hierarchy
+// (paper §4.1.1–4.1.2).
+//
+// A cache manages a fixed number of fixed-size slots. Each slot holds one
+// item and is either being written (WRITE: one writer filling it) or
+// readable (READ: n concurrent readers). On a miss the least-recently-used
+// unpinned slot is evicted and handed to the requester as a write lease;
+// jobs that request an item mid-write block until the writer publishes.
+// All waiting is in virtual time via internal/sim.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+
+	"rocket/internal/sim"
+	"rocket/internal/stats"
+)
+
+// Policy selects the eviction victim among unpinned slots.
+type Policy int
+
+const (
+	// PolicyLRU evicts the least-recently-used unpinned slot (the paper's
+	// policy, §4.1.1).
+	PolicyLRU Policy = iota
+	// PolicyRandom evicts a uniformly random unpinned slot; used by the
+	// eviction ablation to quantify how much LRU contributes to data
+	// reuse under the divide-and-conquer traversal.
+	PolicyRandom
+)
+
+// state of a slot.
+type state int
+
+const (
+	stateEmpty state = iota
+	stateWrite
+	stateRead
+)
+
+type slot struct {
+	item    int // -1 when empty
+	st      state
+	readers int
+	data    interface{} // optional payload (real-kernel mode)
+	// elem is the slot's position in the LRU list while evictable.
+	elem *list.Element
+	// turned becomes non-nil while a writer is filling the slot; waiters
+	// block on it and re-check state when it fires.
+	turned *sim.Signal
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      uint64 // item present in READ state
+	WaitHits  uint64 // item present but in WRITE state; requester waited
+	Misses    uint64 // item absent; write lease issued
+	Evictions uint64 // slots whose previous content was discarded
+	Stalls    uint64 // acquisitions that had to wait for a free slot
+}
+
+// Cache is a fixed-capacity slot cache. It is not safe for OS-level
+// concurrency; all access happens from simulation processes.
+type Cache struct {
+	name     string
+	slotSize int64
+	slots    []*slot
+	index    map[int]*slot
+	// lru holds evictable slots (READ with zero readers, or empty), least
+	// recently used at the front.
+	lru *list.List
+	// freeWaiters are processes blocked because every slot was pinned.
+	freeWaiters []*sim.Proc
+	stats       Stats
+	policy      Policy
+	rng         *stats.RNG
+}
+
+// New returns an LRU cache with the given number of slots, each slotSize
+// bytes. Capacity zero is allowed and behaves as a cache that always
+// misses with no slot to give — callers must handle Acquire never
+// succeeding, so the runtime treats a zero-capacity cache as "disabled"
+// before calling.
+func New(name string, capacity int, slotSize int64) *Cache {
+	return NewWithPolicy(name, capacity, slotSize, PolicyLRU, nil)
+}
+
+// NewWithPolicy returns a cache with an explicit eviction policy.
+// PolicyRandom requires a generator; PolicyLRU ignores it.
+func NewWithPolicy(name string, capacity int, slotSize int64, policy Policy, rng *stats.RNG) *Cache {
+	if capacity < 0 {
+		panic(fmt.Sprintf("cache %q: negative capacity %d", name, capacity))
+	}
+	if policy == PolicyRandom && rng == nil {
+		panic(fmt.Sprintf("cache %q: PolicyRandom requires an RNG", name))
+	}
+	c := &Cache{
+		name:     name,
+		slotSize: slotSize,
+		index:    make(map[int]*slot, capacity),
+		lru:      list.New(),
+		policy:   policy,
+		rng:      rng,
+	}
+	for i := 0; i < capacity; i++ {
+		s := &slot{item: -1, st: stateEmpty}
+		s.elem = c.lru.PushBack(s)
+		c.slots = append(c.slots, s)
+	}
+	return c
+}
+
+// Name returns the cache name.
+func (c *Cache) Name() string { return c.name }
+
+// Cap returns the number of slots.
+func (c *Cache) Cap() int { return len(c.slots) }
+
+// SlotSize returns the configured slot size in bytes.
+func (c *Cache) SlotSize() int64 { return c.slotSize }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Contains reports whether item is present in READ state (a peek that does
+// not pin or touch LRU order), used by the distributed cache server.
+func (c *Cache) Contains(item int) bool {
+	s, ok := c.index[item]
+	return ok && s.st == stateRead
+}
+
+// Resident returns the number of items currently stored (READ or WRITE).
+func (c *Cache) Resident() int { return len(c.index) }
+
+// Items returns up to max resident READ items in ascending order (0 = no
+// limit). Used by cache-aware stealing to describe a node's working set.
+func (c *Cache) Items(max int) []int {
+	out := make([]int, 0, len(c.index))
+	for item, s := range c.index {
+		if s.st == stateRead {
+			out = append(out, item)
+		}
+	}
+	sort.Ints(out)
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Warm inserts an item directly in READ state without charging any
+// pipeline cost, taking an evictable slot. It models a persistent cache
+// surviving from a previous run. It reports false when the item is
+// already present or no slot is free, and must only be used during
+// initialization (before any process blocks on the cache).
+func (c *Cache) Warm(item int, data interface{}) bool {
+	if item < 0 {
+		panic(fmt.Sprintf("cache %q: negative item %d", c.name, item))
+	}
+	if _, ok := c.index[item]; ok {
+		return false
+	}
+	e := c.lru.Front()
+	if e == nil {
+		return false
+	}
+	s := e.Value.(*slot)
+	if s.item >= 0 {
+		// Warming never evicts live data; it only consumes empty slots.
+		return false
+	}
+	s.item = item
+	s.st = stateRead
+	s.readers = 0
+	s.data = data
+	c.index[item] = s
+	c.lru.MoveToBack(e)
+	return true
+}
+
+// Peek returns the payload of an item in READ state without pinning it or
+// touching LRU order. It returns nil when the item is absent or being
+// written. Peeked payloads must be immutable: they may be shared with a
+// concurrent eviction.
+func (c *Cache) Peek(item int) interface{} {
+	s, ok := c.index[item]
+	if !ok || s.st != stateRead {
+		return nil
+	}
+	return s.data
+}
+
+// Handle is a lease on a slot. A read lease (Write == false) grants access
+// to the slot's data until Release. A write lease (Write == true) obliges
+// the holder to fill the slot and then call Publish (keeping a read lease)
+// or Abort.
+type Handle struct {
+	c     *Cache
+	s     *slot
+	item  int
+	Write bool
+	done  bool
+}
+
+// Item returns the item this handle refers to.
+func (h *Handle) Item() int { return h.item }
+
+// Data returns the slot payload (valid for read leases and for write
+// leases after SetData).
+func (h *Handle) Data() interface{} { return h.s.data }
+
+// SetData stores the payload into the slot. Only the write-lease holder
+// may call it.
+func (h *Handle) SetData(d interface{}) {
+	if !h.Write {
+		panic("cache: SetData on read lease")
+	}
+	h.s.data = d
+}
+
+// Acquire obtains item from the cache. The boolean reports a hit: when
+// true, the returned handle is a read lease; when false the item was
+// absent and the handle is a write lease on a freshly assigned slot.
+// Acquire blocks while the item is being written by another job, and
+// blocks when no slot can be evicted (every slot pinned).
+func (c *Cache) Acquire(p *sim.Proc, item int) (*Handle, bool) {
+	if len(c.slots) == 0 {
+		panic(fmt.Sprintf("cache %q: Acquire on zero-capacity cache", c.name))
+	}
+	if item < 0 {
+		panic(fmt.Sprintf("cache %q: negative item %d", c.name, item))
+	}
+	for {
+		if s, ok := c.index[item]; ok {
+			switch s.st {
+			case stateRead:
+				c.stats.Hits++
+				c.pin(s)
+				return &Handle{c: c, s: s, item: item}, true
+			case stateWrite:
+				// Another job is loading this item; wait for the turn
+				// signal, then retry (the write may have been aborted).
+				c.stats.WaitHits++
+				p.WaitSignal(s.turned)
+				continue
+			default:
+				panic(fmt.Sprintf("cache %q: indexed slot in empty state", c.name))
+			}
+		}
+		// Miss: take an evictable slot per the configured policy.
+		e := c.victim()
+		if e == nil {
+			c.stats.Stalls++
+			c.freeWaiters = append(c.freeWaiters, p)
+			p.Park()
+			continue
+		}
+		s := e.Value.(*slot)
+		c.lru.Remove(e)
+		s.elem = nil
+		if s.item >= 0 {
+			c.stats.Evictions++
+			delete(c.index, s.item)
+		}
+		c.stats.Misses++
+		s.item = item
+		s.st = stateWrite
+		s.readers = 0
+		s.data = nil
+		s.turned = sim.NewSignal()
+		c.index[item] = s
+		return &Handle{c: c, s: s, item: item, Write: true}, false
+	}
+}
+
+// victim selects the slot to evict: the list front for LRU (least
+// recently used), or a uniformly random list element for PolicyRandom.
+// Empty slots are still preferred under PolicyRandom: evicting live data
+// while free slots exist would be strictly wasteful.
+func (c *Cache) victim() *list.Element {
+	if c.policy == PolicyLRU || c.lru.Len() <= 1 {
+		return c.lru.Front()
+	}
+	if front := c.lru.Front(); front.Value.(*slot).item < 0 {
+		return front
+	}
+	k := c.rng.Intn(c.lru.Len())
+	e := c.lru.Front()
+	for i := 0; i < k; i++ {
+		e = e.Next()
+	}
+	return e
+}
+
+// pin marks one more reader on a READ slot, removing it from the LRU list
+// if it was evictable.
+func (c *Cache) pin(s *slot) {
+	s.readers++
+	if s.elem != nil {
+		c.lru.Remove(s.elem)
+		s.elem = nil
+	}
+}
+
+// Publish transitions a write lease to READ state and downgrades the
+// handle to a read lease, waking all jobs waiting on the item.
+func (h *Handle) Publish(e *sim.Env) {
+	if !h.Write || h.done {
+		panic("cache: Publish on non-write or finished handle")
+	}
+	h.Write = false
+	s := h.s
+	s.st = stateRead
+	s.readers = 1
+	turned := s.turned
+	s.turned = nil
+	turned.Fire(e)
+}
+
+// Abort cancels a write lease (for example the load failed); the slot
+// returns to empty and waiters retry.
+func (h *Handle) Abort(e *sim.Env) {
+	if !h.Write || h.done {
+		panic("cache: Abort on non-write or finished handle")
+	}
+	h.done = true
+	c, s := h.c, h.s
+	delete(c.index, s.item)
+	s.item = -1
+	s.st = stateEmpty
+	s.readers = 0
+	s.data = nil
+	turned := s.turned
+	s.turned = nil
+	s.elem = c.lru.PushFront(s) // empty slots are the first eviction choice
+	turned.Fire(e)
+	c.wakeFreeWaiters(e)
+}
+
+// Release ends a read lease. When the last reader leaves, the slot becomes
+// evictable and is appended at the most-recently-used end.
+func (h *Handle) Release(e *sim.Env) {
+	if h.Write {
+		panic("cache: Release on unpublished write lease (Publish or Abort first)")
+	}
+	if h.done {
+		panic("cache: double Release")
+	}
+	h.done = true
+	c, s := h.c, h.s
+	if s.readers <= 0 {
+		panic(fmt.Sprintf("cache %q: release with no readers", c.name))
+	}
+	s.readers--
+	if s.readers == 0 {
+		s.elem = c.lru.PushBack(s)
+		c.wakeFreeWaiters(e)
+	}
+}
+
+func (c *Cache) wakeFreeWaiters(e *sim.Env) {
+	if len(c.freeWaiters) == 0 {
+		return
+	}
+	waiters := c.freeWaiters
+	c.freeWaiters = nil
+	for _, w := range waiters {
+		e.Unpark(w)
+	}
+}
+
+// checkInvariants validates internal consistency; used by tests.
+func (c *Cache) checkInvariants() error {
+	resident := 0
+	evictable := 0
+	for _, s := range c.slots {
+		if s.item >= 0 {
+			resident++
+			if c.index[s.item] != s {
+				return fmt.Errorf("slot item %d not indexed", s.item)
+			}
+		}
+		switch s.st {
+		case stateWrite:
+			if s.readers != 0 {
+				return fmt.Errorf("WRITE slot with %d readers", s.readers)
+			}
+			if s.elem != nil {
+				return fmt.Errorf("WRITE slot on LRU list")
+			}
+			if s.turned == nil {
+				return fmt.Errorf("WRITE slot without turn signal")
+			}
+		case stateRead:
+			if s.readers > 0 && s.elem != nil {
+				return fmt.Errorf("pinned slot on LRU list")
+			}
+			if s.readers == 0 && s.elem == nil {
+				return fmt.Errorf("unpinned READ slot missing from LRU list")
+			}
+		case stateEmpty:
+			if s.item != -1 || s.readers != 0 {
+				return fmt.Errorf("dirty empty slot")
+			}
+			if s.elem == nil {
+				return fmt.Errorf("empty slot missing from LRU list")
+			}
+		}
+		if s.elem != nil {
+			evictable++
+		}
+	}
+	if resident != len(c.index) {
+		return fmt.Errorf("index size %d != resident %d", len(c.index), resident)
+	}
+	if evictable != c.lru.Len() {
+		return fmt.Errorf("lru list length %d != evictable %d", c.lru.Len(), evictable)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package cluster models the distributed platform the paper evaluates on:
+// compute nodes (CPU cores, host memory, one or more GPUs), an InfiniBand-
+// style network with per-NIC bandwidth and latency, and a central storage
+// server with shared bandwidth (the paper's MinIO service).
+package cluster
+
+import (
+	"fmt"
+
+	"rocket/internal/gpu"
+	"rocket/internal/sim"
+)
+
+// NodeSpec describes the hardware of one node.
+type NodeSpec struct {
+	// Cores is the number of CPU cores available to the parse/postprocess
+	// thread pool. DAS-5 and Cartesius nodes have 16.
+	Cores int
+	// HostCacheBytes is the page-locked main memory dedicated to the
+	// level-2 host cache (40 GiB on DAS-5, 80 GiB on Cartesius).
+	HostCacheBytes int64
+	// GPUs lists the device models installed in the node.
+	GPUs []gpu.Model
+}
+
+// Validate reports an error for nonsensical specs.
+func (s NodeSpec) Validate() error {
+	if s.Cores < 1 {
+		return fmt.Errorf("cluster: node needs at least 1 core, got %d", s.Cores)
+	}
+	if s.HostCacheBytes < 0 {
+		return fmt.Errorf("cluster: negative host cache size %d", s.HostCacheBytes)
+	}
+	if len(s.GPUs) == 0 {
+		return fmt.Errorf("cluster: node needs at least 1 GPU")
+	}
+	return nil
+}
+
+// Node is one simulated machine.
+type Node struct {
+	ID   int
+	Spec NodeSpec
+	// CPU is the parse/postprocess thread pool (capacity = Cores).
+	CPU *sim.Resource
+	// IO serializes this node's requests to remote storage (the paper uses
+	// one I/O thread per node, §4.3).
+	IO *sim.Resource
+	// NIC serializes outbound network transfers.
+	NIC *sim.Resource
+	// Inbox receives messages from peer nodes.
+	Inbox *sim.Mailbox
+	// GPUs are the node's devices.
+	GPUs []*gpu.Device
+}
+
+// Name returns the node's trace identifier, e.g. "node3".
+func (n *Node) Name() string { return fmt.Sprintf("node%d", n.ID) }
+
+// Cluster is the set of nodes plus the fabrics connecting them.
+type Cluster struct {
+	Nodes   []*Node
+	Net     *Network
+	Storage *Storage
+}
+
+// Config configures fabric characteristics.
+type Config struct {
+	// NetLatency is the one-way message latency (FDR InfiniBand ~ few us).
+	NetLatency sim.Time
+	// NetBandwidth is per-NIC bandwidth in bytes/second (56 Gb/s FDR = 7e9).
+	NetBandwidth float64
+	// StorageLatency is the per-request overhead of the storage server.
+	StorageLatency sim.Time
+	// StorageBandwidth is the server's aggregate bandwidth in bytes/second,
+	// shared by all nodes.
+	StorageBandwidth float64
+}
+
+// DefaultConfig returns fabric parameters modeled on the DAS-5 setup:
+// 56 Gb/s FDR InfiniBand and a MinIO server on the same fabric.
+func DefaultConfig() Config {
+	return Config{
+		NetLatency:       sim.Micros(5),
+		NetBandwidth:     7e9,
+		StorageLatency:   sim.Micros(500),
+		StorageBandwidth: 2e9,
+	}
+}
+
+// New builds a cluster of the given nodes. Node i gets ID i.
+func New(specs []NodeSpec, cfg Config) (*Cluster, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	c := &Cluster{
+		Net:     NewNetwork(cfg.NetLatency, cfg.NetBandwidth),
+		Storage: NewStorage(cfg.StorageLatency, cfg.StorageBandwidth),
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+		n := &Node{
+			ID:    i,
+			Spec:  s,
+			CPU:   sim.NewResource(fmt.Sprintf("node%d/cpu", i), s.Cores),
+			IO:    sim.NewResource(fmt.Sprintf("node%d/io", i), 1),
+			NIC:   sim.NewResource(fmt.Sprintf("node%d/nic", i), 1),
+			Inbox: sim.NewMailbox(fmt.Sprintf("node%d/inbox", i)),
+		}
+		for g, m := range s.GPUs {
+			n.GPUs = append(n.GPUs, gpu.New(fmt.Sprintf("node%d/gpu%d", i, g), m))
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// TotalGPUs returns the number of devices across all nodes.
+func (c *Cluster) TotalGPUs() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += len(n.GPUs)
+	}
+	return total
+}
+
+// TotalSpeed returns the sum of relative GPU speeds, used by the
+// performance model to compute the heterogeneous lower bound.
+func (c *Cluster) TotalSpeed() float64 {
+	var total float64
+	for _, n := range c.Nodes {
+		for _, d := range n.GPUs {
+			total += d.Speed
+		}
+	}
+	return total
+}

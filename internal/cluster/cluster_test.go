@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"testing"
+
+	"rocket/internal/gpu"
+	"rocket/internal/sim"
+)
+
+func twoNodeCluster(t *testing.T) *Cluster {
+	t.Helper()
+	spec := NodeSpec{Cores: 16, HostCacheBytes: 40 * gpu.GiB, GPUs: []gpu.Model{gpu.TitanXMaxwell}}
+	c, err := New([]NodeSpec{spec, spec}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidatesSpecs(t *testing.T) {
+	_, err := New(nil, DefaultConfig())
+	if err == nil {
+		t.Error("empty cluster accepted")
+	}
+	bad := []NodeSpec{{Cores: 0, GPUs: []gpu.Model{gpu.K20m}}}
+	if _, err := New(bad, DefaultConfig()); err == nil {
+		t.Error("zero-core node accepted")
+	}
+	noGPU := []NodeSpec{{Cores: 4}}
+	if _, err := New(noGPU, DefaultConfig()); err == nil {
+		t.Error("GPU-less node accepted")
+	}
+	negMem := []NodeSpec{{Cores: 4, HostCacheBytes: -1, GPUs: []gpu.Model{gpu.K20m}}}
+	if _, err := New(negMem, DefaultConfig()); err == nil {
+		t.Error("negative host cache accepted")
+	}
+}
+
+func TestClusterShape(t *testing.T) {
+	c := twoNodeCluster(t)
+	if len(c.Nodes) != 2 || c.TotalGPUs() != 2 {
+		t.Fatalf("nodes=%d gpus=%d", len(c.Nodes), c.TotalGPUs())
+	}
+	if c.Nodes[1].Name() != "node1" {
+		t.Errorf("name = %q", c.Nodes[1].Name())
+	}
+	if c.Nodes[0].CPU.Cap() != 16 {
+		t.Errorf("CPU capacity = %d", c.Nodes[0].CPU.Cap())
+	}
+	if got := c.TotalSpeed(); got != 2.0 {
+		t.Errorf("TotalSpeed = %v, want 2.0", got)
+	}
+}
+
+func TestNetworkSendDelivers(t *testing.T) {
+	c := twoNodeCluster(t)
+	e := sim.NewEnv()
+	var gotAt sim.Time
+	var got Message
+	e.Spawn("recv", func(p *sim.Proc) {
+		got = p.Recv(c.Nodes[1].Inbox).(Message)
+		gotAt = p.Now()
+	})
+	e.Spawn("send", func(p *sim.Proc) {
+		c.Net.Send(p, c.Nodes[0], c.Nodes[1], 7e9, "hello") // 1s at 7 GB/s
+	})
+	e.Run()
+	e.Close()
+	if got.Payload != "hello" || got.From != 0 || got.To != 1 {
+		t.Fatalf("message = %+v", got)
+	}
+	want := sim.Second + c.Net.Latency
+	if gotAt != want {
+		t.Fatalf("delivered at %v, want %v", gotAt, want)
+	}
+	if c.Net.BytesSent() != 7e9 {
+		t.Fatalf("BytesSent = %d", c.Net.BytesSent())
+	}
+}
+
+func TestNetworkLocalSendImmediate(t *testing.T) {
+	c := twoNodeCluster(t)
+	e := sim.NewEnv()
+	e.Spawn("self", func(p *sim.Proc) {
+		c.Net.Send(p, c.Nodes[0], c.Nodes[0], 1e9, "x")
+		if p.Now() != 0 {
+			t.Errorf("local send took %v", p.Now())
+		}
+		if c.Nodes[0].Inbox.Len() != 1 {
+			t.Error("local message not delivered")
+		}
+	})
+	e.Run()
+	e.Close()
+	if c.Net.BytesSent() != 0 {
+		t.Error("local send counted as network traffic")
+	}
+}
+
+func TestNetworkNICSerializes(t *testing.T) {
+	c := twoNodeCluster(t)
+	e := sim.NewEnv()
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		e.Spawn("send", func(p *sim.Proc) {
+			c.Net.Send(p, c.Nodes[0], c.Nodes[1], 7e9, i)
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	e.Close()
+	if done[0] != sim.Second || done[1] != 2*sim.Second {
+		t.Fatalf("send completions %v; NIC must serialize", done)
+	}
+}
+
+func TestSendAsyncDoesNotBlock(t *testing.T) {
+	c := twoNodeCluster(t)
+	e := sim.NewEnv()
+	e.Spawn("send", func(p *sim.Proc) {
+		c.Net.SendAsync(p, c.Nodes[0], c.Nodes[1], 7e9, "big")
+		if p.Now() != 0 {
+			t.Errorf("SendAsync blocked caller until %v", p.Now())
+		}
+	})
+	e.Spawn("recv", func(p *sim.Proc) {
+		p.Recv(c.Nodes[1].Inbox)
+		if p.Now() != sim.Second+c.Net.Latency {
+			t.Errorf("async delivery at %v", p.Now())
+		}
+	})
+	e.Run()
+	e.Close()
+}
+
+func TestStorageAccountsAndQueues(t *testing.T) {
+	s := NewStorage(0, 2e9)
+	e := sim.NewEnv()
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		e.Spawn("reader", func(p *sim.Proc) {
+			s.Read(p, 2e9) // 1s each at 2 GB/s shared
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	e.Close()
+	if done[0] != sim.Second || done[1] != 2*sim.Second {
+		t.Fatalf("reads completed at %v; bandwidth must be shared", done)
+	}
+	if s.BytesRead() != 4e9 || s.Reads() != 2 {
+		t.Fatalf("accounting: %d bytes, %d reads", s.BytesRead(), s.Reads())
+	}
+}
+
+func TestStorageLatencyApplied(t *testing.T) {
+	s := NewStorage(sim.Millis(1), 1e9)
+	e := sim.NewEnv()
+	e.Spawn("r", func(p *sim.Proc) {
+		s.Read(p, 1e9)
+		want := sim.Millis(1) + sim.Second
+		if p.Now() != want {
+			t.Errorf("read took %v, want %v", p.Now(), want)
+		}
+	})
+	e.Run()
+	e.Close()
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.NetBandwidth <= 0 || cfg.StorageBandwidth <= 0 {
+		t.Fatal("default bandwidths must be positive")
+	}
+	if cfg.NetLatency <= 0 {
+		t.Fatal("default latency must be positive")
+	}
+}

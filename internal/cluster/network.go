@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"rocket/internal/sim"
+)
+
+// Message is what arrives in a node's Inbox: an application payload plus
+// provenance.
+type Message struct {
+	From    int
+	To      int
+	Size    int64
+	Payload interface{}
+}
+
+// Network is a switched fabric: each node owns a full-duplex NIC; a
+// transfer occupies the sender's NIC for size/bandwidth and is delivered
+// to the receiver's inbox after an additional propagation latency.
+type Network struct {
+	Latency   sim.Time
+	Bandwidth float64 // bytes/sec per NIC
+
+	bytesSent int64
+	messages  uint64
+}
+
+// NewNetwork returns a network with the given characteristics.
+func NewNetwork(latency sim.Time, bandwidth float64) *Network {
+	if bandwidth <= 0 {
+		panic("cluster: network bandwidth must be positive")
+	}
+	return &Network{Latency: latency, Bandwidth: bandwidth}
+}
+
+// BytesSent returns the cumulative payload bytes moved over the network.
+func (nw *Network) BytesSent() int64 { return nw.bytesSent }
+
+// Messages returns the number of messages delivered or in flight.
+func (nw *Network) Messages() uint64 { return nw.messages }
+
+// TransferTime returns the serialization time for size bytes on one NIC.
+func (nw *Network) TransferTime(size int64) sim.Time {
+	return sim.Seconds(float64(size) / nw.Bandwidth)
+}
+
+// Send transmits payload from one node to another, blocking the calling
+// process for the sender-side serialization time. Delivery into to.Inbox
+// happens Latency after serialization completes. Local sends (from == to)
+// are delivered immediately without occupying the NIC.
+func (nw *Network) Send(p *sim.Proc, from, to *Node, size int64, payload interface{}) {
+	nw.messages++
+	msg := Message{From: from.ID, To: to.ID, Size: size, Payload: payload}
+	env := p.Env()
+	if from == to {
+		to.Inbox.Send(env, msg)
+		return
+	}
+	nw.bytesSent += size
+	p.Acquire(from.NIC)
+	p.Wait(nw.TransferTime(size))
+	from.NIC.Release(env)
+	env.After(nw.Latency, func() {
+		to.Inbox.Send(env, msg)
+	})
+}
+
+// SendAsync transmits without blocking the caller: a helper process is
+// spawned to perform the send. Use it when the sender must continue
+// immediately (e.g. forwarding while serving other requests).
+func (nw *Network) SendAsync(p *sim.Proc, from, to *Node, size int64, payload interface{}) {
+	env := p.Env()
+	env.Spawn(from.Name()+"/send", func(sp *sim.Proc) {
+		nw.Send(sp, from, to, size, payload)
+	})
+}

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"rocket/internal/sim"
+)
+
+// Storage models the central file server (the paper's MinIO over
+// InfiniBand). Its bandwidth is shared: concurrent reads from many nodes
+// queue on the server, so "actual bandwidth depends heavily on the load on
+// the storage system" (§6.1) emerges naturally.
+type Storage struct {
+	// Latency is per-request overhead (connection, lookup).
+	Latency sim.Time
+	// Bandwidth is the aggregate server bandwidth in bytes/second.
+	Bandwidth float64
+
+	server *sim.Resource
+
+	bytesRead int64
+	reads     uint64
+}
+
+// NewStorage returns a storage server.
+func NewStorage(latency sim.Time, bandwidth float64) *Storage {
+	if bandwidth <= 0 {
+		panic("cluster: storage bandwidth must be positive")
+	}
+	return &Storage{
+		Latency:   latency,
+		Bandwidth: bandwidth,
+		server:    sim.NewResource("storage", 1),
+	}
+}
+
+// Read simulates fetching size bytes, blocking the calling process for the
+// request latency plus queueing plus transfer time, and accounts the bytes.
+func (s *Storage) Read(p *sim.Proc, size int64) {
+	s.reads++
+	s.bytesRead += size
+	p.Wait(s.Latency)
+	p.Use(s.server, sim.Seconds(float64(size)/s.Bandwidth))
+}
+
+// BytesRead returns the cumulative bytes served.
+func (s *Storage) BytesRead() int64 { return s.bytesRead }
+
+// Reads returns the number of read requests served.
+func (s *Storage) Reads() uint64 { return s.reads }
+
+// QueueLen returns the number of requests waiting on the server.
+func (s *Storage) QueueLen() int { return s.server.QueueLen() }

@@ -1,0 +1,61 @@
+// Package core implements the Rocket runtime system: the orchestration of
+// the three-level cache hierarchy (paper §4.1), locality-aware
+// divide-and-conquer work scheduling with hierarchical random
+// work-stealing (§4.2), and fully asynchronous processing that overlaps
+// I/O, CPU work, PCIe transfers, and GPU kernels (§4.3).
+package core
+
+import (
+	"rocket/internal/sim"
+)
+
+// Application describes an all-pairs application to the runtime: the data
+// set, per-stage data sizes, and per-stage durations (the cost model
+// calibrated from Table 1). Durations are baselines for one CPU core or
+// the reference GPU (TitanX Maxwell); the runtime scales GPU stages by
+// device speed. Implementations must be deterministic: the duration of a
+// stage may depend only on its arguments, never on execution order (use
+// stats.HashRNG).
+type Application interface {
+	// Name identifies the application in reports.
+	Name() string
+	// NumItems is the data set size n.
+	NumItems() int
+	// FileSize is the on-disk (compressed) size of item's input file.
+	FileSize(item int) int64
+	// ItemSize is the size of one parsed+preprocessed item in memory; it
+	// is the slot size of every cache level (Rocket uses fixed-size
+	// slots).
+	ItemSize() int64
+	// ResultSize is the size of one comparison result copied back from
+	// the GPU.
+	ResultSize() int64
+	// ParseTime is the CPU time to parse item's file.
+	ParseTime(item int) sim.Time
+	// PreprocessTime is the baseline GPU time to pre-process item
+	// (zero if the application has no pre-processing stage).
+	PreprocessTime(item int) sim.Time
+	// CompareTime is the baseline GPU time to compare items i and j.
+	CompareTime(i, j int) sim.Time
+	// PostprocessTime is the CPU time to post-process one result.
+	PostprocessTime(i, j int) sim.Time
+}
+
+// Computer is an optional extension of Application for real-kernel runs:
+// when the configured application implements Computer, the runtime
+// actually loads items and computes comparison results (pure Go
+// re-implementations of the paper's CUDA kernels) in addition to charging
+// the modeled durations, and collects the results.
+type Computer interface {
+	// LoadItem executes the real load pipeline ell(item): read, parse,
+	// pre-process. The returned payload flows through the caches.
+	LoadItem(item int) (interface{}, error)
+	// ComparePair executes the real comparison f(a, b) for items (i, j).
+	ComparePair(i, j int, a, b interface{}) (interface{}, error)
+}
+
+// Result is one collected comparison output (real-kernel runs only).
+type Result struct {
+	I, J  int
+	Value interface{}
+}

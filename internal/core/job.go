@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"rocket/internal/cache"
+	"rocket/internal/sim"
+	"rocket/internal/stats"
+	"rocket/internal/trace"
+)
+
+// useTraced occupies resource r for dur and records the occupancy as a
+// task. The recorded interval starts after the resource is granted, so
+// queueing ahead of a busy resource never inflates its busy time.
+func (rt *runtime) useTraced(p *sim.Proc, r *sim.Resource, dur sim.Time,
+	resource string, class trace.Class, kind trace.Kind, item, item2 int) {
+	p.Acquire(r)
+	start := p.Now()
+	p.Wait(dur)
+	r.Release(p.Env())
+	rt.tracer.Record(trace.Task{
+		Resource: resource, Class: class, Kind: kind,
+		Item: item, Item2: item2, Start: start, End: p.Now(),
+	})
+}
+
+// runJob executes one comparison job (i, j) on worker w's device: acquire
+// both items through the cache hierarchy (Fig. 4), run the comparison
+// pipeline (Fig. 2, bottom), and account the completion.
+func (n *nodeRT) runJob(p *sim.Proc, w int, i, j int) {
+	rt := n.rt
+	d := n.devs[w]
+	defer d.jobTokens.Release(rt.env)
+
+	hi, err := n.acquireItem(p, d, i)
+	if err != nil {
+		rt.fail(p, err)
+		return
+	}
+	hj, err := n.acquireItem(p, d, j)
+	if err != nil {
+		hi.Release(rt.env)
+		rt.fail(p, err)
+		return
+	}
+
+	// Comparison kernel on the GPU.
+	rt.useTraced(p, d.dev.Compute, d.dev.KernelTime(rt.app.CompareTime(i, j)),
+		d.dev.ID, trace.ClassGPU, trace.KindCompare, i, j)
+
+	// Result transfer device -> host.
+	if rs := rt.app.ResultSize(); rs > 0 {
+		rt.useTraced(p, d.dev.D2H, d.dev.TransferTime(rs),
+			d.dev.ID+"/d2h", trace.ClassD2H, trace.KindD2H, i, j)
+	}
+
+	// Post-processing on the CPU.
+	if pt := rt.app.PostprocessTime(i, j); pt > 0 {
+		rt.useTraced(p, n.node.CPU, pt,
+			n.node.Name()+"/cpu", trace.ClassCPU, trace.KindPost, i, j)
+	}
+
+	// Real kernels, when the application provides them.
+	if rt.comp != nil {
+		value, cerr := rt.comp.ComparePair(i, j, hi.Data(), hj.Data())
+		if cerr != nil {
+			hi.Release(rt.env)
+			hj.Release(rt.env)
+			rt.fail(p, fmt.Errorf("compare (%d, %d): %w", i, j, cerr))
+			return
+		}
+		if rt.cfg.CollectResults {
+			rt.results = append(rt.results, Result{I: i, J: j, Value: value})
+		}
+	}
+
+	hi.Release(rt.env)
+	hj.Release(rt.env)
+	n.pairCompleted(p, d)
+}
+
+// pairCompleted updates counters, the per-device throughput series, and
+// fires the completion signal after the final pair.
+func (n *nodeRT) pairCompleted(p *sim.Proc, d *devRT) {
+	rt := n.rt
+	rt.pairsDone++
+	if rt.throughput != nil {
+		ts, ok := rt.throughput[d.dev.ID]
+		if !ok {
+			ts = stats.NewTimeSeries(rt.cfg.ThroughputWindow.Seconds())
+			rt.throughput[d.dev.ID] = ts
+		}
+		ts.Add(p.Now().Seconds(), 1)
+	}
+	if rt.pairsDone == rt.totalPairs {
+		rt.done.Fire(rt.env)
+	}
+}
+
+// fail records the first error and unblocks the run.
+func (rt *runtime) fail(p *sim.Proc, err error) {
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.done.Fire(rt.env)
+}
+
+// acquireItem obtains a read lease for item on device d, walking the
+// hierarchy of Fig. 4: device cache, host cache, distributed cache, and
+// finally the full load pipeline.
+func (n *nodeRT) acquireItem(p *sim.Proc, d *devRT, item int) (*cache.Handle, error) {
+	rt := n.rt
+	dh, hit := d.cache.Acquire(p, item)
+	if hit {
+		return dh, nil
+	}
+	// Device miss: the device write lease is ours to fill.
+	if n.host == nil {
+		// No host cache: load straight through to the device.
+		data, err := n.load(p, d, item)
+		if err != nil {
+			dh.Abort(rt.env)
+			return nil, err
+		}
+		dh.SetData(data)
+		dh.Publish(rt.env)
+		return dh, nil
+	}
+
+	hh, hostHit := n.host.Acquire(p, item)
+	if hostHit {
+		n.copyH2D(p, d, item)
+		dh.SetData(hh.Data())
+		dh.Publish(rt.env)
+		hh.Release(rt.env)
+		return dh, nil
+	}
+
+	// Host miss: we hold the host write lease; try the distributed cache.
+	if n.dht != nil {
+		start := p.Now()
+		data, _, ok := n.dht.Fetch(p, item)
+		rt.tracer.Record(trace.Task{
+			Resource: n.node.Name() + "/net", Class: trace.ClassNet, Kind: trace.KindFetch,
+			Item: item, Item2: -1, Start: start, End: p.Now(),
+		})
+		if ok {
+			hh.SetData(data)
+			hh.Publish(rt.env)
+			n.copyH2D(p, d, item)
+			dh.SetData(data)
+			dh.Publish(rt.env)
+			hh.Release(rt.env)
+			return dh, nil
+		}
+	}
+
+	// Full load pipeline; the result lands on the device first (the last
+	// stage runs there), then is copied back so the host cache — and thus
+	// the distributed cache — can serve it (§4.1.2).
+	data, err := n.load(p, d, item)
+	if err != nil {
+		dh.Abort(rt.env)
+		hh.Abort(rt.env)
+		return nil, err
+	}
+	dh.SetData(data)
+	dh.Publish(rt.env)
+	n.copyD2H(p, d, item)
+	hh.SetData(data)
+	hh.Publish(rt.env)
+	hh.Release(rt.env)
+	return dh, nil
+}
+
+// load executes the load pipeline ell(item) of Fig. 2: remote I/O, CPU
+// parse, host-to-device transfer, and the GPU pre-processing kernel.
+func (n *nodeRT) load(p *sim.Proc, d *devRT, item int) (interface{}, error) {
+	rt := n.rt
+	rt.loads++
+
+	// Remote I/O through this node's I/O thread. The interval covers the
+	// whole storage interaction including server-side queueing: that is
+	// exactly the time the paper's I/O thread is occupied.
+	p.Acquire(n.node.IO)
+	start := p.Now()
+	rt.cl.Storage.Read(p, rt.app.FileSize(item))
+	n.node.IO.Release(rt.env)
+	rt.tracer.Record(trace.Task{
+		Resource: n.node.Name() + "/io", Class: trace.ClassIO, Kind: trace.KindIO,
+		Item: item, Item2: -1, Start: start, End: p.Now(),
+	})
+
+	// Parse on the CPU pool.
+	if pt := rt.app.ParseTime(item); pt > 0 {
+		rt.useTraced(p, n.node.CPU, pt,
+			n.node.Name()+"/cpu", trace.ClassCPU, trace.KindParse, item, -1)
+	}
+
+	// Transfer the parsed item to the device.
+	n.copyH2D(p, d, item)
+
+	// Pre-process on the GPU.
+	if ppt := rt.app.PreprocessTime(item); ppt > 0 {
+		rt.useTraced(p, d.dev.Compute, d.dev.KernelTime(ppt),
+			d.dev.ID, trace.ClassGPU, trace.KindPreprocess, item, -1)
+	}
+
+	if rt.comp != nil {
+		data, err := rt.comp.LoadItem(item)
+		if err != nil {
+			return nil, fmt.Errorf("load item %d: %w", item, err)
+		}
+		return data, nil
+	}
+	return nil, nil
+}
+
+// copyH2D charges a host-to-device transfer of one item.
+func (n *nodeRT) copyH2D(p *sim.Proc, d *devRT, item int) {
+	n.rt.useTraced(p, d.dev.H2D, d.dev.TransferTime(n.rt.app.ItemSize()),
+		d.dev.ID+"/h2d", trace.ClassH2D, trace.KindH2D, item, -1)
+}
+
+// copyD2H charges a device-to-host transfer of one item (write-back into
+// the host cache after pre-processing).
+func (n *nodeRT) copyD2H(p *sim.Proc, d *devRT, item int) {
+	n.rt.useTraced(p, d.dev.D2H, d.dev.TransferTime(n.rt.app.ItemSize()),
+		d.dev.ID+"/d2h", trace.ClassD2H, trace.KindD2H, item, -1)
+}

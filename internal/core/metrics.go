@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sort"
+
+	"rocket/internal/cache"
+	"rocket/internal/dht"
+	"rocket/internal/sim"
+	"rocket/internal/stats"
+	"rocket/internal/trace"
+)
+
+// Metrics is the outcome of one runtime execution.
+type Metrics struct {
+	// Runtime is the start-to-end virtual run time.
+	Runtime sim.Time
+	// Pairs is the number of comparisons performed (always n choose 2 on
+	// success).
+	Pairs uint64
+	// Loads is the number of full load-pipeline executions across the
+	// cluster; R = Loads / n (paper §6.1).
+	Loads uint64
+	// R is the relative number of loads, the paper's data-reuse metric.
+	R float64
+
+	// IOBytes and IOReads account traffic to the storage server.
+	IOBytes int64
+	IOReads uint64
+	// NetBytes is total inter-node traffic (distributed cache + stealing).
+	NetBytes int64
+
+	// DevCache and HostCache aggregate slot-cache statistics over all
+	// devices / nodes.
+	DevCache  cache.Stats
+	HostCache cache.Stats
+	// DHT aggregates distributed-cache outcomes over all nodes (zero when
+	// the distributed cache is disabled).
+	DHT dht.Metrics
+
+	// Work-stealing counters.
+	LocalSteals  uint64
+	RemoteSteals uint64
+	FailedSteals uint64
+
+	// Tracer holds per-class busy times (and task timelines when detailed
+	// tracing was enabled).
+	Tracer *trace.Tracer
+
+	// DeviceThroughput maps device ID to its completed-pairs time series
+	// (only when Config.ThroughputWindow > 0).
+	DeviceThroughput map[string]*stats.TimeSeries
+	// DeviceIDs lists device IDs in deterministic order.
+	DeviceIDs []string
+
+	// DeviceSlots and HostSlots record the derived capacities of node 0
+	// (for reporting).
+	DeviceSlots int
+	HostSlots   int
+	// JobLimit records the derived per-device concurrent-job limit.
+	JobLimit int
+
+	// Results holds comparison outputs for real-kernel runs with
+	// CollectResults set.
+	Results []Result
+
+	// Events is the number of simulation events processed (cost metric).
+	Events uint64
+}
+
+// Throughput returns average pairs/second over the whole run.
+func (m *Metrics) Throughput() float64 {
+	secs := m.Runtime.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(m.Pairs) / secs
+}
+
+// aggregate gathers per-node state into the metrics after a run.
+func (rt *runtime) aggregate() *Metrics {
+	m := &Metrics{
+		Runtime:          rt.env.Now(),
+		Pairs:            uint64(rt.pairsDone),
+		Loads:            rt.loads,
+		IOBytes:          rt.cl.Storage.BytesRead(),
+		IOReads:          rt.cl.Storage.Reads(),
+		NetBytes:         rt.cl.Net.BytesSent(),
+		Tracer:           rt.tracer,
+		LocalSteals:      rt.localSteals,
+		RemoteSteals:     rt.remoteSteals,
+		FailedSteals:     rt.failedSteals,
+		Results:          rt.results,
+		DeviceThroughput: rt.throughput,
+		Events:           rt.env.EventsProcessed(),
+		JobLimit:         rt.nodes[0].devs[0].jobTokens.Cap(),
+	}
+	m.R = float64(m.Loads) / float64(rt.cfg.App.NumItems())
+	m.DHT.HitAtHop = make([]uint64, rt.cfg.Hops)
+	for _, n := range rt.nodes {
+		if n.host != nil {
+			hs := n.host.Stats()
+			m.HostCache.Hits += hs.Hits
+			m.HostCache.WaitHits += hs.WaitHits
+			m.HostCache.Misses += hs.Misses
+			m.HostCache.Evictions += hs.Evictions
+			m.HostCache.Stalls += hs.Stalls
+		}
+		for _, d := range n.devs {
+			ds := d.cache.Stats()
+			m.DevCache.Hits += ds.Hits
+			m.DevCache.WaitHits += ds.WaitHits
+			m.DevCache.Misses += ds.Misses
+			m.DevCache.Evictions += ds.Evictions
+			m.DevCache.Stalls += ds.Stalls
+			m.DeviceIDs = append(m.DeviceIDs, d.dev.ID)
+		}
+		if n.dht != nil {
+			dm := n.dht.Metrics()
+			m.DHT.Requests += dm.Requests
+			m.DHT.Misses += dm.Misses
+			for i, h := range dm.HitAtHop {
+				m.DHT.HitAtHop[i] += h
+			}
+		}
+	}
+	sort.Strings(m.DeviceIDs)
+	m.DeviceSlots = rt.nodes[0].devs[0].cache.Cap()
+	if rt.nodes[0].host != nil {
+		m.HostSlots = rt.nodes[0].host.Cap()
+	}
+	return m
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+
+	"rocket/internal/cache"
+	"rocket/internal/cluster"
+	"rocket/internal/dht"
+	"rocket/internal/gpu"
+	"rocket/internal/pairs"
+	"rocket/internal/sim"
+	"rocket/internal/stats"
+	"rocket/internal/steal"
+	"rocket/internal/trace"
+)
+
+// runtime is the cluster-wide execution state of one run.
+type runtime struct {
+	cfg    Config
+	env    *sim.Env
+	cl     *cluster.Cluster
+	app    Application
+	comp   Computer // nil for cost-model-only runs
+	tracer *trace.Tracer
+
+	nodes      []*nodeRT
+	totalPairs int64
+	pairsDone  int64
+	loads      uint64
+	done       *sim.Signal
+	err        error
+
+	localSteals  uint64
+	remoteSteals uint64
+	failedSteals uint64
+
+	results    []Result
+	throughput map[string]*stats.TimeSeries
+}
+
+// nodeRT is the per-node runtime state.
+type nodeRT struct {
+	rt   *runtime
+	node *cluster.Node
+	// host is the level-2 cache; nil when disabled.
+	host *cache.Cache
+	devs []*devRT
+	// group holds the work-stealing deques, one per worker (= per GPU).
+	group *steal.Group
+	// dht is the level-3 engine; nil when the distributed cache is off.
+	dht           *dht.Engine
+	pendingSteals map[uint64]*sim.Signal
+	stealSeq      uint64
+	victimRNG     *stats.RNG
+}
+
+// devRT pairs a device with its level-1 cache and its concurrent-job
+// limit (back-pressure, §4.2).
+type devRT struct {
+	dev       *gpu.Device
+	cache     *cache.Cache
+	jobTokens *sim.Resource
+}
+
+// Steal-protocol messages exchanged between nodes.
+type (
+	stealRequest struct {
+		ID    uint64
+		Thief int
+		// Resident samples the thief's host-cache working set
+		// (cache-aware stealing only, nil otherwise).
+		Resident []int
+	}
+	stealReply struct {
+		ID     uint64
+		Region pairs.Region
+		OK     bool
+	}
+)
+
+// Run executes the all-pairs application on the cluster and returns the
+// collected metrics. The cluster must be freshly built (its accounting is
+// cumulative).
+func Run(cfg Config) (*Metrics, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	rt := &runtime{
+		cfg:        cfg,
+		env:        sim.NewEnv(),
+		cl:         cfg.Cluster,
+		app:        cfg.App,
+		tracer:     trace.New(cfg.DetailedTrace),
+		totalPairs: pairs.TotalPairs(cfg.App.NumItems()),
+		done:       sim.NewSignal(),
+	}
+	if cfg.PairFilter != nil {
+		rt.totalPairs = 0
+		pairs.Root(cfg.App.NumItems()).Each(func(i, j int) {
+			if cfg.PairFilter(i, j) {
+				rt.totalPairs++
+			}
+		})
+	}
+	if comp, ok := cfg.App.(Computer); ok {
+		rt.comp = comp
+	}
+	if cfg.ThroughputWindow > 0 {
+		rt.throughput = make(map[string]*stats.TimeSeries)
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0x524f434b4554) // "ROCKET"
+	for _, node := range rt.cl.Nodes {
+		n, err := rt.newNodeRT(node, rng)
+		if err != nil {
+			return nil, err
+		}
+		rt.nodes = append(rt.nodes, n)
+	}
+
+	if err := rt.prewarm(); err != nil {
+		return nil, err
+	}
+
+	// The master node spawns the single root task (paper §4.2); everyone
+	// else starts by stealing.
+	rt.nodes[0].group.Deque(0).PushBottom(pairs.Root(cfg.App.NumItems()))
+
+	if len(rt.nodes) > 1 {
+		for _, n := range rt.nodes {
+			n := n
+			rt.env.Spawn(n.node.Name()+"/server", func(p *sim.Proc) { n.serverLoop(p) })
+		}
+	}
+	for _, n := range rt.nodes {
+		for w := range n.devs {
+			n, w := n, w
+			rt.env.Spawn(n.devs[w].dev.ID+"/worker", func(p *sim.Proc) { n.workerLoop(p, w) })
+		}
+	}
+
+	rt.env.Run()
+	m := rt.aggregate()
+	rt.env.Close()
+	if rt.err != nil {
+		return m, rt.err
+	}
+	if !rt.done.Fired() || rt.pairsDone != rt.totalPairs {
+		return m, fmt.Errorf("core: runtime stalled after %d/%d pairs at t=%v",
+			rt.pairsDone, rt.totalPairs, m.Runtime)
+	}
+	return m, nil
+}
+
+func (rt *runtime) newNodeRT(node *cluster.Node, rng *stats.RNG) (*nodeRT, error) {
+	n := &nodeRT{
+		rt:            rt,
+		node:          node,
+		group:         steal.NewGroup(len(node.GPUs)),
+		pendingSteals: make(map[uint64]*sim.Signal),
+		victimRNG:     rng.Fork(),
+	}
+	policy := cache.PolicyLRU
+	if rt.cfg.EvictRandom {
+		policy = cache.PolicyRandom
+	}
+	newCache := func(name string, slots int) *cache.Cache {
+		return cache.NewWithPolicy(name, slots, rt.cfg.App.ItemSize(), policy, rng.Fork())
+	}
+	hostSlots := rt.cfg.hostSlotsFor(node.Spec.HostCacheBytes)
+	if hostSlots > 0 {
+		n.host = newCache(node.Name()+"/host", hostSlots)
+	}
+	for _, dev := range node.GPUs {
+		slots := rt.cfg.deviceSlotsFor(dev.MemBytes)
+		n.devs = append(n.devs, &devRT{
+			dev:       dev,
+			cache:     newCache(dev.ID+"/cache", slots),
+			jobTokens: sim.NewResource(dev.ID+"/jobs", rt.cfg.jobLimitFor(slots, hostSlots, len(node.GPUs))),
+		})
+	}
+
+	if rt.cfg.DistCache && n.host != nil {
+		eng, err := dht.New(dht.Config{
+			NodeID:   node.ID,
+			NumNodes: len(rt.cl.Nodes),
+			Hops:     rt.cfg.Hops,
+			CtrlSize: rt.cfg.ctrlMsgSize,
+			DataSize: rt.cfg.App.ItemSize(),
+			Send: func(p *sim.Proc, to int, size int64, payload interface{}) {
+				rt.cl.Net.SendAsync(p, node, rt.cl.Nodes[to], size, payload)
+			},
+			Lookup: func(item int) (interface{}, bool) {
+				if n.host.Contains(item) {
+					// Peek without pinning: the payload pointer stays
+					// valid because payloads are immutable Go values.
+					return n.hostPeek(item), true
+				}
+				return nil, false
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.dht = eng
+	}
+	return n, nil
+}
+
+// hostPeek returns the payload of a resident host-cache item. It is only
+// called after Contains reported true within the same event.
+func (n *nodeRT) hostPeek(item int) interface{} {
+	return n.host.Peek(item)
+}
+
+// prewarm pre-fills host caches per Config.PrewarmHost: item i belongs to
+// node i mod p, and each node warms the configured fraction of its items
+// (the ones a previous run would most plausibly have left behind). For
+// real-kernel applications the payloads are materialized eagerly, since a
+// previous run would have produced them.
+func (rt *runtime) prewarm() error {
+	frac := rt.cfg.PrewarmHost
+	if frac == 0 {
+		return nil
+	}
+	p := len(rt.nodes)
+	n := rt.cfg.App.NumItems()
+	for item := 0; item < n; item++ {
+		node := rt.nodes[item%p]
+		if node.host == nil {
+			continue
+		}
+		// The k-th item of a node is warmed iff k < frac * itemsOfNode.
+		k := item / p
+		itemsOfNode := (n - item%p + p - 1) / p
+		if float64(k) >= frac*float64(itemsOfNode) {
+			continue
+		}
+		var data interface{}
+		if rt.comp != nil {
+			v, err := rt.comp.LoadItem(item)
+			if err != nil {
+				return fmt.Errorf("core: prewarm item %d: %w", item, err)
+			}
+			data = v
+		}
+		node.host.Warm(item, data)
+	}
+	return nil
+}
+
+// serverLoop demultiplexes a node's inbox: distributed-cache protocol
+// messages and steal requests/replies.
+func (n *nodeRT) serverLoop(p *sim.Proc) {
+	for {
+		raw := p.Recv(n.node.Inbox)
+		msg := raw.(cluster.Message)
+		if n.dht != nil && n.dht.Handle(p, msg.Payload) {
+			continue
+		}
+		switch m := msg.Payload.(type) {
+		case stealRequest:
+			var region pairs.Region
+			var ok bool
+			if m.Resident != nil {
+				region, ok = n.group.StealBestOverlap(m.Resident)
+			} else {
+				region, ok = n.group.StealLocal(-1)
+			}
+			reply := stealReply{ID: m.ID, Region: region, OK: ok}
+			n.rt.cl.Net.SendAsync(p, n.node, n.rt.cl.Nodes[m.Thief], n.rt.cfg.ctrlMsgSize, reply)
+		case stealReply:
+			sig, ok := n.pendingSteals[m.ID]
+			if !ok {
+				panic(fmt.Sprintf("core: %s received unexpected steal reply %d", n.node.Name(), m.ID))
+			}
+			delete(n.pendingSteals, m.ID)
+			sig.Value = m
+			sig.Fire(p.Env())
+		default:
+			panic(fmt.Sprintf("core: %s received unknown message %T", n.node.Name(), m))
+		}
+	}
+}
+
+// workerLoop is the per-GPU Constellation-style worker: pop local work,
+// steal hierarchically when idle, split non-leaf regions, and submit leaf
+// jobs subject to the concurrent-job limit.
+func (n *nodeRT) workerLoop(p *sim.Proc, w int) {
+	rt := n.rt
+	if rt.totalPairs == 0 {
+		rt.done.Fire(p.Env())
+		return
+	}
+	deque := n.group.Deque(w)
+	// Failed steals back off exponentially (capped) so fully idle workers
+	// do not flood the cluster with steal requests while long comparisons
+	// drain elsewhere; any success resets the backoff.
+	backoff := rt.cfg.StealBackoff
+	maxBackoff := 256 * rt.cfg.StealBackoff
+	for !rt.done.Fired() && rt.err == nil {
+		region, ok := deque.PopBottom()
+		if !ok {
+			region, ok = n.stealWork(p, w)
+		}
+		if !ok {
+			p.Wait(backoff)
+			if backoff < maxBackoff {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = rt.cfg.StealBackoff
+		if region.Count() <= rt.cfg.LeafPairs {
+			n.submitLeaf(p, w, region)
+			continue
+		}
+		kids := region.Split()
+		// Push in reverse so the first quadrant is popped first,
+		// preserving depth-first traversal order.
+		for k := len(kids) - 1; k >= 0; k-- {
+			deque.PushBottom(kids[k])
+		}
+	}
+}
+
+// stealWork implements victim selection: same-node workers first, then a
+// random remote node (StealHierarchical), or a uniformly random node
+// (StealFlat).
+func (n *nodeRT) stealWork(p *sim.Proc, w int) (pairs.Region, bool) {
+	rt := n.rt
+	if rt.cfg.StealPolicy != StealFlat {
+		if r, ok := n.group.StealLocal(w); ok {
+			rt.localSteals++
+			return r, true
+		}
+	}
+	if len(rt.nodes) == 1 {
+		if rt.cfg.StealPolicy == StealFlat {
+			if r, ok := n.group.StealLocal(w); ok {
+				rt.localSteals++
+				return r, true
+			}
+		}
+		return pairs.Region{}, false
+	}
+	victim := n.pickVictim()
+	if victim == n.node.ID {
+		if r, ok := n.group.StealLocal(w); ok {
+			rt.localSteals++
+			return r, true
+		}
+		return pairs.Region{}, false
+	}
+	n.stealSeq++
+	id := n.stealSeq
+	sig := sim.NewSignal()
+	n.pendingSteals[id] = sig
+	req := stealRequest{ID: id, Thief: n.node.ID}
+	size := rt.cfg.ctrlMsgSize
+	if rt.cfg.StealPolicy == StealCacheAware && n.host != nil {
+		req.Resident = n.host.Items(residentSampleMax)
+		size += 8 * int64(len(req.Resident))
+	}
+	start := p.Now()
+	rt.cl.Net.Send(p, n.node, rt.cl.Nodes[victim], size, req)
+	p.WaitSignal(sig)
+	rep := sig.Value.(stealReply)
+	rt.tracer.Record(trace.Task{
+		Resource: n.node.Name() + "/steal",
+		Class:    trace.ClassNet,
+		Kind:     trace.KindSteal,
+		Item:     victim, Item2: -1,
+		Start: start, End: p.Now(),
+	})
+	if !rep.OK {
+		rt.failedSteals++
+		return pairs.Region{}, false
+	}
+	rt.remoteSteals++
+	return rep.Region, true
+}
+
+// pickVictim selects a steal target according to the policy.
+func (n *nodeRT) pickVictim() int {
+	rt := n.rt
+	if rt.cfg.StealPolicy == StealFlat {
+		return n.victimRNG.Intn(len(rt.nodes))
+	}
+	// Hierarchical: uniform among remote nodes.
+	v := n.victimRNG.Intn(len(rt.nodes) - 1)
+	if v >= n.node.ID {
+		v++
+	}
+	return v
+}
+
+// submitLeaf submits every pair of a leaf region as an asynchronous job,
+// blocking on the concurrent-job limit (back-pressure).
+func (n *nodeRT) submitLeaf(p *sim.Proc, w int, region pairs.Region) {
+	rt := n.rt
+	region.Each(func(i, j int) {
+		if rt.done.Fired() || rt.err != nil {
+			return
+		}
+		if rt.cfg.PairFilter != nil && !rt.cfg.PairFilter(i, j) {
+			return
+		}
+		p.Acquire(n.devs[w].jobTokens)
+		rt.env.Spawn(fmt.Sprintf("%s/job(%d,%d)", n.devs[w].dev.ID, i, j), func(jp *sim.Proc) {
+			n.runJob(jp, w, i, j)
+		})
+	})
+}

@@ -1,0 +1,241 @@
+// Package dht implements Rocket's third cache level (paper §4.1.3): a
+// best-effort distributed lookup that lets a node fetch an already-loaded
+// item from a peer's host cache instead of re-executing the load pipeline.
+//
+// Every item i has a mediator node (i mod p) that keeps a small
+// bookkeeping list candidates[i] of the h nodes that most recently
+// requested i — the nodes most likely to still hold it. A request visits
+// the mediator and then walks at most h candidates; the first candidate
+// with the item in its host cache sends the data directly to the
+// requester, otherwise the requester receives a failure and falls back to
+// loading the item itself. Each request costs at most h+2 messages and the
+// scheme has no central component.
+package dht
+
+import (
+	"fmt"
+
+	"rocket/internal/sim"
+)
+
+// Message types exchanged by the protocol. They travel as payloads of
+// cluster messages.
+type (
+	// Request is sent by the requester to the item's mediator.
+	Request struct {
+		ID        uint64
+		Item      int
+		Requester int
+	}
+	// Forward carries the request along the candidate chain. Hop is
+	// 1-based: the first candidate contacted sees Hop == 1.
+	Forward struct {
+		ID        uint64
+		Item      int
+		Requester int
+		Chain     []int
+		Hop       int
+	}
+	// Reply terminates a request: either a candidate found the item (Hit,
+	// with Data and the Hop it was found at) or the search failed.
+	Reply struct {
+		ID   uint64
+		Item int
+		Hit  bool
+		Hop  int
+		Data interface{}
+	}
+)
+
+// SendFunc transmits a payload of the given size to a peer node without
+// blocking the caller beyond local bookkeeping (the core runtime wires
+// this to an asynchronous network send).
+type SendFunc func(p *sim.Proc, to int, size int64, payload interface{})
+
+// LookupFunc checks the local host cache for an item and returns its
+// payload. In synthetic (cost-model) runs the payload is nil and only the
+// boolean matters.
+type LookupFunc func(item int) (interface{}, bool)
+
+// Config parameterizes an Engine.
+type Config struct {
+	NodeID   int
+	NumNodes int
+	// Hops is the paper's h: the maximum number of candidates visited.
+	Hops int
+	// CtrlSize is the wire size of control messages (request/forward/fail).
+	CtrlSize int64
+	// DataSize is the wire size of one item payload (the cache slot size).
+	DataSize int64
+	Send     SendFunc
+	Lookup   LookupFunc
+}
+
+// Metrics counts request outcomes observed at the requester side.
+type Metrics struct {
+	Requests uint64
+	// HitAtHop[k] counts hits served by the (k+1)-th candidate.
+	HitAtHop []uint64
+	Misses   uint64
+}
+
+// Engine is the per-node protocol state machine. One engine instance
+// handles both roles: client (Fetch) and server (Handle, called by the
+// node's message loop for every inbound protocol message).
+type Engine struct {
+	cfg Config
+	// candidates holds the mediator bookkeeping for items this node is
+	// responsible for (item mod p == NodeID).
+	candidates map[int][]int
+	pending    map[uint64]*sim.Signal
+	nextID     uint64
+	metrics    Metrics
+}
+
+// New validates cfg and returns an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.NumNodes < 1 {
+		return nil, fmt.Errorf("dht: NumNodes %d < 1", cfg.NumNodes)
+	}
+	if cfg.NodeID < 0 || cfg.NodeID >= cfg.NumNodes {
+		return nil, fmt.Errorf("dht: NodeID %d out of range [0, %d)", cfg.NodeID, cfg.NumNodes)
+	}
+	if cfg.Hops < 1 {
+		return nil, fmt.Errorf("dht: Hops %d < 1", cfg.Hops)
+	}
+	if cfg.Send == nil || cfg.Lookup == nil {
+		return nil, fmt.Errorf("dht: Send and Lookup are required")
+	}
+	return &Engine{
+		cfg:        cfg,
+		candidates: make(map[int][]int),
+		pending:    make(map[uint64]*sim.Signal),
+		metrics:    Metrics{HitAtHop: make([]uint64, cfg.Hops)},
+	}, nil
+}
+
+// Metrics returns a copy of the outcome counters.
+func (e *Engine) Metrics() Metrics {
+	m := e.metrics
+	m.HitAtHop = append([]uint64(nil), e.metrics.HitAtHop...)
+	return m
+}
+
+// CandidateList returns the mediator's current candidate list for an item
+// (nil when unknown). Exposed for tests and introspection.
+func (e *Engine) CandidateList(item int) []int {
+	return append([]int(nil), e.candidates[item]...)
+}
+
+// Fetch performs a blocking distributed lookup for item. It returns the
+// payload, the hop at which the item was found (1-based), and whether the
+// lookup succeeded. On failure the caller must execute the load pipeline
+// locally.
+func (e *Engine) Fetch(p *sim.Proc, item int) (interface{}, int, bool) {
+	e.metrics.Requests++
+	e.nextID++
+	id := e.nextID
+	sig := sim.NewSignal()
+	e.pending[id] = sig
+	mediator := item % e.cfg.NumNodes
+	e.cfg.Send(p, mediator, e.cfg.CtrlSize, Request{ID: id, Item: item, Requester: e.cfg.NodeID})
+	p.WaitSignal(sig)
+	rep := sig.Value.(Reply)
+	if !rep.Hit {
+		e.metrics.Misses++
+		return nil, 0, false
+	}
+	if rep.Hop >= 1 && rep.Hop <= e.cfg.Hops {
+		e.metrics.HitAtHop[rep.Hop-1]++
+	}
+	return rep.Data, rep.Hop, true
+}
+
+// Handle processes one inbound protocol message and returns true if the
+// payload was a DHT message. It never blocks on the network: all sends go
+// through the asynchronous SendFunc.
+func (e *Engine) Handle(p *sim.Proc, payload interface{}) bool {
+	switch m := payload.(type) {
+	case Request:
+		e.handleRequest(p, m)
+	case Forward:
+		e.handleForward(p, m)
+	case Reply:
+		e.handleReply(p, m)
+	default:
+		return false
+	}
+	return true
+}
+
+// handleRequest implements the mediator role.
+func (e *Engine) handleRequest(p *sim.Proc, m Request) {
+	if m.Item%e.cfg.NumNodes != e.cfg.NodeID {
+		panic(fmt.Sprintf("dht: node %d received request for item %d mediated by node %d",
+			e.cfg.NodeID, m.Item, m.Item%e.cfg.NumNodes))
+	}
+	chain := e.candidates[m.Item]
+	// Record the requester as the most recent (and thus most likely future)
+	// holder, deduplicating and bounding the list at h entries.
+	e.candidates[m.Item] = prepend(chain, m.Requester, e.cfg.Hops)
+	if len(chain) == 0 {
+		e.cfg.Send(p, m.Requester, e.cfg.CtrlSize, Reply{ID: m.ID, Item: m.Item})
+		return
+	}
+	fwd := Forward{
+		ID:        m.ID,
+		Item:      m.Item,
+		Requester: m.Requester,
+		Chain:     chain[1:],
+		Hop:       1,
+	}
+	e.cfg.Send(p, chain[0], e.cfg.CtrlSize, fwd)
+}
+
+// handleForward implements the candidate role.
+func (e *Engine) handleForward(p *sim.Proc, m Forward) {
+	if data, ok := e.cfg.Lookup(m.Item); ok {
+		e.cfg.Send(p, m.Requester, e.cfg.DataSize,
+			Reply{ID: m.ID, Item: m.Item, Hit: true, Hop: m.Hop, Data: data})
+		return
+	}
+	if len(m.Chain) > 0 {
+		next := m.Chain[0]
+		e.cfg.Send(p, next, e.cfg.CtrlSize, Forward{
+			ID:        m.ID,
+			Item:      m.Item,
+			Requester: m.Requester,
+			Chain:     m.Chain[1:],
+			Hop:       m.Hop + 1,
+		})
+		return
+	}
+	e.cfg.Send(p, m.Requester, e.cfg.CtrlSize, Reply{ID: m.ID, Item: m.Item, Hop: m.Hop})
+}
+
+// handleReply completes a pending Fetch.
+func (e *Engine) handleReply(p *sim.Proc, m Reply) {
+	sig, ok := e.pending[m.ID]
+	if !ok {
+		panic(fmt.Sprintf("dht: node %d received reply for unknown request %d", e.cfg.NodeID, m.ID))
+	}
+	delete(e.pending, m.ID)
+	sig.Value = m
+	sig.Fire(p.Env())
+}
+
+// prepend inserts v at the front of list, removing an existing occurrence
+// of v and truncating to at most max entries.
+func prepend(list []int, v, max int) []int {
+	out := make([]int, 0, max)
+	out = append(out, v)
+	for _, x := range list {
+		if len(out) >= max {
+			break
+		}
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

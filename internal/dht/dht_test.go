@@ -1,0 +1,291 @@
+package dht
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rocket/internal/sim"
+	"rocket/internal/stats"
+)
+
+// harness wires n engines together over a toy message fabric with a fixed
+// per-message delay, and tracks per-node item holdings and message counts.
+type harness struct {
+	env      *sim.Env
+	engines  []*Engine
+	inboxes  []*sim.Mailbox
+	holdings []map[int]interface{}
+	messages int
+}
+
+func newHarness(t *testing.T, n, hops int) *harness {
+	t.Helper()
+	h := &harness{env: sim.NewEnv()}
+	h.inboxes = make([]*sim.Mailbox, n)
+	h.holdings = make([]map[int]interface{}, n)
+	h.engines = make([]*Engine, n)
+	for i := 0; i < n; i++ {
+		h.inboxes[i] = sim.NewMailbox("inbox")
+		h.holdings[i] = make(map[int]interface{})
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		eng, err := New(Config{
+			NodeID:   i,
+			NumNodes: n,
+			Hops:     hops,
+			CtrlSize: 100,
+			DataSize: 1 << 20,
+			Send: func(p *sim.Proc, to int, size int64, payload interface{}) {
+				h.messages++
+				h.env.After(sim.Micros(5), func() {
+					h.inboxes[to].Send(h.env, payload)
+				})
+			},
+			Lookup: func(item int) (interface{}, bool) {
+				v, ok := h.holdings[i][item]
+				return v, ok
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.engines[i] = eng
+		h.env.Spawn("server", func(p *sim.Proc) {
+			for {
+				msg := p.Recv(h.inboxes[i])
+				if !h.engines[i].Handle(p, msg) {
+					t.Errorf("node %d: unhandled message %v", i, msg)
+				}
+			}
+		})
+	}
+	return h
+}
+
+// fetch runs a Fetch from the given node inside the simulation and returns
+// the outcome.
+func (h *harness) fetch(node, item int) (data interface{}, hop int, ok bool) {
+	h.env.Spawn("client", func(p *sim.Proc) {
+		data, hop, ok = h.engines[node].Fetch(p, item)
+	})
+	h.env.Run()
+	return data, hop, ok
+}
+
+func TestConfigValidation(t *testing.T) {
+	send := func(*sim.Proc, int, int64, interface{}) {}
+	lookup := func(int) (interface{}, bool) { return nil, false }
+	bad := []Config{
+		{NodeID: 0, NumNodes: 0, Hops: 1, Send: send, Lookup: lookup},
+		{NodeID: 5, NumNodes: 2, Hops: 1, Send: send, Lookup: lookup},
+		{NodeID: 0, NumNodes: 2, Hops: 0, Send: send, Lookup: lookup},
+		{NodeID: 0, NumNodes: 2, Hops: 1, Lookup: lookup},
+		{NodeID: 0, NumNodes: 2, Hops: 1, Send: send},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestMissWithNoCandidates(t *testing.T) {
+	h := newHarness(t, 4, 3)
+	defer h.env.Close()
+	_, _, ok := h.fetch(0, 7) // mediator is node 3; nobody requested before
+	if ok {
+		t.Fatal("fetch succeeded with no candidates")
+	}
+	m := h.engines[0].Metrics()
+	if m.Requests != 1 || m.Misses != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// Exactly 2 messages: request + failure reply.
+	if h.messages != 2 {
+		t.Fatalf("messages = %d, want 2", h.messages)
+	}
+}
+
+func TestHitAtFirstHop(t *testing.T) {
+	h := newHarness(t, 4, 3)
+	defer h.env.Close()
+	const item = 5 // mediator = 1
+	// Node 2 requests first (miss) — this registers node 2 as a candidate.
+	if _, _, ok := h.fetch(2, item); ok {
+		t.Fatal("first fetch should miss")
+	}
+	// Node 2 now holds the item (it loaded it after the miss).
+	h.holdings[2][item] = "payload"
+	h.messages = 0
+	data, hop, ok := h.fetch(0, item)
+	if !ok || hop != 1 || data != "payload" {
+		t.Fatalf("fetch = %v, %d, %v; want hit at hop 1", data, hop, ok)
+	}
+	// request + forward + data reply = 3 messages = h' + 2 with h' = 1 hop used.
+	if h.messages != 3 {
+		t.Fatalf("messages = %d, want 3", h.messages)
+	}
+	m := h.engines[0].Metrics()
+	if m.HitAtHop[0] != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestHitAtSecondHop(t *testing.T) {
+	h := newHarness(t, 5, 3)
+	defer h.env.Close()
+	const item = 10 // mediator = 0
+	// Two prior requesters: 3 then 4; candidate order becomes [4, 3].
+	h.fetch(3, item)
+	h.fetch(4, item)
+	// Only node 3 (second candidate) holds the item.
+	h.holdings[3][item] = "x"
+	data, hop, ok := h.fetch(1, item)
+	if !ok || hop != 2 || data != "x" {
+		t.Fatalf("fetch = %v, %d, %v; want hit at hop 2", data, hop, ok)
+	}
+	if m := h.engines[1].Metrics(); m.HitAtHop[1] != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestMissAfterExhaustingChain(t *testing.T) {
+	h := newHarness(t, 6, 2)
+	defer h.env.Close()
+	const item = 12 // mediator = 0
+	// Three prior requesters; with h=2 only the 2 most recent are kept.
+	h.fetch(1, item)
+	h.fetch(2, item)
+	h.fetch(3, item)
+	// Node 1 holds it, but it fell off the candidate list ([3, 2]).
+	h.holdings[1][item] = "lost"
+	h.messages = 0
+	_, _, ok := h.fetch(4, item)
+	if ok {
+		t.Fatal("fetch found item outside candidate list")
+	}
+	// request + forward + forward + failure = h + 2 = 4 messages.
+	if h.messages != 4 {
+		t.Fatalf("messages = %d, want h+2 = 4", h.messages)
+	}
+}
+
+func TestCandidateListBoundedAndDeduplicated(t *testing.T) {
+	h := newHarness(t, 8, 3)
+	defer h.env.Close()
+	const item = 16 // mediator = 0
+	for _, requester := range []int{1, 2, 3, 4, 2, 5} {
+		h.fetch(requester, item)
+	}
+	got := h.engines[0].CandidateList(item)
+	want := []int{5, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelfMediatorAndSelfCandidate(t *testing.T) {
+	h := newHarness(t, 3, 2)
+	defer h.env.Close()
+	const item = 3 // mediator = node 0
+	// Node 0 requests an item it mediates itself.
+	if _, _, ok := h.fetch(0, item); ok {
+		t.Fatal("should miss")
+	}
+	// Now node 0 is its own candidate; a new request from node 0 visits
+	// itself. It holds the item now, so it "fetches" from itself — the
+	// paper notes this is harmless.
+	h.holdings[0][item] = "self"
+	data, hop, ok := h.fetch(0, item)
+	if !ok || hop != 1 || data != "self" {
+		t.Fatalf("self-fetch = %v, %d, %v", data, hop, ok)
+	}
+}
+
+func TestWrongMediatorPanics(t *testing.T) {
+	eng, err := New(Config{
+		NodeID: 1, NumNodes: 4, Hops: 1, CtrlSize: 1, DataSize: 1,
+		Send:   func(*sim.Proc, int, int64, interface{}) {},
+		Lookup: func(int) (interface{}, bool) { return nil, false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEnv()
+	defer e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for misrouted request")
+		}
+	}()
+	e.Spawn("x", func(p *sim.Proc) {
+		eng.Handle(p, Request{ID: 1, Item: 8, Requester: 0}) // 8 mod 4 = 0, not 1
+	})
+	e.Run()
+}
+
+func TestUnknownPayloadIgnored(t *testing.T) {
+	h := newHarness(t, 2, 1)
+	defer h.env.Close()
+	handled := true
+	h.env.Spawn("x", func(p *sim.Proc) {
+		handled = h.engines[0].Handle(p, "not a dht message")
+	})
+	h.env.Run()
+	if handled {
+		t.Fatal("non-DHT payload reported as handled")
+	}
+}
+
+// Property: for random holdings and request sequences, every fetch
+// terminates with at most h+2 messages, candidate lists stay bounded by h,
+// and a reported hit implies some node actually held the item.
+func TestQuickProtocolBounds(t *testing.T) {
+	f := func(seed uint64, nRaw, hRaw, opsRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		hops := int(hRaw%3) + 1
+		ops := int(opsRaw%30) + 5
+		rng := stats.NewRNG(seed)
+		var tt testing.T
+		h := newHarness(&tt, n, hops)
+		defer h.env.Close()
+		ok := true
+		for k := 0; k < ops; k++ {
+			item := rng.Intn(n * 3)
+			node := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				h.holdings[node][item] = item
+			}
+			before := h.messages
+			_, _, hit := h.fetch(node, item)
+			if h.messages-before > hops+2 {
+				ok = false
+			}
+			if hit {
+				found := false
+				for _, hold := range h.holdings {
+					if _, has := hold[item]; has {
+						found = true
+					}
+				}
+				if !found {
+					ok = false
+				}
+			}
+			med := item % n
+			if len(h.engines[med].CandidateList(item)) > hops {
+				ok = false
+			}
+		}
+		return ok && !tt.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

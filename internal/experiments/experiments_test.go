@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny runs experiments at an aggressive scale so the full suite stays
+// fast; the bench harness runs them at reporting scale.
+var tiny = Options{Scale: 50, Seed: 1}
+
+func TestSetupsScale(t *testing.T) {
+	o := Options{Scale: 10, Seed: 1}
+	f := ForensicsSetup(o)
+	if f.App.NumItems() != 498 {
+		t.Errorf("forensics n = %d, want 498", f.App.NumItems())
+	}
+	if f.DevSlots != 29 || f.HostSlots != 105 {
+		t.Errorf("forensics slots = %d/%d, want 29/105", f.DevSlots, f.HostSlots)
+	}
+	m := MicroscopySetup(o)
+	if m.App.NumItems() != 256 {
+		t.Errorf("microscopy must stay at paper scale, got %d", m.App.NumItems())
+	}
+	c := CartesiusPhyloSetup(o)
+	if c.App.NumItems() != 681 {
+		t.Errorf("cartesius n = %d, want 681", c.App.NumItems())
+	}
+}
+
+func TestDefaultScale(t *testing.T) {
+	if got := (Options{}).normalized().Scale; got != 10 {
+		t.Fatalf("default scale = %d, want 10", got)
+	}
+}
+
+func TestSetupByName(t *testing.T) {
+	for _, name := range []string{"forensics", "bioinformatics", "microscopy", "bioinformatics-cartesius"} {
+		s, err := SetupByName(name, tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("got %q", s.Name)
+		}
+	}
+	if _, err := SetupByName("nope", tiny); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15"}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Description == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	out, err := Table1(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"forensics", "bioinformatics", "microscopy",
+		"no. of pairs", "cache slot size", "N/A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7ShowsIrregularity(t *testing.T) {
+	out, err := Fig7(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "## Fig 7") != 3 {
+		t.Fatalf("expected 3 histograms:\n%s", out)
+	}
+}
+
+func TestFig8SingleNode(t *testing.T) {
+	out, err := Fig8(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "efficiency") || !strings.Contains(out, "microscopy") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestFig9Sweep(t *testing.T) {
+	out, err := Fig9(Options{Scale: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "device-limit") || !strings.Contains(out, "host-limit") {
+		t.Fatalf("missing regimes:\n%s", out)
+	}
+}
+
+func TestFig11Hops(t *testing.T) {
+	out, err := Fig11(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hit@1") || !strings.Contains(out, "miss") {
+		t.Fatalf("missing columns:\n%s", out)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, e := range All() {
+		if !strings.HasPrefix(e.ID, "ablation-") {
+			continue
+		}
+		if e.ID == "ablation-steal" || e.ID == "ablation-backoff" {
+			continue // microscopy at full n; covered by the bench suite
+		}
+		out, err := e.Run(tiny)
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if !strings.Contains(out, "runtime") {
+			t.Errorf("%s output lacks runtime column:\n%s", e.ID, out)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rocket/internal/core"
+	"rocket/internal/report"
+	"rocket/internal/sim"
+)
+
+// Fig12 reproduces Fig. 12: speedup, system efficiency, data reuse R, and
+// average I/O usage when scaling from 1 to 16 nodes, with the distributed
+// cache enabled and disabled. Expected shapes: microscopy scales near
+// linearly regardless; forensics and bioinformatics show super-linear
+// speedup with the distributed cache (R drops as aggregate memory grows)
+// and sub-linear without it, and their I/O usage grows far slower with
+// the distributed cache enabled.
+func Fig12(o Options) (string, error) {
+	o = o.normalized()
+	nodeCounts := []int{1, 2, 4, 8, 16}
+	var b strings.Builder
+	for _, s := range AllSetups(o) {
+		t := report.NewTable(
+			fmt.Sprintf("Fig 12 (%s): scaling 1-16 nodes", s.Name),
+			"nodes", "distcache", "runtime", "speedup", "efficiency", "R", "IO MB/s")
+		var base sim.Time
+		for _, dist := range []bool{true, false} {
+			for _, nodes := range nodeCounts {
+				if nodes == 1 && !dist {
+					continue // identical to the dist=true single-node run
+				}
+				dist := dist
+				m, err := s.runDAS5(nodes, func(cfg *core.Config) {
+					cfg.DistCache = dist
+				})
+				if err != nil {
+					return "", fmt.Errorf("%s nodes=%d dist=%v: %w", s.Name, nodes, dist, err)
+				}
+				if nodes == 1 {
+					base = m.Runtime
+				}
+				ioRate := float64(m.IOBytes) / 1e6 / m.Runtime.Seconds()
+				label := onOff(dist)
+				if nodes == 1 {
+					label = "n/a"
+				}
+				t.AddRow(
+					nodes,
+					label,
+					m.Runtime.String(),
+					fmt.Sprintf("%.2fx", float64(base)/float64(m.Runtime)),
+					fmt.Sprintf("%.1f%%", 100*s.Efficiency(m, float64(nodes))),
+					m.R,
+					ioRate,
+				)
+			}
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func onOff(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
+}

@@ -1,0 +1,86 @@
+package gpu
+
+import (
+	"testing"
+
+	"rocket/internal/sim"
+)
+
+func TestModelByName(t *testing.T) {
+	m, err := ModelByName("RTX2080Ti")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation != "Turing" {
+		t.Errorf("generation = %q", m.Generation)
+	}
+	if _, err := ModelByName("nope"); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+func TestModelsHavePositiveSpeeds(t *testing.T) {
+	for _, m := range Models() {
+		if m.Speed <= 0 || m.MemBytes <= 0 || m.PCIeBW <= 0 {
+			t.Errorf("model %q has non-positive parameters: %+v", m.Name, m)
+		}
+	}
+}
+
+func TestBaselineIsTitanXMaxwell(t *testing.T) {
+	if TitanXMaxwell.Speed != 1.0 {
+		t.Fatalf("baseline speed = %v, want 1.0", TitanXMaxwell.Speed)
+	}
+}
+
+func TestKernelTimeScaling(t *testing.T) {
+	fast := New("t/fast", RTX2080Ti)
+	slow := New("t/slow", K20m)
+	base := sim.Millis(10)
+	if fast.KernelTime(base) >= base {
+		t.Errorf("faster GPU must shorten kernels: %v", fast.KernelTime(base))
+	}
+	if slow.KernelTime(base) <= base {
+		t.Errorf("slower GPU must lengthen kernels: %v", slow.KernelTime(base))
+	}
+	d := New("t/base", TitanXMaxwell)
+	if d.KernelTime(base) != base {
+		t.Errorf("baseline device changed duration: %v", d.KernelTime(base))
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	d := New("t/d", TitanXMaxwell)
+	// 12 GB at 12 GB/s = 1 s.
+	got := d.TransferTime(12e9)
+	if got != sim.Second {
+		t.Errorf("TransferTime(12e9) = %v, want 1s", got)
+	}
+}
+
+func TestDeviceResourcesIndependent(t *testing.T) {
+	d := New("n0/gpu0", TitanXMaxwell)
+	e := sim.NewEnv()
+	var kernelEnd, copyEnd sim.Time
+	e.Spawn("kernel", func(p *sim.Proc) {
+		p.Use(d.Compute, sim.Millis(10))
+		kernelEnd = p.Now()
+	})
+	e.Spawn("copy", func(p *sim.Proc) {
+		p.Use(d.H2D, sim.Millis(10))
+		copyEnd = p.Now()
+	})
+	e.Run()
+	if kernelEnd != sim.Millis(10) || copyEnd != sim.Millis(10) {
+		t.Errorf("compute and copy engines must overlap: kernel %v copy %v", kernelEnd, copyEnd)
+	}
+}
+
+func TestNewBadModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-speed model")
+		}
+	}()
+	New("x", Model{Name: "broken"})
+}

@@ -1,0 +1,154 @@
+// Package report renders aligned text tables and CSV series for the
+// experiment harness, so every bench prints the same rows the paper's
+// tables and figures report.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		case float32:
+			row[i] = formatFloat(float64(x))
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1000 || x <= -1000:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 10 || x <= -10:
+		return fmt.Sprintf("%.1f", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.title != "" {
+		if _, err := fmt.Fprintf(w, "## %s\n", t.title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Write(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+// CSV renders comma-separated values (headers + rows), for plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series writes an ASCII bar chart of labeled values, used for quick
+// visual checks of figure shapes in bench output.
+func Series(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if _, err := fmt.Fprintf(w, "## %s\n", title); err != nil {
+		return err
+	}
+	var peak float64
+	for _, v := range values {
+		if v > peak {
+			peak = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, v := range values {
+		bar := 0
+		if peak > 0 {
+			bar = int(float64(width) * v / peak)
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		if _, err := fmt.Fprintf(w, "%-*s | %-*s %s\n",
+			labelW, label, width, strings.Repeat("#", bar), formatFloat(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

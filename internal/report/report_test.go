@@ -1,0 +1,76 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("a-very-long-name", 123456.7)
+	out := tb.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[3], "alpha ") {
+		t.Errorf("row not aligned:\n%s", out)
+	}
+	if !strings.Contains(out, "123457") {
+		t.Errorf("large float not rounded to integer: %s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.1234: "0.123",
+		12.34:  "12.3",
+		9999.9: "10000",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, 2.5)
+	csv := tb.CSV()
+	if csv != "a,b\n1,2.500\n" {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var b strings.Builder
+	err := Series(&b, "chart", []string{"x", "yy"}, []float64{1, 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "##########") {
+		t.Errorf("peak bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Errorf("half bar missing:\n%s", out)
+	}
+}
+
+func TestSeriesAllZero(t *testing.T) {
+	var b strings.Builder
+	if err := Series(&b, "z", []string{"a"}, []float64{0}, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if i := strings.Index(line, "|"); i >= 0 && strings.Contains(line[i:], "#") {
+			t.Errorf("zero series drew bars: %q", line)
+		}
+	}
+}

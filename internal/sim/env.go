@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Env is a discrete-event simulation environment. All processes, resources,
+// and mailboxes belong to exactly one Env, and an Env must only be driven
+// from a single OS goroutine (the one that calls Run or Step).
+type Env struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	live    map[*Proc]struct{}
+	yield   chan yieldKind
+	running bool
+	closed  bool
+	// A non-killed panic inside a process is captured here and re-raised on
+	// the goroutine driving the scheduler, so user panics surface normally.
+	panicked bool
+	panicVal interface{}
+	// eventsProcessed counts scheduler dispatches; useful for perf metrics
+	// and for loop-bound assertions in tests.
+	eventsProcessed uint64
+}
+
+type yieldKind int
+
+const (
+	yieldBlocked yieldKind = iota // process blocked; wake-up already arranged
+	yieldDone                     // process function returned
+)
+
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc  // non-nil: resume this process
+	fn   func() // non-nil: run inline in scheduler context (must not block)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewEnv returns an empty environment at virtual time zero.
+func NewEnv() *Env {
+	return &Env{
+		live:  make(map[*Proc]struct{}),
+		yield: make(chan yieldKind),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// EventsProcessed returns the number of scheduler dispatches so far.
+func (e *Env) EventsProcessed() uint64 { return e.eventsProcessed }
+
+// LiveProcs returns the number of processes that have been spawned and have
+// not yet finished.
+func (e *Env) LiveProcs() int { return len(e.live) }
+
+func (e *Env) schedule(at Time, p *Proc, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p, fn: fn})
+}
+
+// At schedules fn to run in scheduler context at virtual time t (>= now).
+// fn must not block; it may wake processes, fire signals, and send to
+// mailboxes.
+func (e *Env) At(t Time, fn func()) {
+	e.schedule(t, nil, fn)
+}
+
+// After schedules fn to run d from now. See At.
+func (e *Env) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// wake arranges for p to resume at the current virtual time. It must be
+// called at most once per blocked period of p; Signal, Resource, and
+// Mailbox enforce this by removing waiters from their lists when waking.
+func (e *Env) wake(p *Proc) {
+	e.schedule(e.now, p, nil)
+}
+
+// Unpark wakes a process blocked in Park at the current virtual time. It
+// must be called exactly once per Park, by the party that holds the parked
+// process (e.g. a wait list).
+func (e *Env) Unpark(p *Proc) {
+	e.wake(p)
+}
+
+// Spawn creates a new process executing fn and schedules it to start at the
+// current virtual time. It may be called before Run or from inside a running
+// process.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Spawn on closed Env")
+	}
+	p := &Proc{name: name, env: e, resume: make(chan resumeMsg)}
+	e.live[p] = struct{}{}
+	go p.run(fn)
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+// resumeProc hands control to p and waits for it to block or finish.
+func (e *Env) resumeProc(p *Proc, kill bool) {
+	p.resume <- resumeMsg{kill: kill}
+	kind := <-e.yield
+	if kind == yieldDone {
+		delete(e.live, p)
+	}
+	if e.panicked {
+		e.panicked = false
+		panic(e.panicVal)
+	}
+}
+
+// Step executes the next pending event, advancing virtual time. It returns
+// false if the event queue is empty.
+func (e *Env) Step() bool {
+	if e.closed {
+		return false
+	}
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.eventsProcessed++
+	if ev.proc != nil {
+		if _, ok := e.live[ev.proc]; !ok {
+			return true // stale wake-up for a finished process
+		}
+		e.resumeProc(ev.proc, false)
+	} else if ev.fn != nil {
+		ev.fn()
+	}
+	return true
+}
+
+// Run executes events until the queue is empty. Processes still blocked on
+// conditions (for example server loops waiting on a Mailbox) remain alive;
+// call Close to terminate them.
+func (e *Env) Run() {
+	if e.running {
+		panic("sim: Run is not reentrant")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then sets the clock to
+// t. It returns the number of events processed.
+func (e *Env) RunUntil(t Time) uint64 {
+	if e.running {
+		panic("sim: RunUntil is not reentrant")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	var n uint64
+	for e.events.Len() > 0 && e.events[0].at <= t {
+		e.Step()
+		n++
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return n
+}
+
+// Close terminates all still-live processes by unwinding them with a
+// sentinel panic at their next blocking point, then marks the Env unusable.
+// It is safe to call Close multiple times. Close must not be called from
+// inside a process.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	// Drain pending wake-ups first so no process is resumed twice.
+	e.events = nil
+	for p := range e.live {
+		e.resumeProc(p, true)
+	}
+	if len(e.live) != 0 {
+		panic(fmt.Sprintf("sim: %d processes survived Close", len(e.live)))
+	}
+	e.closed = true
+}

@@ -1,0 +1,55 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue. Any simulation code may Send;
+// processes block in Recv until a message is available. Messages are
+// delivered in send order, and blocked receivers are served FIFO.
+type Mailbox struct {
+	name    string
+	q       []interface{}
+	waiters []*Proc
+	sent    uint64
+}
+
+// NewMailbox returns an empty mailbox.
+func NewMailbox(name string) *Mailbox { return &Mailbox{name: name} }
+
+// Name returns the mailbox name.
+func (m *Mailbox) Name() string { return m.name }
+
+// Len returns the number of queued (undelivered) messages.
+func (m *Mailbox) Len() int { return len(m.q) }
+
+// Sent returns the total number of messages ever sent.
+func (m *Mailbox) Sent() uint64 { return m.sent }
+
+// Send enqueues v and wakes the longest-waiting receiver, if any.
+func (m *Mailbox) Send(e *Env, v interface{}) {
+	m.sent++
+	m.q = append(m.q, v)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		e.wake(w)
+	}
+}
+
+// Recv blocks until a message is available and returns it.
+func (p *Proc) Recv(m *Mailbox) interface{} {
+	for len(m.q) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.yieldBlockedAndWait()
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v
+}
+
+// TryRecv returns the next message if one is queued, without blocking.
+func (p *Proc) TryRecv(m *Mailbox) (interface{}, bool) {
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v, true
+}

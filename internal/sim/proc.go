@@ -1,0 +1,95 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that cooperatively shares the
+// simulation with all other processes. At most one Proc executes at a time;
+// a Proc runs until it blocks in Wait, WaitSignal, Acquire, or Recv.
+type Proc struct {
+	name   string
+	env    *Env
+	resume chan resumeMsg
+}
+
+type resumeMsg struct {
+	kill bool
+}
+
+// killed is the sentinel panic value used by Env.Close to unwind blocked
+// processes.
+type killed struct{}
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+func (p *Proc) run(fn func(p *Proc)) {
+	// Wait for the first dispatch.
+	p.block()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); !ok {
+				// Forward user panics to the scheduler goroutine.
+				p.env.panicVal = r
+				p.env.panicked = true
+			}
+		}
+		p.env.yield <- yieldDone
+	}()
+	fn(p)
+}
+
+// block yields control to the scheduler and waits to be resumed. The caller
+// must have already arranged a wake-up (timer event or waiter registration).
+func (p *Proc) block() {
+	msg := <-p.resume
+	if msg.kill {
+		panic(killed{})
+	}
+}
+
+// yieldBlockedAndWait notifies the scheduler that this process has blocked
+// and then waits for the next resume.
+func (p *Proc) yieldBlockedAndWait() {
+	p.env.yield <- yieldBlocked
+	p.block()
+}
+
+// Wait suspends the process for d of virtual time. d must be >= 0.
+func (p *Proc) Wait(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative Wait duration %v", d))
+	}
+	p.env.schedule(p.env.now+d, p, nil)
+	p.yieldBlockedAndWait()
+}
+
+// WaitUntil suspends the process until virtual time t. If t is in the past,
+// the process continues at the current time after a scheduler round-trip.
+func (p *Proc) WaitUntil(t Time) {
+	if t < p.env.now {
+		t = p.env.now
+	}
+	p.env.schedule(t, p, nil)
+	p.yieldBlockedAndWait()
+}
+
+// Yield reschedules the process at the current virtual time, letting other
+// ready processes run first.
+func (p *Proc) Yield() {
+	p.env.wake(p)
+	p.yieldBlockedAndWait()
+}
+
+// Park blocks the process indefinitely until another party calls
+// Env.Unpark on it. The caller must have registered itself somewhere a
+// future Unpark will find it, otherwise the process sleeps forever (until
+// Env.Close).
+func (p *Proc) Park() {
+	p.yieldBlockedAndWait()
+}

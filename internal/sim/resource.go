@@ -1,0 +1,103 @@
+package sim
+
+import "fmt"
+
+// Resource is a counting semaphore with a FIFO wait queue, used to model
+// exclusive or capacity-limited hardware: a GPU compute queue (capacity 1),
+// a CPU thread pool (capacity = cores), a NIC or PCIe copy engine, or the
+// shared bandwidth of a storage server.
+type Resource struct {
+	name    string
+	cap     int
+	inUse   int
+	waiters []*Proc
+
+	// Accounting.
+	busy      Time // total (units x time) the resource spent occupied
+	lastStamp Time
+	acquires  uint64
+	waited    Time // total time processes spent queued
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d < 1", name, capacity))
+	}
+	return &Resource{name: name, cap: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Cap returns the resource capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse returns the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquires returns the total number of successful acquisitions.
+func (r *Resource) Acquires() uint64 { return r.acquires }
+
+// BusyTime returns the integral of units-in-use over time, i.e. the total
+// occupied time summed over units. Divide by capacity and elapsed time for
+// utilization.
+func (r *Resource) BusyTime(now Time) Time {
+	r.account(now)
+	return r.busy
+}
+
+// WaitedTime returns the cumulative time processes spent queued on r.
+func (r *Resource) WaitedTime() Time { return r.waited }
+
+func (r *Resource) account(now Time) {
+	r.busy += Time(int64(r.inUse) * int64(now-r.lastStamp))
+	r.lastStamp = now
+}
+
+// Acquire blocks the process until a unit of r is available, then holds it.
+// Units are granted in strict FIFO order.
+func (p *Proc) Acquire(r *Resource) {
+	e := p.env
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.account(e.now)
+		r.inUse++
+		r.acquires++
+		return
+	}
+	start := e.now
+	r.waiters = append(r.waiters, p)
+	p.yieldBlockedAndWait()
+	r.waited += e.now - start
+	// The releasing process transferred the unit to us (see Release).
+}
+
+// Release returns one unit of r, waking the longest-waiting process if any.
+// The unit is transferred directly to the woken process, preserving FIFO
+// fairness.
+func (r *Resource) Release(e *Env) {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
+	}
+	r.account(e.now)
+	if len(r.waiters) > 0 {
+		// Hand the unit to the next waiter without dropping inUse.
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.acquires++
+		e.wake(next)
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires r, holds it for d of virtual time, and releases it. It is
+// the common pattern for "run this task on that device".
+func (p *Proc) Use(r *Resource, d Time) {
+	p.Acquire(r)
+	p.Wait(d)
+	r.Release(p.env)
+}

@@ -1,0 +1,41 @@
+package sim
+
+// Signal is a one-shot broadcast condition. Processes block on WaitSignal
+// until Fire is called, after which all current and future waiters proceed
+// immediately. The zero value is an unfired signal.
+type Signal struct {
+	fired   bool
+	waiters []*Proc
+	// Value optionally carries a payload set by the firing party, e.g. the
+	// result of an asynchronous operation.
+	Value interface{}
+}
+
+// NewSignal returns an unfired signal.
+func NewSignal() *Signal { return &Signal{} }
+
+// Fired reports whether the signal has been fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire marks the signal fired and wakes all waiters at the current virtual
+// time. Firing an already-fired signal is a no-op.
+func (s *Signal) Fire(e *Env) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, w := range s.waiters {
+		e.wake(w)
+	}
+	s.waiters = nil
+}
+
+// WaitSignal blocks the process until the signal fires. If the signal has
+// already fired it returns immediately without yielding.
+func (p *Proc) WaitSignal(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.yieldBlockedAndWait()
+}

@@ -1,0 +1,531 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{Microsecond + Microsecond/2, "1.500us"},
+		{Millis(2.25), "2.250ms"},
+		{Seconds(1.5), "1.500s"},
+		{90 * Second, "1.500m"},
+		{90 * Minute, "1.500h"},
+		{-Millis(1), "-1.000ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Millis(1.5) != 1500*Microsecond {
+		t.Errorf("Millis(1.5) = %v", Millis(1.5))
+	}
+	if Seconds(2).Seconds() != 2 {
+		t.Errorf("round-trip seconds failed: %v", Seconds(2).Seconds())
+	}
+	if Micros(3).Millis() != 0.003 {
+		t.Errorf("Micros(3).Millis() = %v", Micros(3).Millis())
+	}
+}
+
+func TestWaitAdvancesClock(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	e.Spawn("a", func(p *Proc) {
+		p.Wait(Millis(5))
+		at = p.Now()
+	})
+	e.Run()
+	if at != Millis(5) {
+		t.Fatalf("process observed time %v, want 5ms", at)
+	}
+	if e.Now() != Millis(5) {
+		t.Fatalf("env time %v, want 5ms", e.Now())
+	}
+}
+
+func TestEventOrderingFIFOAtSameTime(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v; same-time events must run in spawn order", order)
+		}
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := NewEnv()
+	var log []string
+	e.Spawn("parent", func(p *Proc) {
+		p.Env().Spawn("child", func(c *Proc) {
+			c.Wait(Millis(1))
+			log = append(log, "child")
+		})
+		log = append(log, "parent")
+	})
+	e.Run()
+	if len(log) != 2 || log[0] != "parent" || log[1] != "child" {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+func TestWaitUntilPastClampsToNow(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("a", func(p *Proc) {
+		p.Wait(Millis(10))
+		p.WaitUntil(Millis(3)) // in the past
+		if p.Now() != Millis(10) {
+			t.Errorf("WaitUntil(past) moved clock to %v", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal()
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("waiter", func(p *Proc) {
+			p.WaitSignal(s)
+			if p.Now() != Millis(7) {
+				t.Errorf("waiter woke at %v, want 7ms", p.Now())
+			}
+			woken++
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Wait(Millis(7))
+		s.Value = "payload"
+		s.Fire(p.Env())
+	})
+	e.Run()
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+	if s.Value != "payload" {
+		t.Fatalf("signal payload lost")
+	}
+}
+
+func TestSignalAlreadyFiredDoesNotBlock(t *testing.T) {
+	e := NewEnv()
+	s := NewSignal()
+	ran := false
+	e.Spawn("a", func(p *Proc) {
+		s.Fire(p.Env())
+		s.Fire(p.Env()) // idempotent
+		p.WaitSignal(s)
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("process blocked on fired signal")
+	}
+}
+
+func TestResourceExclusive(t *testing.T) {
+	e := NewEnv()
+	r := NewResource("gpu", 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("user", func(p *Proc) {
+			p.Use(r, Millis(10))
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	want := []Time{Millis(10), Millis(20), Millis(30)}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times %v, want %v (strict serialization)", finish, want)
+		}
+	}
+	if got := r.BusyTime(e.Now()); got != Millis(30) {
+		t.Fatalf("busy time %v, want 30ms", got)
+	}
+	if r.Acquires() != 3 {
+		t.Fatalf("acquires = %d, want 3", r.Acquires())
+	}
+}
+
+func TestResourceCapacityTwoOverlaps(t *testing.T) {
+	e := NewEnv()
+	r := NewResource("cpus", 2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("user", func(p *Proc) {
+			p.Use(r, Millis(10))
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	want := []Time{Millis(10), Millis(10), Millis(20), Millis(20)}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceFIFOFairness(t *testing.T) {
+	e := NewEnv()
+	r := NewResource("x", 1)
+	var order []int
+	for i := 0; i < 6; i++ {
+		i := i
+		e.Spawn("u", func(p *Proc) {
+			p.Acquire(r)
+			order = append(order, i)
+			p.Wait(Millis(1))
+			r.Release(p.Env())
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("acquisition order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceWaitedTime(t *testing.T) {
+	e := NewEnv()
+	r := NewResource("x", 1)
+	e.Spawn("a", func(p *Proc) { p.Use(r, Millis(10)) })
+	e.Spawn("b", func(p *Proc) { p.Use(r, Millis(10)) })
+	e.Run()
+	if r.WaitedTime() != Millis(10) {
+		t.Fatalf("waited = %v, want 10ms", r.WaitedTime())
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on releasing idle resource")
+		}
+	}()
+	e := NewEnv()
+	r := NewResource("x", 1)
+	r.Release(e)
+}
+
+func TestResourceBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity 0")
+		}
+	}()
+	NewResource("bad", 0)
+}
+
+func TestMailboxDeliveryOrder(t *testing.T) {
+	e := NewEnv()
+	m := NewMailbox("box")
+	var got []int
+	e.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, p.Recv(m).(int))
+		}
+	})
+	e.Spawn("send", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Wait(Millis(1))
+			m.Send(p.Env(), i)
+		}
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if m.Sent() != 3 {
+		t.Fatalf("Sent = %d", m.Sent())
+	}
+}
+
+func TestMailboxBufferedBeforeRecv(t *testing.T) {
+	e := NewEnv()
+	m := NewMailbox("box")
+	m.Send(e, "a")
+	m.Send(e, "b")
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	var got []string
+	e.Spawn("r", func(p *Proc) {
+		got = append(got, p.Recv(m).(string), p.Recv(m).(string))
+	})
+	e.Run()
+	if got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	e := NewEnv()
+	m := NewMailbox("box")
+	e.Spawn("a", func(p *Proc) {
+		if _, ok := p.TryRecv(m); ok {
+			t.Error("TryRecv on empty box returned ok")
+		}
+		m.Send(p.Env(), 42)
+		v, ok := p.TryRecv(m)
+		if !ok || v.(int) != 42 {
+			t.Errorf("TryRecv = %v, %v", v, ok)
+		}
+	})
+	e.Run()
+}
+
+func TestMailboxMultipleReceiversFIFO(t *testing.T) {
+	e := NewEnv()
+	m := NewMailbox("box")
+	var got []string
+	for _, name := range []string{"r1", "r2"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			v := p.Recv(m)
+			got = append(got, fmt.Sprintf("%s=%v", name, v))
+		})
+	}
+	e.Spawn("s", func(p *Proc) {
+		p.Wait(Millis(1))
+		m.Send(p.Env(), 1)
+		m.Send(p.Env(), 2)
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "r1=1" || got[1] != "r2=2" {
+		t.Fatalf("got %v (receivers must be served FIFO)", got)
+	}
+}
+
+func TestCloseUnwindsBlockedProcesses(t *testing.T) {
+	e := NewEnv()
+	m := NewMailbox("never")
+	cleaned := false
+	e.Spawn("server", func(p *Proc) {
+		defer func() { cleaned = true }()
+		for {
+			p.Recv(m)
+		}
+	})
+	e.Run()
+	if e.LiveProcs() != 1 {
+		t.Fatalf("LiveProcs = %d, want 1 blocked server", e.LiveProcs())
+	}
+	e.Close()
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run on Close")
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs after Close = %d", e.LiveProcs())
+	}
+	e.Close() // idempotent
+}
+
+func TestAtCallback(t *testing.T) {
+	e := NewEnv()
+	var fired Time
+	e.At(Millis(4), func() { fired = e.Now() })
+	e.Run()
+	if fired != Millis(4) {
+		t.Fatalf("callback at %v, want 4ms", fired)
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	e := NewEnv()
+	var fired Time
+	e.Spawn("a", func(p *Proc) {
+		p.Wait(Millis(2))
+		p.Env().After(Millis(3), func() { fired = p.Env().Now() })
+	})
+	e.Run()
+	if fired != Millis(5) {
+		t.Fatalf("callback at %v, want 5ms", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("a", func(p *Proc) { p.Wait(Millis(5)) })
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(Millis(1), func() {})
+}
+
+func TestNegativeWaitPanics(t *testing.T) {
+	e := NewEnv()
+	panicked := make(chan bool, 1)
+	e.Spawn("a", func(p *Proc) {
+		defer func() { panicked <- recover() != nil }()
+		p.Wait(-1)
+	})
+	func() {
+		defer func() { recover() }() // run may re-panic through scheduler
+		e.Run()
+	}()
+	select {
+	case ok := <-panicked:
+		if !ok {
+			t.Fatal("negative Wait did not panic")
+		}
+	default:
+		t.Fatal("process did not run")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEnv()
+	ticks := 0
+	e.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Wait(Millis(10))
+			ticks++
+		}
+	})
+	e.RunUntil(Millis(35))
+	if ticks != 3 {
+		t.Fatalf("ticks = %d at t=35ms, want 3", ticks)
+	}
+	if e.Now() != Millis(35) {
+		t.Fatalf("Now = %v, want 35ms", e.Now())
+	}
+	e.Close()
+}
+
+func TestYieldLetsOthersRun(t *testing.T) {
+	e := NewEnv()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	e.Run()
+	want := []string{"a1", "b", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestDeterminism runs a randomized workload twice and checks the event
+// traces match exactly.
+func TestDeterminism(t *testing.T) {
+	trace := func() []string {
+		e := NewEnv()
+		var log []string
+		r := NewResource("r", 2)
+		m := NewMailbox("m")
+		for i := 0; i < 20; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+				p.Wait(Time(i%7) * Millisecond)
+				p.Use(r, Time(1+i%3)*Millisecond)
+				m.Send(p.Env(), i)
+				log = append(log, fmt.Sprintf("%d@%v", i, p.Now()))
+			})
+		}
+		e.Spawn("drain", func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				v := p.Recv(m)
+				log = append(log, fmt.Sprintf("recv%v@%v", v, p.Now()))
+			}
+		})
+		e.Run()
+		return log
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of wait durations, processes complete in
+// nondecreasing time order equal to their duration, and the env clock ends
+// at the max.
+func TestQuickWaitCompletion(t *testing.T) {
+	f := func(durs []uint16) bool {
+		e := NewEnv()
+		var max Time
+		ok := true
+		for _, d := range durs {
+			d := Time(d) * Microsecond
+			if d > max {
+				max = d
+			}
+			e.Spawn("w", func(p *Proc) {
+				p.Wait(d)
+				if p.Now() != d {
+					ok = false
+				}
+			})
+		}
+		e.Run()
+		return ok && e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a capacity-c resource with n unit-time users finishes at
+// ceil(n/c) time units and never exceeds capacity.
+func TestQuickResourceThroughput(t *testing.T) {
+	f := func(n uint8, c uint8) bool {
+		users := int(n%50) + 1
+		capacity := int(c%8) + 1
+		e := NewEnv()
+		r := NewResource("r", capacity)
+		overCap := false
+		for i := 0; i < users; i++ {
+			e.Spawn("u", func(p *Proc) {
+				p.Acquire(r)
+				if r.InUse() > capacity {
+					overCap = true
+				}
+				p.Wait(Millisecond)
+				r.Release(p.Env())
+			})
+		}
+		e.Run()
+		wantEnd := Time((users+capacity-1)/capacity) * Millisecond
+		return !overCap && e.Now() == wantEnd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

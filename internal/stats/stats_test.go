@@ -1,0 +1,322 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical values across seeds", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for n := 1; n <= 20; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(3)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	for i, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-0.1) > 0.01 {
+			t.Errorf("bucket %d frequency %.4f, want ~0.1", i, got)
+		}
+	}
+}
+
+func TestIntnZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(r.NormFloat64())
+	}
+	if math.Abs(s.Mean()) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", s.Mean())
+	}
+	if math.Abs(s.Std()-1) > 0.02 {
+		t.Errorf("normal std = %v, want ~1", s.Std())
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestHashRNGOrderIndependence(t *testing.T) {
+	a := HashRNG(1, 10, 20).Uint64()
+	// Recreate with identical inputs: must match regardless of other draws.
+	_ = HashRNG(1, 99, 99).Uint64()
+	b := HashRNG(1, 10, 20).Uint64()
+	if a != b {
+		t.Fatal("HashRNG not a pure function of inputs")
+	}
+	if HashRNG(1, 10, 20).Uint64() == HashRNG(1, 20, 10).Uint64() {
+		t.Fatal("HashRNG symmetric in (a, b); arguments must matter")
+	}
+	if HashRNG(1, 10, 20).Uint64() == HashRNG(2, 10, 20).Uint64() {
+		t.Fatal("HashRNG ignores seed")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(1)
+	f := r.Fork()
+	if r.Uint64() == f.Uint64() {
+		t.Fatal("forked stream mirrors parent")
+	}
+}
+
+func TestConstantDist(t *testing.T) {
+	c := Constant{V: 3.5}
+	if c.Sample(NewRNG(1)) != 3.5 || c.Mean() != 3.5 {
+		t.Fatal("constant distribution is not constant")
+	}
+}
+
+func TestNormalDistMoments(t *testing.T) {
+	d := Normal{Mu: 130.8, Sigma: 14.11}
+	r := NewRNG(2)
+	var s Summary
+	for i := 0; i < 100000; i++ {
+		s.Add(d.Sample(r))
+	}
+	if math.Abs(s.Mean()-130.8) > 0.5 {
+		t.Errorf("mean %v, want ~130.8", s.Mean())
+	}
+	if math.Abs(s.Std()-14.11) > 0.5 {
+		t.Errorf("std %v, want ~14.11", s.Std())
+	}
+}
+
+func TestNormalClampsAtMin(t *testing.T) {
+	d := Normal{Mu: 1, Sigma: 100, Min: 0.1}
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(r); v < 0.1 {
+			t.Fatalf("sample %v below Min", v)
+		}
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	d := LogNormal{MeanV: 564.3, StdV: 348}
+	r := NewRNG(4)
+	var s Summary
+	for i := 0; i < 300000; i++ {
+		s.Add(d.Sample(r))
+	}
+	if math.Abs(s.Mean()-564.3)/564.3 > 0.02 {
+		t.Errorf("mean %v, want ~564.3", s.Mean())
+	}
+	if math.Abs(s.Std()-348)/348 > 0.05 {
+		t.Errorf("std %v, want ~348", s.Std())
+	}
+	if s.Min() <= 0 {
+		t.Errorf("log-normal produced non-positive sample %v", s.Min())
+	}
+}
+
+func TestUniformAndExponential(t *testing.T) {
+	r := NewRNG(6)
+	u := Uniform{Lo: 2, Hi: 4}
+	var su Summary
+	for i := 0; i < 100000; i++ {
+		v := u.Sample(r)
+		if v < 2 || v >= 4 {
+			t.Fatalf("uniform sample %v out of range", v)
+		}
+		su.Add(v)
+	}
+	if math.Abs(su.Mean()-3) > 0.02 {
+		t.Errorf("uniform mean %v, want ~3", su.Mean())
+	}
+	e := Exponential{MeanV: 5}
+	var se Summary
+	for i := 0; i < 100000; i++ {
+		se.Add(e.Sample(r))
+	}
+	if math.Abs(se.Mean()-5)/5 > 0.03 {
+		t.Errorf("exponential mean %v, want ~5", se.Mean())
+	}
+}
+
+func TestSummaryWelford(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 || s.Mean() != 5 {
+		t.Fatalf("n=%d mean=%v", s.N(), s.Mean())
+	}
+	if math.Abs(s.Std()-2.138) > 0.001 {
+		t.Fatalf("std = %v, want ~2.138 (sample std)", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("sum = %v", s.Sum())
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10, true)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // underflow
+	h.Add(10) // boundary -> overflow
+	h.Add(99) // overflow
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count %d, want 1", i, c)
+		}
+	}
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Fatalf("under/over = %d/%d", h.Underflow(), h.Overflow())
+	}
+	if h.N() != 13 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if bc := h.BinCenter(0); bc != 0.5 {
+		t.Fatalf("BinCenter(0) = %v", bc)
+	}
+	if p := h.Percentile(0.5); p < 3 || p > 7 {
+		t.Fatalf("median = %v", p)
+	}
+	if h.Render(20) == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHistogramPercentileWithoutSamplesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(0, 1, 2, false).Percentile(0.5)
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(60)
+	ts.Add(0, 30)
+	ts.Add(59, 30)
+	ts.Add(61, 120)
+	r := ts.Rate()
+	if len(r) != 2 || r[0] != 1 || r[1] != 2 {
+		t.Fatalf("rates = %v", r)
+	}
+	ts.Add(-5, 100) // ignored
+	if ts.Rate()[0] != 1 {
+		t.Fatal("negative time not ignored")
+	}
+}
+
+// Property: Summary matches the two-pass mean for arbitrary inputs.
+func TestQuickSummaryMean(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		var sum float64
+		ok := true
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			s.Add(x)
+			sum += x
+			n++
+		}
+		if n == 0 {
+			return s.N() == 0
+		}
+		want := sum / float64(n)
+		if math.Abs(s.Mean()-want) > 1e-6*(1+math.Abs(want)) {
+			ok = false
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram conserves samples: N == sum(bins) + under + over.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(xs []float64) bool {
+		h := NewHistogram(-100, 100, 13, false)
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+		}
+		var total uint64
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total+h.Underflow()+h.Overflow() == h.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

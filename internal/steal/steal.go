@@ -1,0 +1,131 @@
+// Package steal implements the work-stealing structures of Rocket's
+// scheduler (paper §4.2): per-worker task deques holding regions of the
+// pair matrix, with LIFO local access (best locality: deepest task first)
+// and FIFO stealing (most work per steal: the largest task first), plus the
+// node-level policy of stealing from a same-node worker before going to a
+// remote node.
+package steal
+
+import (
+	"rocket/internal/pairs"
+)
+
+// Deque is a double-ended task queue owned by one worker. The owning
+// worker pushes and pops at the bottom; thieves steal from the top. The
+// simulation is single-threaded, so no synchronization is needed — the
+// contract matches Cilk/Constellation semantics, not lock-free mechanics.
+type Deque struct {
+	tasks []pairs.Region
+}
+
+// Len returns the number of queued tasks.
+func (d *Deque) Len() int { return len(d.tasks) }
+
+// PushBottom adds a task at the worker end.
+func (d *Deque) PushBottom(r pairs.Region) {
+	d.tasks = append(d.tasks, r)
+}
+
+// PopBottom removes and returns the most recently pushed task (LIFO),
+// which is the deepest, most local task.
+func (d *Deque) PopBottom() (pairs.Region, bool) {
+	if len(d.tasks) == 0 {
+		return pairs.Region{}, false
+	}
+	r := d.tasks[len(d.tasks)-1]
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	return r, true
+}
+
+// StealTop removes and returns the oldest task (FIFO), which sits highest
+// in the divide-and-conquer tree and therefore represents the most work.
+func (d *Deque) StealTop() (pairs.Region, bool) {
+	if len(d.tasks) == 0 {
+		return pairs.Region{}, false
+	}
+	r := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return r, true
+}
+
+// PeekTopCount returns the pair count of the top task, or 0 if empty.
+func (d *Deque) PeekTopCount() int64 {
+	if len(d.tasks) == 0 {
+		return 0
+	}
+	return d.tasks[0].Count()
+}
+
+// Group is the set of deques of one node's workers (one worker per GPU).
+type Group struct {
+	deques []*Deque
+}
+
+// NewGroup returns a group with n empty deques.
+func NewGroup(n int) *Group {
+	g := &Group{deques: make([]*Deque, n)}
+	for i := range g.deques {
+		g.deques[i] = &Deque{}
+	}
+	return g
+}
+
+// Deque returns worker i's deque.
+func (g *Group) Deque(i int) *Deque { return g.deques[i] }
+
+// Size returns the number of workers in the group.
+func (g *Group) Size() int { return len(g.deques) }
+
+// QueuedTasks returns the total number of tasks across the group.
+func (g *Group) QueuedTasks() int {
+	total := 0
+	for _, d := range g.deques {
+		total += d.Len()
+	}
+	return total
+}
+
+// StealBestOverlap steals the top task whose item ranges overlap the
+// thief's resident items (ascending, distinct) the most — the paper's
+// §7 cache-aware stealing extension. Ties are broken towards the larger
+// task; with no overlap anywhere it degrades to StealLocal semantics.
+func (g *Group) StealBestOverlap(resident []int) (pairs.Region, bool) {
+	best := -1
+	bestOverlap := -1
+	var bestCount int64
+	for i, d := range g.deques {
+		if d.Len() == 0 {
+			continue
+		}
+		top := d.tasks[0]
+		overlap := top.OverlapCount(resident)
+		count := top.Count()
+		if overlap > bestOverlap || (overlap == bestOverlap && count > bestCount) {
+			best, bestOverlap, bestCount = i, overlap, count
+		}
+	}
+	if best < 0 {
+		return pairs.Region{}, false
+	}
+	return g.deques[best].StealTop()
+}
+
+// StealLocal steals the largest top task from any deque in the group other
+// than the thief's own (pass except = -1 to consider all, as when serving
+// a remote thief). It returns false if every other deque is empty.
+func (g *Group) StealLocal(except int) (pairs.Region, bool) {
+	best := -1
+	var bestCount int64
+	for i, d := range g.deques {
+		if i == except {
+			continue
+		}
+		if c := d.PeekTopCount(); c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if best < 0 {
+		return pairs.Region{}, false
+	}
+	return g.deques[best].StealTop()
+}

@@ -1,0 +1,167 @@
+package steal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rocket/internal/pairs"
+	"rocket/internal/stats"
+)
+
+func region(n int) pairs.Region { return pairs.Root(n) }
+
+func TestDequeLIFOBottomFIFOTop(t *testing.T) {
+	d := &Deque{}
+	d.PushBottom(region(2))
+	d.PushBottom(region(3))
+	d.PushBottom(region(4))
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if r, ok := d.PopBottom(); !ok || r != region(4) {
+		t.Fatalf("PopBottom = %v, %v; want most recent", r, ok)
+	}
+	if r, ok := d.StealTop(); !ok || r != region(2) {
+		t.Fatalf("StealTop = %v, %v; want oldest", r, ok)
+	}
+	if r, ok := d.PopBottom(); !ok || r != region(3) {
+		t.Fatalf("PopBottom = %v, %v", r, ok)
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+	if _, ok := d.StealTop(); ok {
+		t.Fatal("steal from empty deque succeeded")
+	}
+}
+
+func TestPeekTopCount(t *testing.T) {
+	d := &Deque{}
+	if d.PeekTopCount() != 0 {
+		t.Fatal("empty deque peek != 0")
+	}
+	d.PushBottom(region(10)) // 45 pairs
+	d.PushBottom(region(2))  // 1 pair
+	if d.PeekTopCount() != 45 {
+		t.Fatalf("PeekTopCount = %d, want 45 (top is oldest)", d.PeekTopCount())
+	}
+}
+
+func TestGroupStealLocalPicksLargest(t *testing.T) {
+	g := NewGroup(3)
+	g.Deque(0).PushBottom(region(4))  // 6 pairs
+	g.Deque(1).PushBottom(region(20)) // 190 pairs
+	g.Deque(2).PushBottom(region(8))  // 28 pairs
+	r, ok := g.StealLocal(2)          // thief is worker 2
+	if !ok || r != region(20) {
+		t.Fatalf("StealLocal = %v, %v; want the largest task", r, ok)
+	}
+	if g.Deque(1).Len() != 0 {
+		t.Fatal("stolen task still queued")
+	}
+}
+
+func TestGroupStealLocalSkipsThief(t *testing.T) {
+	g := NewGroup(2)
+	g.Deque(0).PushBottom(region(50))
+	if _, ok := g.StealLocal(0); ok {
+		t.Fatal("worker stole from itself")
+	}
+	if r, ok := g.StealLocal(1); !ok || r != region(50) {
+		t.Fatalf("other worker failed to steal: %v %v", r, ok)
+	}
+}
+
+func TestGroupStealLocalAllConsidersEvery(t *testing.T) {
+	g := NewGroup(2)
+	g.Deque(0).PushBottom(region(5))
+	if r, ok := g.StealLocal(-1); !ok || r != region(5) {
+		t.Fatalf("StealLocal(-1) = %v, %v", r, ok)
+	}
+}
+
+func TestGroupEmptySteal(t *testing.T) {
+	g := NewGroup(4)
+	if _, ok := g.StealLocal(-1); ok {
+		t.Fatal("steal from empty group succeeded")
+	}
+	if g.QueuedTasks() != 0 || g.Size() != 4 {
+		t.Fatal("accounting wrong")
+	}
+}
+
+// Property: any interleaving of pushes, pops, and steals conserves tasks
+// (no loss, no duplication) and total pair count.
+func TestQuickConservation(t *testing.T) {
+	f := func(seed uint64, opsRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		g := NewGroup(3)
+		ops := int(opsRaw) + 20
+		pushed := map[pairs.Region]int{}
+		removed := map[pairs.Region]int{}
+		next := 2
+		for k := 0; k < ops; k++ {
+			w := rng.Intn(3)
+			switch rng.Intn(3) {
+			case 0:
+				r := pairs.Region{RowLo: 0, RowHi: next, ColLo: 0, ColHi: next}
+				next++
+				g.Deque(w).PushBottom(r)
+				pushed[r]++
+			case 1:
+				if r, ok := g.Deque(w).PopBottom(); ok {
+					removed[r]++
+				}
+			case 2:
+				if r, ok := g.StealLocal(w); ok {
+					removed[r]++
+				}
+			}
+		}
+		// Drain the rest.
+		for i := 0; i < g.Size(); i++ {
+			for {
+				r, ok := g.Deque(i).PopBottom()
+				if !ok {
+					break
+				}
+				removed[r]++
+			}
+		}
+		if len(pushed) != len(removed) {
+			return false
+		}
+		for r, c := range pushed {
+			if removed[r] != c {
+				return false
+			}
+		}
+		return g.QueuedTasks() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStealBestOverlapPrefersResidentItems(t *testing.T) {
+	g := NewGroup(2)
+	// Deque 0's top covers items 0-9; deque 1's top covers items 100-109.
+	g.Deque(0).PushBottom(pairs.Region{RowLo: 0, RowHi: 10, ColLo: 0, ColHi: 10})
+	g.Deque(1).PushBottom(pairs.Region{RowLo: 100, RowHi: 110, ColLo: 100, ColHi: 110})
+	r, ok := g.StealBestOverlap([]int{103, 105, 200})
+	if !ok || r.RowLo != 100 {
+		t.Fatalf("StealBestOverlap = %v, %v; want the 100-range task", r, ok)
+	}
+	// No overlap anywhere: falls back to the largest task.
+	g2 := NewGroup(2)
+	g2.Deque(0).PushBottom(pairs.Root(4))
+	g2.Deque(1).PushBottom(pairs.Root(20))
+	r2, ok := g2.StealBestOverlap([]int{999})
+	if !ok || r2 != pairs.Root(20) {
+		t.Fatalf("no-overlap fallback = %v, %v; want largest", r2, ok)
+	}
+	// Empty group.
+	if _, ok := NewGroup(1).StealBestOverlap([]int{1}); ok {
+		t.Fatal("stole from empty group")
+	}
+}

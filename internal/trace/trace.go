@@ -1,0 +1,211 @@
+// Package trace records which task ran on which simulated resource and
+// when. It backs the paper's profiling flag: Fig. 6 (task timeline),
+// Fig. 8/10 (total processing time per thread class), and Fig. 14 (rolling
+// throughput per GPU).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rocket/internal/sim"
+)
+
+// Kind classifies a task by the pipeline stage it implements (Fig. 2).
+type Kind int
+
+// Task kinds, one per pipeline stage plus runtime-internal activities.
+const (
+	KindIO         Kind = iota // read input file from (remote) storage
+	KindParse                  // parse file contents on the CPU
+	KindH2D                    // host-to-device transfer
+	KindPreprocess             // pre-processing kernel on the GPU
+	KindCompare                // comparison kernel on the GPU
+	KindD2H                    // device-to-host transfer
+	KindPost                   // post-processing on the CPU
+	KindFetch                  // distributed-cache fetch from a peer node
+	KindSteal                  // work-stealing protocol activity
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindIO:
+		return "io"
+	case KindParse:
+		return "parse"
+	case KindH2D:
+		return "h2d"
+	case KindPreprocess:
+		return "preprocess"
+	case KindCompare:
+		return "compare"
+	case KindD2H:
+		return "d2h"
+	case KindPost:
+		return "postprocess"
+	case KindFetch:
+		return "fetch"
+	case KindSteal:
+		return "steal"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Class groups resources the way the paper groups threads in Fig. 8:
+// GPU, CPU, CPU→GPU, GPU→CPU, and IO.
+type Class int
+
+// Resource classes.
+const (
+	ClassGPU Class = iota
+	ClassCPU
+	ClassH2D
+	ClassD2H
+	ClassIO
+	ClassNet
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassGPU:
+		return "GPU"
+	case ClassCPU:
+		return "CPU"
+	case ClassH2D:
+		return "CPU>GPU"
+	case ClassD2H:
+		return "GPU>CPU"
+	case ClassIO:
+		return "IO"
+	case ClassNet:
+		return "NET"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Task is one recorded interval of work on a resource.
+type Task struct {
+	Resource string // e.g. "node3/gpu0", "node3/cpu", "node3/io"
+	Class    Class
+	Kind     Kind
+	Item     int // item loaded (load pipeline) or left item (compare)
+	Item2    int // right item for comparisons, -1 otherwise
+	Start    sim.Time
+	End      sim.Time
+}
+
+// Tracer accumulates per-class busy time always, and the full task list
+// only when detailed recording is enabled (the paper's profiling flag).
+type Tracer struct {
+	detailed bool
+	tasks    []Task
+	busy     [numClasses][numKinds]sim.Time
+	count    [numClasses][numKinds]uint64
+}
+
+// New returns a tracer. With detailed=false only aggregate busy times are
+// kept, which is what the benchmarks need; detailed=true additionally
+// retains every task for timeline rendering.
+func New(detailed bool) *Tracer {
+	return &Tracer{detailed: detailed}
+}
+
+// Record logs one completed task interval.
+func (tr *Tracer) Record(t Task) {
+	if t.End < t.Start {
+		panic(fmt.Sprintf("trace: task ends before it starts: %+v", t))
+	}
+	tr.busy[t.Class][t.Kind] += t.End - t.Start
+	tr.count[t.Class][t.Kind]++
+	if tr.detailed {
+		tr.tasks = append(tr.tasks, t)
+	}
+}
+
+// Busy returns the total recorded busy time for a class, summed over kinds.
+func (tr *Tracer) Busy(c Class) sim.Time {
+	var total sim.Time
+	for k := Kind(0); k < numKinds; k++ {
+		total += tr.busy[c][k]
+	}
+	return total
+}
+
+// BusyKind returns the busy time for one (class, kind) pair, e.g. the GPU
+// time spent in comparison kernels only.
+func (tr *Tracer) BusyKind(c Class, k Kind) sim.Time { return tr.busy[c][k] }
+
+// Count returns the number of tasks recorded for (class, kind).
+func (tr *Tracer) Count(c Class, k Kind) uint64 { return tr.count[c][k] }
+
+// Tasks returns the detailed task list (nil unless detailed recording).
+func (tr *Tracer) Tasks() []Task { return tr.tasks }
+
+// Merge folds other's aggregates (and detailed tasks, if any) into tr,
+// used to combine per-node tracers into a cluster-wide view.
+func (tr *Tracer) Merge(other *Tracer) {
+	for c := Class(0); c < numClasses; c++ {
+		for k := Kind(0); k < numKinds; k++ {
+			tr.busy[c][k] += other.busy[c][k]
+			tr.count[c][k] += other.count[c][k]
+		}
+	}
+	if tr.detailed {
+		tr.tasks = append(tr.tasks, other.tasks...)
+	}
+}
+
+// WriteTimeline renders the detailed task list as a per-resource textual
+// timeline in start order, the Fig. 6 view. Limit caps the number of rows
+// (0 = no limit).
+func (tr *Tracer) WriteTimeline(w io.Writer, limit int) error {
+	tasks := append([]Task(nil), tr.tasks...)
+	sort.SliceStable(tasks, func(i, j int) bool {
+		if tasks[i].Resource != tasks[j].Resource {
+			return tasks[i].Resource < tasks[j].Resource
+		}
+		return tasks[i].Start < tasks[j].Start
+	})
+	if limit > 0 && len(tasks) > limit {
+		tasks = tasks[:limit]
+	}
+	var last string
+	for _, t := range tasks {
+		if t.Resource != last {
+			if _, err := fmt.Fprintf(w, "== %s ==\n", t.Resource); err != nil {
+				return err
+			}
+			last = t.Resource
+		}
+		items := fmt.Sprintf("item %d", t.Item)
+		if t.Item2 >= 0 {
+			items = fmt.Sprintf("pair (%d, %d)", t.Item, t.Item2)
+		}
+		if _, err := fmt.Fprintf(w, "  %12v .. %-12v %-11s %s\n",
+			t.Start, t.End, t.Kind, items); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders the aggregate busy-time table, one row per class.
+func (tr *Tracer) Summary() string {
+	var b strings.Builder
+	for c := Class(0); c < numClasses; c++ {
+		total := tr.Busy(c)
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %v\n", c, total)
+	}
+	return b.String()
+}

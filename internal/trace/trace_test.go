@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rocket/internal/sim"
+)
+
+func TestKindAndClassStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if strings.HasPrefix(c.String(), "class(") {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if Kind(99).String() != "kind(99)" || Class(99).String() != "class(99)" {
+		t.Error("unknown values should format numerically")
+	}
+}
+
+func TestRecordAggregates(t *testing.T) {
+	tr := New(false)
+	tr.Record(Task{Resource: "n0/gpu0", Class: ClassGPU, Kind: KindCompare, Item: 1, Item2: 2, Start: 0, End: sim.Millis(2)})
+	tr.Record(Task{Resource: "n0/gpu0", Class: ClassGPU, Kind: KindPreprocess, Item: 3, Item2: -1, Start: sim.Millis(2), End: sim.Millis(5)})
+	tr.Record(Task{Resource: "n0/cpu", Class: ClassCPU, Kind: KindParse, Item: 3, Item2: -1, Start: 0, End: sim.Millis(10)})
+	if got := tr.Busy(ClassGPU); got != sim.Millis(5) {
+		t.Errorf("GPU busy %v, want 5ms", got)
+	}
+	if got := tr.BusyKind(ClassGPU, KindCompare); got != sim.Millis(2) {
+		t.Errorf("GPU compare busy %v, want 2ms", got)
+	}
+	if tr.Count(ClassCPU, KindParse) != 1 {
+		t.Error("parse count wrong")
+	}
+	if tr.Tasks() != nil {
+		t.Error("non-detailed tracer retained tasks")
+	}
+}
+
+func TestDetailedTimeline(t *testing.T) {
+	tr := New(true)
+	tr.Record(Task{Resource: "n0/io", Class: ClassIO, Kind: KindIO, Item: 7, Item2: -1, Start: 0, End: sim.Millis(1)})
+	tr.Record(Task{Resource: "n0/gpu0", Class: ClassGPU, Kind: KindCompare, Item: 1, Item2: 2, Start: 0, End: sim.Millis(1)})
+	var b strings.Builder
+	if err := tr.WriteTimeline(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "== n0/gpu0 ==") || !strings.Contains(out, "pair (1, 2)") {
+		t.Errorf("timeline missing entries:\n%s", out)
+	}
+	if !strings.Contains(out, "item 7") {
+		t.Errorf("timeline missing load entry:\n%s", out)
+	}
+}
+
+func TestTimelineLimit(t *testing.T) {
+	tr := New(true)
+	for i := 0; i < 10; i++ {
+		tr.Record(Task{Resource: "r", Class: ClassCPU, Kind: KindParse, Item: i, Item2: -1, Start: sim.Time(i), End: sim.Time(i + 1)})
+	}
+	var b strings.Builder
+	if err := tr.WriteTimeline(&b, 3); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(b.String(), "\n")
+	if lines != 4 { // header + 3 rows
+		t.Errorf("got %d lines, want 4:\n%s", lines, b.String())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(true), New(true)
+	a.Record(Task{Resource: "n0/cpu", Class: ClassCPU, Kind: KindParse, Item2: -1, Start: 0, End: sim.Millis(1)})
+	b.Record(Task{Resource: "n1/cpu", Class: ClassCPU, Kind: KindParse, Item2: -1, Start: 0, End: sim.Millis(2)})
+	a.Merge(b)
+	if got := a.Busy(ClassCPU); got != sim.Millis(3) {
+		t.Errorf("merged busy %v, want 3ms", got)
+	}
+	if len(a.Tasks()) != 2 {
+		t.Errorf("merged tasks %d, want 2", len(a.Tasks()))
+	}
+}
+
+func TestRecordBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for End < Start")
+		}
+	}()
+	New(false).Record(Task{Start: sim.Millis(2), End: sim.Millis(1)})
+}
+
+func TestSummaryNonEmpty(t *testing.T) {
+	tr := New(false)
+	tr.Record(Task{Class: ClassIO, Kind: KindIO, Item2: -1, Start: 0, End: sim.Second})
+	if s := tr.Summary(); !strings.Contains(s, "IO") {
+		t.Errorf("summary = %q", s)
+	}
+}

@@ -1,0 +1,125 @@
+// Package rocket is the public API of the Rocket reproduction: a framework
+// for efficient and scalable all-pairs computations on (simulated)
+// heterogeneous GPU platforms, after Heldens et al., SC 2020.
+//
+// An all-pairs application evaluates a user-defined comparison for every
+// pair of items in a data set. Rocket maximizes data reuse with a
+// three-level software cache (GPU device memory, host memory, and a
+// cluster-wide distributed cache), balances irregular work over
+// heterogeneous GPUs with divide-and-conquer hierarchical work-stealing,
+// and overlaps I/O, CPU work, PCIe transfers, and GPU kernels through
+// fully asynchronous processing.
+//
+// Quick start:
+//
+//	app := forensics.New(forensics.Params{N: 996})
+//	platform, _ := rocket.Homogeneous(16, rocket.DAS5Node(rocket.TitanXMaxwell))
+//	metrics, err := rocket.Run(rocket.Config{
+//		App:       app,
+//		Cluster:   platform,
+//		DistCache: true,
+//	})
+//
+// Because Go has no mature CUDA bindings, the hardware substrate (GPUs,
+// network, storage) is a deterministic discrete-event simulation; the
+// runtime system itself — caches, scheduling, the distributed-cache
+// protocol, asynchronous pipelines — is real, fully exercised code. See
+// DESIGN.md for the substitution argument and EXPERIMENTS.md for the
+// reproduced results.
+package rocket
+
+import (
+	"rocket/internal/cluster"
+	"rocket/internal/core"
+	"rocket/internal/gpu"
+)
+
+// Re-exported core types: see package rocket/internal/core for full
+// documentation.
+type (
+	// Config configures one run; App and Cluster are required.
+	Config = core.Config
+	// Metrics is the outcome of a run.
+	Metrics = core.Metrics
+	// Application is the cost-model interface every application
+	// implements (paper Fig. 3).
+	Application = core.Application
+	// Computer is the optional real-kernel extension.
+	Computer = core.Computer
+	// Result is one collected comparison output.
+	Result = core.Result
+	// NodeSpec describes one node's hardware.
+	NodeSpec = cluster.NodeSpec
+	// Cluster is a simulated platform.
+	Cluster = cluster.Cluster
+	// GPUModel identifies a GPU product.
+	GPUModel = gpu.Model
+)
+
+// Steal policies (see core.StealPolicy).
+const (
+	StealHierarchical = core.StealHierarchical
+	StealFlat         = core.StealFlat
+	StealCacheAware   = core.StealCacheAware
+)
+
+// GPU models of the evaluation platforms.
+var (
+	TitanXMaxwell = gpu.TitanXMaxwell
+	TitanXPascal  = gpu.TitanXPascal
+	GTX980        = gpu.GTX980
+	GTXTitan      = gpu.GTXTitan
+	K20m          = gpu.K20m
+	K40m          = gpu.K40m
+	RTX2080Ti     = gpu.RTX2080Ti
+)
+
+// GiB is 2^30 bytes, for sizing host caches.
+const GiB = gpu.GiB
+
+// Run executes an all-pairs application on a platform.
+func Run(cfg Config) (*Metrics, error) { return core.Run(cfg) }
+
+// DAS5Node returns the paper's DAS-5 node type: 16 cores and a 40 GiB host
+// cache, with the given GPUs installed.
+func DAS5Node(gpus ...GPUModel) NodeSpec {
+	return NodeSpec{Cores: 16, HostCacheBytes: 40 * GiB, GPUs: gpus}
+}
+
+// CartesiusNode returns the paper's Cartesius node type: 16 cores, an
+// 80 GiB host cache, and two Tesla K40m GPUs (§6.2).
+func CartesiusNode() NodeSpec {
+	return NodeSpec{Cores: 16, HostCacheBytes: 80 * GiB, GPUs: []GPUModel{K40m, K40m}}
+}
+
+// Homogeneous builds a platform of n identical nodes.
+func Homogeneous(n int, spec NodeSpec) (*Cluster, error) {
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = spec
+	}
+	return cluster.New(specs, cluster.DefaultConfig())
+}
+
+// Heterogeneous builds a platform from explicit per-node specs.
+func Heterogeneous(specs []NodeSpec) (*Cluster, error) {
+	return cluster.New(specs, cluster.DefaultConfig())
+}
+
+// PaperHeterogeneous returns the four mixed-generation nodes of §6.5:
+// node I (K20m), node II (GTX980 + TitanX Pascal), node III (2x
+// RTX2080Ti), and node IV (GTX Titan + TitanX Pascal).
+func PaperHeterogeneous() (*Cluster, error) {
+	return Heterogeneous([]NodeSpec{
+		DAS5Node(K20m),
+		DAS5Node(GTX980, TitanXPascal),
+		DAS5Node(RTX2080Ti, RTX2080Ti),
+		DAS5Node(GTXTitan, TitanXPascal),
+	})
+}
+
+// Cartesius builds the §6.6 supercomputer platform with n nodes (2 GPUs
+// per node, up to 48 nodes = 96 GPUs in the paper).
+func Cartesius(n int) (*Cluster, error) {
+	return Homogeneous(n, CartesiusNode())
+}

@@ -1,0 +1,81 @@
+package rocket_test
+
+import (
+	"testing"
+
+	"rocket"
+	"rocket/internal/apps/forensics"
+	"rocket/internal/apps/microscopy"
+)
+
+func TestHomogeneousPlatform(t *testing.T) {
+	cl, err := rocket.Homogeneous(4, rocket.DAS5Node(rocket.TitanXMaxwell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Nodes) != 4 || cl.TotalGPUs() != 4 {
+		t.Fatalf("nodes=%d gpus=%d", len(cl.Nodes), cl.TotalGPUs())
+	}
+}
+
+func TestPaperHeterogeneous(t *testing.T) {
+	cl, err := rocket.PaperHeterogeneous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Nodes) != 4 || cl.TotalGPUs() != 7 {
+		t.Fatalf("want 4 nodes / 7 GPUs, got %d / %d", len(cl.Nodes), cl.TotalGPUs())
+	}
+}
+
+func TestCartesiusPlatform(t *testing.T) {
+	cl, err := rocket.Cartesius(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.TotalGPUs() != 96 {
+		t.Fatalf("gpus = %d, want 96", cl.TotalGPUs())
+	}
+	if cl.Nodes[0].Spec.HostCacheBytes != 80*rocket.GiB {
+		t.Fatal("Cartesius host cache should be 80 GiB")
+	}
+}
+
+func TestEndToEndThroughPublicAPI(t *testing.T) {
+	app := microscopy.New(microscopy.Params{N: 24, Seed: 1})
+	cl, err := rocket.Homogeneous(2, rocket.DAS5Node(rocket.TitanXMaxwell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rocket.Run(rocket.Config{App: app, Cluster: cl, DistCache: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pairs != 24*23/2 {
+		t.Fatalf("pairs = %d", m.Pairs)
+	}
+}
+
+func TestRealKernelsThroughPublicAPI(t *testing.T) {
+	app, err := forensics.NewReal(forensics.RealParams{N: 8, Cameras: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := rocket.Homogeneous(1, rocket.DAS5Node(rocket.TitanXMaxwell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rocket.Run(rocket.Config{App: app, Cluster: cl, CollectResults: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Results) != 28 {
+		t.Fatalf("results = %d, want 28", len(m.Results))
+	}
+	for _, r := range m.Results {
+		score := r.Value.(float64)
+		if score < -1.01 || score > 1.01 {
+			t.Fatalf("NCC score %v out of range", score)
+		}
+	}
+}
