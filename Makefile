@@ -1,0 +1,28 @@
+# Local entry points mirroring .github/workflows/ci.yml, so local and CI
+# runs cannot drift: `make ci` executes exactly the workflow's steps.
+
+GO ?= go
+ROCKET_SCALE ?= 50
+
+.PHONY: build test bench lint ci fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Full evaluation at reporting scale (minutes). CI runs the smoke variant.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+ci: lint build test
+	ROCKET_SCALE=$(ROCKET_SCALE) $(GO) test -bench=. -benchtime=1x -run='^$$' .

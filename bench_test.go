@@ -73,3 +73,8 @@ func BenchmarkAblationHops(b *testing.B)        { benchExperiment(b, "ablation-h
 func BenchmarkAblationEviction(b *testing.B)    { benchExperiment(b, "ablation-eviction") }
 func BenchmarkAblationPrewarm(b *testing.B)     { benchExperiment(b, "ablation-prewarm") }
 func BenchmarkAblationBackoff(b *testing.B)     { benchExperiment(b, "ablation-backoff") }
+
+// Scheduler subsystem (rocketd): job count x policy sweep over a skewed
+// two-tenant mix, reporting makespan, mean wait, and utilization.
+
+func BenchmarkQueueScaling(b *testing.B) { benchExperiment(b, "queue-scaling") }

@@ -1,0 +1,3 @@
+module rocket
+
+go 1.22

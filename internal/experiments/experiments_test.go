@@ -143,3 +143,34 @@ func TestAblationsRun(t *testing.T) {
 		}
 	}
 }
+
+func TestQueueScalingReport(t *testing.T) {
+	out, err := QueueScaling(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fifo", "sjf", "fair", "mean wait", "util %", "fair-share mean wait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("queue-scaling output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQueueMixIsSkewedAcrossTenantsAndApps(t *testing.T) {
+	jobs := QueueMix(16, queueNodes, tiny)
+	if len(jobs) != 16 {
+		t.Fatalf("len = %d", len(jobs))
+	}
+	tenants := map[string]int{}
+	apps := map[string]bool{}
+	for _, j := range jobs {
+		tenants[j.Tenant]++
+		apps[j.App.Name()] = true
+	}
+	if tenants["batch"] != 4 || tenants["interactive"] != 12 {
+		t.Fatalf("tenant split = %v, want 4 batch / 12 interactive", tenants)
+	}
+	if len(apps) < 3 {
+		t.Fatalf("want all three applications in the mix, got %v", apps)
+	}
+}

@@ -39,6 +39,7 @@ func All() []Experiment {
 		{"ablation-eviction", "—", "LRU vs random cache eviction", AblationEviction},
 		{"ablation-prewarm", "—", "persistent-cache prewarm fraction sweep", AblationPrewarm},
 		{"ablation-backoff", "—", "steal backoff sweep", AblationBackoff},
+		{"queue-scaling", "—", "rocketd scheduler: job count x policy sweep", QueueScaling},
 	}
 }
 

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rocket/internal/core"
+	"rocket/internal/report"
+	"rocket/internal/sim"
+)
+
+// JobMetrics is the outcome of one job, in submission order within
+// Metrics.Jobs.
+type JobMetrics struct {
+	ID     string
+	Tenant string
+	App    string
+	// Nodes is the leased partition (node IDs of the shared cluster);
+	// nil for rejected jobs.
+	Nodes []int
+	// Rejected marks jobs refused admission by the MaxQueued limit.
+	Rejected bool
+
+	Arrival sim.Time
+	Start   sim.Time
+	End     sim.Time
+	// Wait is Start - Arrival: queueing delay before placement.
+	Wait sim.Time
+	// Runtime is the job's service time on its partition.
+	Runtime sim.Time
+
+	// Inner is the job's full Rocket runtime metrics.
+	Inner *core.Metrics
+}
+
+// TenantMetrics aggregates one tenant's jobs.
+type TenantMetrics struct {
+	Tenant      string
+	Jobs        int
+	Rejected    int
+	NodeSeconds float64
+	MeanWait    sim.Time
+}
+
+// Metrics is the fleet-wide outcome of one scheduler run.
+type Metrics struct {
+	Policy     Policy
+	TotalNodes int
+
+	// Jobs holds per-job outcomes in submission order.
+	Jobs []JobMetrics
+	// Tenants holds per-tenant aggregates sorted by tenant name.
+	Tenants []TenantMetrics
+
+	Completed int
+	Rejected  int
+
+	// Makespan is the completion time of the last job.
+	Makespan sim.Time
+	// MeanWait and MaxWait summarize queueing delay over completed jobs.
+	MeanWait sim.Time
+	MaxWait  sim.Time
+	// Utilization is leased node-time over total node-time within the
+	// makespan, in [0, 1].
+	Utilization float64
+	// JobsPerHour is completed jobs per virtual hour of makespan.
+	JobsPerHour float64
+
+	// Pairs, NetBytes, and IOBytes aggregate the inner runs.
+	Pairs    uint64
+	NetBytes int64
+	IOBytes  int64
+}
+
+// aggregate folds per-job state into the fleet metrics.
+func aggregate(cfg Config, states []*jobState) *Metrics {
+	m := &Metrics{Policy: cfg.Policy, TotalNodes: cfg.Nodes}
+	tenants := make(map[string]*TenantMetrics)
+	tenantWaits := make(map[string]sim.Time)
+	var waitSum sim.Time
+	var leasedSeconds float64
+	for _, js := range states {
+		jm := JobMetrics{
+			ID:      js.id,
+			Tenant:  js.tenant,
+			App:     js.job.App.Name(),
+			Arrival: js.job.Arrival,
+		}
+		t := tenants[js.tenant]
+		if t == nil {
+			t = &TenantMetrics{Tenant: js.tenant}
+			tenants[js.tenant] = t
+		}
+		t.Jobs++
+		if js.reject {
+			jm.Rejected = true
+			m.Rejected++
+			t.Rejected++
+		} else {
+			jm.Nodes = js.lease
+			jm.Start = js.start
+			jm.End = js.end
+			jm.Wait = js.start - js.job.Arrival
+			jm.Runtime = js.inner.Runtime
+			jm.Inner = js.inner
+			m.Completed++
+			m.Pairs += js.inner.Pairs
+			m.NetBytes += js.inner.NetBytes
+			m.IOBytes += js.inner.IOBytes
+			waitSum += jm.Wait
+			tenantWaits[js.tenant] += jm.Wait
+			nodeSecs := float64(len(js.lease)) * jm.Runtime.Seconds()
+			t.NodeSeconds += nodeSecs
+			leasedSeconds += nodeSecs
+			if jm.End > m.Makespan {
+				m.Makespan = jm.End
+			}
+			if jm.Wait > m.MaxWait {
+				m.MaxWait = jm.Wait
+			}
+		}
+		m.Jobs = append(m.Jobs, jm)
+	}
+	if m.Completed > 0 {
+		m.MeanWait = waitSum / sim.Time(m.Completed)
+	}
+	if m.Makespan > 0 {
+		m.Utilization = leasedSeconds / (float64(m.TotalNodes) * m.Makespan.Seconds())
+		m.JobsPerHour = float64(m.Completed) / (m.Makespan.Seconds() / 3600)
+	}
+	for name, t := range tenants {
+		if done := t.Jobs - t.Rejected; done > 0 {
+			t.MeanWait = tenantWaits[name] / sim.Time(done)
+		}
+		m.Tenants = append(m.Tenants, *t)
+	}
+	sort.Slice(m.Tenants, func(i, j int) bool { return m.Tenants[i].Tenant < m.Tenants[j].Tenant })
+	return m
+}
+
+// Report renders the fleet outcome as the throughput/latency tables the
+// rocketqueue CLI prints.
+func (m *Metrics) Report() string {
+	var b strings.Builder
+	jobs := report.NewTable(
+		fmt.Sprintf("rocketd: %d jobs on %d shared nodes, policy %s", len(m.Jobs), m.TotalNodes, m.Policy),
+		"job", "tenant", "app", "nodes", "arrival", "wait", "runtime", "end")
+	for _, j := range m.Jobs {
+		if j.Rejected {
+			jobs.AddRow(j.ID, j.Tenant, j.App, "-", j.Arrival.String(), "rejected", "-", "-")
+			continue
+		}
+		jobs.AddRow(j.ID, j.Tenant, j.App, len(j.Nodes),
+			j.Arrival.String(), j.Wait.String(), j.Runtime.String(), j.End.String())
+	}
+	b.WriteString(jobs.String())
+	b.WriteByte('\n')
+
+	tenants := report.NewTable("per-tenant", "tenant", "jobs", "rejected", "node-seconds", "mean wait")
+	for _, t := range m.Tenants {
+		tenants.AddRow(t.Tenant, t.Jobs, t.Rejected, t.NodeSeconds, t.MeanWait.String())
+	}
+	b.WriteString(tenants.String())
+	b.WriteByte('\n')
+
+	fmt.Fprintf(&b, "completed %d/%d jobs (%d rejected) | makespan %v | mean wait %v | max wait %v\n",
+		m.Completed, len(m.Jobs), m.Rejected, m.Makespan, m.MeanWait, m.MaxWait)
+	fmt.Fprintf(&b, "utilization %.1f%% | %.1f jobs/hour | %d pairs | %.2f GB net | %.2f GB I/O\n",
+		100*m.Utilization, m.JobsPerHour, m.Pairs,
+		float64(m.NetBytes)/1e9, float64(m.IOBytes)/1e9)
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"fmt"
+
+	"rocket/internal/sim"
+)
+
+// Policy selects which pending job is placed next when nodes are free.
+type Policy int
+
+const (
+	// PolicyFIFO places jobs strictly in arrival order: the head of the
+	// queue either fits or blocks everything behind it (no bypass). This
+	// is the simplest policy and the baseline the others are measured
+	// against; a wide job at the head head-of-line-blocks the queue.
+	PolicyFIFO Policy = iota
+	// PolicySJF places the fitting job with the smallest estimated
+	// service time first, which minimizes mean wait for skewed size
+	// mixes at the cost of potentially starving large jobs.
+	PolicySJF
+	// PolicyFairShare places the fitting job whose tenant has consumed
+	// the least node-seconds so far, so a tenant submitting many small
+	// jobs is not starved by a tenant that queued large jobs first.
+	PolicyFairShare
+)
+
+// String returns the policy's manifest name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFIFO:
+		return "fifo"
+	case PolicySJF:
+		return "sjf"
+	case PolicyFairShare:
+		return "fair"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a manifest name to a policy.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "fifo":
+		return PolicyFIFO, nil
+	case "sjf":
+		return PolicySJF, nil
+	case "fair", "fairshare", "fair-share":
+		return PolicyFairShare, nil
+	default:
+		return 0, fmt.Errorf("sched: unknown policy %q (known: fifo, sjf, fair)", name)
+	}
+}
+
+// Policies lists every policy in presentation order.
+func Policies() []Policy {
+	return []Policy{PolicyFIFO, PolicySJF, PolicyFairShare}
+}
+
+// pick returns the index in pending of the next job to place given free
+// nodes, or -1 when nothing may start. pending is in arrival order; all
+// tie-breaks resolve to the earlier arrival, keeping every policy
+// deterministic.
+func pick(p Policy, pending, running []*jobState, free int, clock sim.Time, usage map[string]float64) int {
+	switch p {
+	case PolicyFIFO:
+		if pending[0].job.Nodes <= free {
+			return 0
+		}
+		return -1
+	case PolicySJF:
+		best := -1
+		for i, js := range pending {
+			if js.job.Nodes > free {
+				continue
+			}
+			if best < 0 || js.est < pending[best].est {
+				best = i
+			}
+		}
+		return best
+	case PolicyFairShare:
+		best := -1
+		var bestUse float64
+		var bestHeld int
+		for i, js := range pending {
+			if js.job.Nodes > free {
+				continue
+			}
+			use, held := tenantUsage(js.tenant, running, clock, usage)
+			if best < 0 || use < bestUse || (use == bestUse && held < bestHeld) {
+				best, bestUse, bestHeld = i, use, held
+			}
+		}
+		return best
+	default:
+		return -1
+	}
+}
+
+// tenantUsage is a tenant's node-seconds consumed so far (completed jobs
+// in full, running jobs up to the current clock) plus the nodes it holds
+// right now. It never depends on a running job's (possibly not yet
+// known) completion time. The held-node count breaks node-second ties:
+// within one placement instant elapsed running time is zero, so without
+// it a single tenant's burst of arrivals would fill the whole cluster
+// before any other tenant's jobs were considered.
+func tenantUsage(tenant string, running []*jobState, clock sim.Time, usage map[string]float64) (nodeSeconds float64, heldNodes int) {
+	nodeSeconds = usage[tenant]
+	for _, js := range running {
+		if js.tenant == tenant {
+			nodeSeconds += float64(len(js.lease)) * (clock - js.start).Seconds()
+			heldNodes += len(js.lease)
+		}
+	}
+	return nodeSeconds, heldNodes
+}

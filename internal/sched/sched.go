@@ -1,0 +1,351 @@
+// Package sched implements rocketd, the multi-tenant job scheduler layered
+// on top of the Rocket runtime. Where core.Run executes one all-pairs job
+// to completion on a dedicated platform, sched admits a queue of
+// heterogeneous jobs (mixed applications, sizes, and tenants) and runs
+// them concurrently over one shared simulated cluster: each admitted job
+// leases a partition of the cluster's nodes, executes on it through the
+// unmodified Rocket runtime, and returns its nodes to the free pool when
+// it completes, at which point the configured policy (FIFO,
+// shortest-job-first, or fair-share across tenants) picks the next job.
+//
+// The scheduler is a two-level discrete-event simulation: the inner level
+// is the per-job Rocket runtime (core.Run on the leased partition), whose
+// virtual run time becomes the job's service time; the outer level is the
+// fleet clock, which interleaves arrivals, placements, and completions of
+// many jobs over the shared node pool. Inner simulations are independent,
+// so they execute on parallel OS workers; all scheduling decisions depend
+// only on virtual time, which keeps fleet results deterministic for a
+// given seed regardless of host parallelism.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"rocket/internal/cluster"
+	"rocket/internal/core"
+	"rocket/internal/gpu"
+	"rocket/internal/pairs"
+	"rocket/internal/sim"
+)
+
+// Job is one all-pairs workload submitted to the scheduler.
+type Job struct {
+	// ID identifies the job in reports. Empty IDs are assigned "job<i>".
+	ID string
+	// Tenant is the submitting principal, the unit of fair-share
+	// accounting. Empty tenants are grouped under "default".
+	Tenant string
+	// App is the application to run (required).
+	App core.Application
+	// Nodes is the partition size the job requests from the shared
+	// cluster; 0 requests a single node.
+	Nodes int
+	// Arrival is the virtual time at which the job enters the queue.
+	Arrival sim.Time
+	// Seed overrides the per-job seed derived from Config.Seed.
+	Seed uint64
+	// Mutate, when non-nil, adjusts the job's runtime configuration
+	// (cache sizes, steal policy, ...) before execution.
+	Mutate func(*core.Config)
+}
+
+// Config configures one scheduler run.
+type Config struct {
+	// Jobs is the workload to schedule (required).
+	Jobs []Job
+	// Nodes is the size of the shared cluster (required).
+	Nodes int
+	// NodeSpec is the hardware of every node. The zero value defaults to
+	// a DAS-5 node with one TitanX Maxwell.
+	NodeSpec cluster.NodeSpec
+	// Fabric configures network and storage; the zero value defaults to
+	// cluster.DefaultConfig().
+	Fabric cluster.Config
+	// Policy selects the placement order; default PolicyFIFO.
+	Policy Policy
+	// MaxQueued is the admission limit: a job arriving while this many
+	// jobs are already waiting is rejected (backpressure). 0 = unlimited.
+	MaxQueued int
+	// MaxRunning caps concurrently executing jobs in addition to the
+	// node-pool limit. 0 = bounded only by free nodes.
+	MaxRunning int
+	// Workers is the number of OS threads executing inner simulations in
+	// parallel; 0 defaults to GOMAXPROCS. It does not affect results.
+	Workers int
+	// Seed drives per-job seed derivation.
+	Seed uint64
+}
+
+// jobState tracks one job through the scheduler.
+type jobState struct {
+	job     Job
+	index   int
+	id      string
+	tenant  string
+	seed    uint64
+	est     sim.Time
+	lease   []int
+	start   sim.Time
+	end     sim.Time
+	inner   *core.Metrics
+	err     error
+	done    chan struct{}
+	started bool
+	reject  bool
+}
+
+func (cfg Config) normalize() (Config, error) {
+	if len(cfg.Jobs) == 0 {
+		return cfg, fmt.Errorf("sched: Config.Jobs is empty")
+	}
+	if cfg.Nodes < 1 {
+		return cfg, fmt.Errorf("sched: Config.Nodes must be >= 1, got %d", cfg.Nodes)
+	}
+	if cfg.NodeSpec.Cores == 0 && cfg.NodeSpec.HostCacheBytes == 0 && len(cfg.NodeSpec.GPUs) == 0 {
+		cfg.NodeSpec = cluster.NodeSpec{
+			Cores:          16,
+			HostCacheBytes: 40 * gpu.GiB,
+			GPUs:           []gpu.Model{gpu.TitanXMaxwell},
+		}
+	}
+	if err := cfg.NodeSpec.Validate(); err != nil {
+		return cfg, err
+	}
+	if cfg.Fabric == (cluster.Config{}) {
+		cfg.Fabric = cluster.DefaultConfig()
+	}
+	if cfg.Policy < PolicyFIFO || cfg.Policy > PolicyFairShare {
+		return cfg, fmt.Errorf("sched: unknown policy %d", cfg.Policy)
+	}
+	if cfg.MaxQueued < 0 || cfg.MaxRunning < 0 {
+		return cfg, fmt.Errorf("sched: negative admission limits")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return cfg, nil
+}
+
+// newStates validates the jobs and builds their scheduler state, in input
+// order.
+func newStates(cfg Config) ([]*jobState, error) {
+	states := make([]*jobState, len(cfg.Jobs))
+	seen := make(map[string]int, len(cfg.Jobs))
+	for i, j := range cfg.Jobs {
+		if j.App == nil {
+			return nil, fmt.Errorf("sched: job %d has no App", i)
+		}
+		if j.Nodes == 0 {
+			j.Nodes = 1
+		}
+		if j.Nodes < 0 || j.Nodes > cfg.Nodes {
+			return nil, fmt.Errorf("sched: job %d requests %d nodes; cluster has %d", i, j.Nodes, cfg.Nodes)
+		}
+		if j.Arrival < 0 {
+			return nil, fmt.Errorf("sched: job %d has negative arrival %v", i, j.Arrival)
+		}
+		id := j.ID
+		if id == "" {
+			id = fmt.Sprintf("job%d", i)
+		}
+		if prev, dup := seen[id]; dup {
+			return nil, fmt.Errorf("sched: jobs %d and %d share ID %q", prev, i, id)
+		}
+		seen[id] = i
+		tenant := j.Tenant
+		if tenant == "" {
+			tenant = "default"
+		}
+		seed := j.Seed
+		if seed == 0 {
+			seed = cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1))
+		}
+		states[i] = &jobState{
+			job:    j,
+			index:  i,
+			id:     id,
+			tenant: tenant,
+			seed:   seed,
+			est:    estimate(j.App, j.Nodes, len(cfg.NodeSpec.GPUs)),
+			done:   make(chan struct{}),
+		}
+	}
+	return states, nil
+}
+
+// estimate predicts a job's service time for shortest-job-first ordering:
+// total pairs times a sampled mean comparison cost, divided by the
+// partition's GPU count. It only needs to order jobs correctly, not to
+// predict absolute run times.
+func estimate(app core.Application, nodes, gpusPerNode int) sim.Time {
+	n := app.NumItems()
+	total := pairs.TotalPairs(n)
+	step := n/8 + 1
+	var sum sim.Time
+	samples := 0
+	for i := 0; i < n; i += step {
+		for j := i + 1; j < n; j += step {
+			sum += app.CompareTime(i, j)
+			samples++
+		}
+	}
+	if samples == 0 {
+		return sim.Time(total)
+	}
+	mean := float64(sum) / float64(samples)
+	return sim.Time(float64(total) * mean / float64(nodes*gpusPerNode))
+}
+
+// Run schedules every job of cfg over the shared cluster and returns the
+// fleet metrics. Jobs that cannot be admitted (MaxQueued backpressure) are
+// reported as rejected, not errors; an inner runtime failure aborts the
+// whole run.
+func Run(cfg Config) (*Metrics, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	states, err := newStates(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Arrival order: by arrival time, ties by submission order.
+	arrivals := append([]*jobState(nil), states...)
+	sort.SliceStable(arrivals, func(i, j int) bool {
+		return arrivals[i].job.Arrival < arrivals[j].job.Arrival
+	})
+
+	// The free pool holds node IDs in ascending order; leases take the
+	// lowest IDs so placements are deterministic and reported partitions
+	// are stable.
+	free := make([]int, cfg.Nodes)
+	for i := range free {
+		free[i] = i
+	}
+
+	sem := make(chan struct{}, cfg.Workers)
+	usage := make(map[string]float64) // tenant -> completed node-seconds
+	var pending, running []*jobState
+	var clock sim.Time
+	ai := 0
+
+	fail := func(js *jobState) (*Metrics, error) {
+		for _, r := range running {
+			<-r.done
+		}
+		return nil, fmt.Errorf("sched: job %s: %w", js.id, js.err)
+	}
+
+	for {
+		// Admit arrivals due now, applying the admission limit.
+		for ai < len(arrivals) && arrivals[ai].job.Arrival <= clock {
+			js := arrivals[ai]
+			ai++
+			if cfg.MaxQueued > 0 && len(pending) >= cfg.MaxQueued {
+				js.reject = true
+				continue
+			}
+			pending = append(pending, js)
+		}
+
+		// Placement: let the policy pick jobs while nodes and the
+		// running-job budget allow. Jobs placed at the same instant
+		// execute their inner simulations in parallel.
+		for len(pending) > 0 {
+			if cfg.MaxRunning > 0 && len(running) >= cfg.MaxRunning {
+				break
+			}
+			i := pick(cfg.Policy, pending, running, len(free), clock, usage)
+			if i < 0 {
+				break
+			}
+			js := pending[i]
+			pending = append(pending[:i], pending[i+1:]...)
+			js.lease = append([]int(nil), free[:js.job.Nodes]...)
+			free = free[js.job.Nodes:]
+			js.start = clock
+			js.started = true
+			running = append(running, js)
+			go cfg.runInner(js, sem)
+		}
+
+		if len(running) == 0 {
+			if ai >= len(arrivals) {
+				if len(pending) > 0 {
+					return nil, fmt.Errorf("sched: %d jobs stuck with an idle cluster", len(pending))
+				}
+				break
+			}
+			clock = arrivals[ai].job.Arrival
+			continue
+		}
+
+		// Every running job's completion time is fixed once its inner
+		// simulation finishes; collect them before advancing the clock.
+		for _, js := range running {
+			<-js.done
+			if js.err != nil {
+				return fail(js)
+			}
+			js.end = js.start + js.inner.Runtime
+		}
+
+		next := running[0].end
+		for _, js := range running[1:] {
+			if js.end < next {
+				next = js.end
+			}
+		}
+		if ai < len(arrivals) && arrivals[ai].job.Arrival < next {
+			next = arrivals[ai].job.Arrival
+		}
+		clock = next
+
+		// Completions release their leases back to the pool.
+		keep := running[:0]
+		for _, js := range running {
+			if js.end <= clock {
+				usage[js.tenant] += float64(len(js.lease)) * (js.end - js.start).Seconds()
+				free = append(free, js.lease...)
+			} else {
+				keep = append(keep, js)
+			}
+		}
+		running = keep
+		sort.Ints(free)
+	}
+
+	return aggregate(cfg, states), nil
+}
+
+// runInner executes one job's Rocket runtime on a cluster the size of its
+// lease. The semaphore bounds host parallelism; results depend only on
+// the job's seed and partition, never on worker interleaving.
+func (cfg Config) runInner(js *jobState, sem chan struct{}) {
+	defer close(js.done)
+	sem <- struct{}{}
+	defer func() { <-sem }()
+
+	specs := make([]cluster.NodeSpec, len(js.lease))
+	for i := range specs {
+		specs[i] = cfg.NodeSpec
+	}
+	cl, err := cluster.New(specs, cfg.Fabric)
+	if err != nil {
+		js.err = err
+		return
+	}
+	ccfg := core.Config{
+		App:       js.job.App,
+		Cluster:   cl,
+		Seed:      js.seed,
+		DistCache: len(js.lease) > 1,
+	}
+	if js.job.Mutate != nil {
+		js.job.Mutate(&ccfg)
+	}
+	js.inner, js.err = core.Run(ccfg)
+}

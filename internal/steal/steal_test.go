@@ -165,3 +165,61 @@ func TestStealBestOverlapPrefersResidentItems(t *testing.T) {
 		t.Fatal("stole from empty group")
 	}
 }
+
+func TestStealBestOverlapEmptyGroup(t *testing.T) {
+	g := NewGroup(0)
+	if _, ok := g.StealBestOverlap([]int{1, 2, 3}); ok {
+		t.Fatal("steal from a group with no workers succeeded")
+	}
+}
+
+func TestStealBestOverlapAllEmptyDeques(t *testing.T) {
+	g := NewGroup(3)
+	if _, ok := g.StealBestOverlap([]int{1, 2, 3}); ok {
+		t.Fatal("steal from all-empty deques succeeded")
+	}
+	if _, ok := g.StealBestOverlap(nil); ok {
+		t.Fatal("steal with no resident set from empty deques succeeded")
+	}
+}
+
+func TestStealBestOverlapTieBreaksTowardLargerTask(t *testing.T) {
+	g := NewGroup(2)
+	// Both top tasks cover items the thief has resident (overlap ties);
+	// the larger region must win.
+	g.Deque(0).PushBottom(region(4))  // items 0..3, 6 pairs
+	g.Deque(1).PushBottom(region(12)) // items 0..11, 66 pairs
+	resident := []int{0, 1, 2, 3}     // fully inside both regions: equal overlap
+	r, ok := g.StealBestOverlap(resident)
+	if !ok || r != region(12) {
+		t.Fatalf("StealBestOverlap = %v, %v; want the larger of the tied tasks", r, ok)
+	}
+	if g.Deque(1).Len() != 0 {
+		t.Fatal("stolen task still queued")
+	}
+}
+
+func TestStealBestOverlapZeroOverlapDegradesToLargest(t *testing.T) {
+	g := NewGroup(2)
+	g.Deque(0).PushBottom(region(4))
+	g.Deque(1).PushBottom(region(8))
+	// Resident items outside every queued region: overlap is 0 for all,
+	// so the steal must still succeed and take the largest task.
+	r, ok := g.StealBestOverlap([]int{100, 101})
+	if !ok || r != region(8) {
+		t.Fatalf("StealBestOverlap = %v, %v; want largest task on zero overlap", r, ok)
+	}
+}
+
+func TestStealBestOverlapPrefersOverlapOverSize(t *testing.T) {
+	g := NewGroup(2)
+	sub := pairs.Root(64).Split() // quadrants with distinct item ranges
+	g.Deque(0).PushBottom(sub[0]) // low items
+	g.Deque(1).PushBottom(region(8))
+	// Resident set matches deque 0's quadrant items; even if another
+	// task were larger, the overlapping one must win.
+	r, ok := g.StealBestOverlap([]int{0, 1, 2, 3, 4, 5})
+	if !ok || r != sub[0] {
+		t.Fatalf("StealBestOverlap = %v, %v; want the overlapping task %v", r, ok, sub[0])
+	}
+}

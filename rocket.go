@@ -32,6 +32,7 @@ import (
 	"rocket/internal/cluster"
 	"rocket/internal/core"
 	"rocket/internal/gpu"
+	"rocket/internal/sched"
 )
 
 // Re-exported core types: see package rocket/internal/core for full
@@ -79,6 +80,39 @@ const GiB = gpu.GiB
 
 // Run executes an all-pairs application on a platform.
 func Run(cfg Config) (*Metrics, error) { return core.Run(cfg) }
+
+// Scheduler types: see package rocket/internal/sched (rocketd) for full
+// documentation.
+type (
+	// QueueConfig configures one multi-job scheduler run.
+	QueueConfig = sched.Config
+	// QueueJob is one all-pairs workload submitted to the scheduler.
+	QueueJob = sched.Job
+	// QueueMetrics is the fleet-wide outcome of a scheduler run.
+	QueueMetrics = sched.Metrics
+	// JobMetrics is one job's outcome within QueueMetrics.
+	JobMetrics = sched.JobMetrics
+	// QueuePolicy selects the placement order of queued jobs.
+	QueuePolicy = sched.Policy
+)
+
+// Queue policies (see sched.Policy).
+const (
+	PolicyFIFO      = sched.PolicyFIFO
+	PolicySJF       = sched.PolicySJF
+	PolicyFairShare = sched.PolicyFairShare
+)
+
+// RunQueue schedules a queue of heterogeneous all-pairs jobs over one
+// shared simulated cluster: jobs lease node partitions, run concurrently
+// through the Rocket runtime, and are placed by the configured policy
+// (FIFO, shortest-job-first, or fair-share across tenants). Results are
+// deterministic for a given seed.
+func RunQueue(cfg QueueConfig) (*QueueMetrics, error) { return sched.Run(cfg) }
+
+// ParseQueuePolicy maps a manifest name ("fifo", "sjf", "fair") to a
+// policy.
+func ParseQueuePolicy(name string) (QueuePolicy, error) { return sched.ParsePolicy(name) }
 
 // DAS5Node returns the paper's DAS-5 node type: 16 cores and a 40 GiB host
 // cache, with the given GPUs installed.

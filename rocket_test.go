@@ -6,6 +6,8 @@ import (
 	"rocket"
 	"rocket/internal/apps/forensics"
 	"rocket/internal/apps/microscopy"
+	"rocket/internal/experiments"
+	"rocket/internal/sim"
 )
 
 func TestHomogeneousPlatform(t *testing.T) {
@@ -77,5 +79,52 @@ func TestRealKernelsThroughPublicAPI(t *testing.T) {
 		if score < -1.01 || score > 1.01 {
 			t.Fatalf("NCC score %v out of range", score)
 		}
+	}
+}
+
+// TestRunQueueMixedPolicies drives the rocketd scheduler through the
+// public API: 16 mixed-app jobs (microscopy, forensics, bioinformatics)
+// scheduled concurrently over one shared cluster under all three
+// policies, with seeded, repeatable results. On the skewed two-tenant
+// mix, fair-share must beat FIFO on mean wait: narrow interactive jobs
+// stop queueing behind wide batch jobs.
+func TestRunQueueMixedPolicies(t *testing.T) {
+	const queueTestNodes = 8
+	opts := experiments.Options{Scale: 25, Seed: 1}
+	waits := make(map[rocket.QueuePolicy]sim.Time)
+	for _, p := range []rocket.QueuePolicy{rocket.PolicyFIFO, rocket.PolicySJF, rocket.PolicyFairShare} {
+		run := func() *rocket.QueueMetrics {
+			m, err := rocket.RunQueue(rocket.QueueConfig{
+				Jobs:   experiments.QueueMix(16, queueTestNodes, opts),
+				Nodes:  queueTestNodes,
+				Policy: p,
+				Seed:   1,
+			})
+			if err != nil {
+				t.Fatalf("policy %v: %v", p, err)
+			}
+			return m
+		}
+		m := run()
+		if m.Completed != 16 || m.Rejected != 0 {
+			t.Fatalf("policy %v: completed %d rejected %d, want 16/0", p, m.Completed, m.Rejected)
+		}
+		apps := make(map[string]bool)
+		for _, j := range m.Jobs {
+			apps[j.App] = true
+		}
+		if len(apps) < 3 {
+			t.Fatalf("policy %v: want >= 3 distinct apps in the mix, got %v", p, apps)
+		}
+		again := run()
+		if m.Makespan != again.Makespan || m.MeanWait != again.MeanWait || m.Pairs != again.Pairs {
+			t.Fatalf("policy %v: results not deterministic: %v/%v vs %v/%v",
+				p, m.Makespan, m.MeanWait, again.Makespan, again.MeanWait)
+		}
+		waits[p] = m.MeanWait
+	}
+	if waits[rocket.PolicyFairShare] >= waits[rocket.PolicyFIFO] {
+		t.Fatalf("fair-share mean wait %v should beat FIFO %v on the skewed mix",
+			waits[rocket.PolicyFairShare], waits[rocket.PolicyFIFO])
 	}
 }
