@@ -3,8 +3,9 @@
 
 GO ?= go
 ROCKET_SCALE ?= 50
+BENCH_RUN ?= local
 
-.PHONY: build test bench lint ci fmt
+.PHONY: build test bench bench-sim bench-json lint ci fmt
 
 build:
 	$(GO) build ./...
@@ -13,8 +14,20 @@ test:
 	$(GO) test -race ./...
 
 # Full evaluation at reporting scale (minutes). CI runs the smoke variant.
-bench:
-	$(GO) test -bench=. -benchmem -run='^$$' .
+# Output is benchstat-friendly: run twice (before/after a change) with
+# `make bench | tee old.txt` / `... new.txt`, then `benchstat old.txt new.txt`.
+bench: bench-sim
+	$(GO) test -bench=. -benchmem -count=1 -run='^$$' .
+
+# Engine microbenchmarks: event dispatch, Wait ping-pong, resource
+# contention (callback vs process), mailbox throughput.
+bench-sim:
+	$(GO) test -bench=. -benchmem -count=1 -run='^$$' ./internal/sim/
+
+# Machine-readable perf trajectory: per-experiment ns/op, allocs/op, and
+# events/sec written to BENCH_$(BENCH_RUN).json.
+bench-json:
+	$(GO) run ./cmd/rocketbench -exp all -scale $(ROCKET_SCALE) -json $(BENCH_RUN) -q
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -26,3 +39,4 @@ fmt:
 
 ci: lint build test
 	ROCKET_SCALE=$(ROCKET_SCALE) $(GO) test -bench=. -benchtime=1x -run='^$$' .
+	ROCKET_SCALE=$(ROCKET_SCALE) $(MAKE) bench-json BENCH_RUN=ci

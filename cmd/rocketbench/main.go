@@ -1,11 +1,15 @@
 // Command rocketbench regenerates the paper's tables and figures from the
-// command line.
+// command line, and doubles as the tracked performance harness: it can
+// profile itself and emit a machine-readable BENCH_<run>.json capturing
+// ns/op, allocs/op, and simulation events/sec per experiment.
 //
 // Usage:
 //
 //	rocketbench -list
 //	rocketbench -exp fig12 [-scale 10] [-seed 1]
 //	rocketbench -exp all -scale 5
+//	rocketbench -exp all -scale 50 -json ci        # writes BENCH_ci.json
+//	rocketbench -exp fig8 -cpuprofile fig8.prof
 //
 // Scale 1 reproduces paper-scale data sets (slow: hours of CPU time);
 // the default 10 preserves all capacity and cost ratios (see
@@ -13,20 +17,57 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rocket/internal/experiments"
+	"rocket/internal/sim"
 )
+
+// expResult is one experiment's benchmark record in BENCH_<run>.json.
+type expResult struct {
+	ID    string `json:"id"`
+	Paper string `json:"paper"`
+	// NsPerOp is the wall-clock nanoseconds of one full experiment run.
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp is the number of heap allocations during the run.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	// Events is the number of simulation events dispatched by the run
+	// (summed over all inner environments).
+	Events uint64 `json:"events"`
+	// EventsPerSec is the dispatch throughput: Events / wall seconds.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// OutputSHA256 fingerprints the rendered experiment output, so runs
+	// can be compared for bit-identical results across engine changes.
+	OutputSHA256 string `json:"output_sha256"`
+}
+
+// benchReport is the top-level BENCH_<run>.json document.
+type benchReport struct {
+	Run         string      `json:"run"`
+	Scale       int         `json:"scale"`
+	Seed        uint64      `json:"seed"`
+	GoVersion   string      `json:"go_version"`
+	UnixTime    int64       `json:"unix_time"`
+	Experiments []expResult `json:"experiments"`
+}
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run, or \"all\"")
-		scale = flag.Int("scale", 10, "workload scale divisor (1 = paper scale)")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		list  = flag.Bool("list", false, "list available experiments")
+		exp        = flag.String("exp", "", "experiment id to run, or \"all\"")
+		scale      = flag.Int("scale", 10, "workload scale divisor (1 = paper scale)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		list       = flag.Bool("list", false, "list available experiments")
+		jsonRun    = flag.String("json", "", "run name: write per-experiment metrics to BENCH_<name>.json")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		quiet      = flag.Bool("q", false, "suppress experiment output (timings only)")
 	)
 	flag.Parse()
 
@@ -39,6 +80,20 @@ func main() {
 			os.Exit(2)
 		}
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	opts := experiments.Options{Scale: *scale, Seed: *seed}
@@ -54,14 +109,72 @@ func main() {
 		toRun = []experiments.Experiment{e}
 	}
 
+	report := benchReport{
+		Run:       *jsonRun,
+		Scale:     opts.Scale,
+		Seed:      opts.Seed,
+		GoVersion: runtime.Version(),
+		UnixTime:  time.Now().Unix(),
+	}
+	var mem runtime.MemStats
 	for _, e := range toRun {
+		runtime.ReadMemStats(&mem)
+		allocs0 := mem.Mallocs
+		events0 := sim.GlobalEvents()
 		start := time.Now()
 		out, err := e.Run(opts)
+		wall := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s (%s): %s ===\n%s(completed in %v wall time)\n\n",
-			e.ID, e.Paper, e.Description, out, time.Since(start).Round(time.Millisecond))
+		runtime.ReadMemStats(&mem)
+		events := sim.GlobalEvents() - events0
+		r := expResult{
+			ID:           e.ID,
+			Paper:        e.Paper,
+			NsPerOp:      wall.Nanoseconds(),
+			AllocsPerOp:  mem.Mallocs - allocs0,
+			Events:       events,
+			EventsPerSec: float64(events) / wall.Seconds(),
+			OutputSHA256: fmt.Sprintf("%x", sha256.Sum256([]byte(out))),
+		}
+		report.Experiments = append(report.Experiments, r)
+		if *quiet {
+			fmt.Printf("%-18s %12v  %12d allocs  %10d events  %14.0f events/sec\n",
+				e.ID, wall.Round(time.Millisecond), r.AllocsPerOp, r.Events, r.EventsPerSec)
+			continue
+		}
+		fmt.Printf("=== %s (%s): %s ===\n%s(completed in %v wall time, %d events, %.0f events/sec)\n\n",
+			e.ID, e.Paper, e.Description, out, wall.Round(time.Millisecond), r.Events, r.EventsPerSec)
+	}
+
+	if *jsonRun != "" {
+		path := "BENCH_" + *jsonRun + ".json"
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments)\n", path, len(report.Experiments))
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -11,7 +11,6 @@
 package cache
 
 import (
-	"container/list"
 	"fmt"
 	"sort"
 
@@ -46,12 +45,68 @@ type slot struct {
 	st      state
 	readers int
 	data    interface{} // optional payload (real-kernel mode)
-	// elem is the slot's position in the LRU list while evictable.
-	elem *list.Element
+	// prev/next link the slot into the LRU ring while evictable; both are
+	// nil while the slot is pinned or mid-write. Intrusive links avoid a
+	// container/list element allocation on every pin/release cycle.
+	prev, next *slot
 	// turned becomes non-nil while a writer is filling the slot; waiters
 	// block on it and re-check state when it fires.
 	turned *sim.Signal
 }
+
+// lruList is an intrusive doubly-linked list of evictable slots, least
+// recently used at the front. The zero value is not ready; call init.
+type lruList struct {
+	root slot // sentinel: root.next is the front, root.prev the back
+	n    int
+}
+
+func (l *lruList) init() {
+	l.root.next = &l.root
+	l.root.prev = &l.root
+}
+
+func (l *lruList) len() int { return l.n }
+
+// front returns the least-recently-used slot, or nil when empty.
+func (l *lruList) front() *slot {
+	if l.n == 0 {
+		return nil
+	}
+	return l.root.next
+}
+
+func (l *lruList) insert(s, after *slot) {
+	s.prev = after
+	s.next = after.next
+	s.prev.next = s
+	s.next.prev = s
+	l.n++
+}
+
+// pushBack appends s at the most-recently-used end.
+func (l *lruList) pushBack(s *slot) { l.insert(s, l.root.prev) }
+
+// pushFront prepends s at the least-recently-used end.
+func (l *lruList) pushFront(s *slot) { l.insert(s, &l.root) }
+
+// remove unlinks s; s.onList() turns false.
+func (l *lruList) remove(s *slot) {
+	s.prev.next = s.next
+	s.next.prev = s.prev
+	s.prev = nil
+	s.next = nil
+	l.n--
+}
+
+// moveToBack re-positions s at the most-recently-used end.
+func (l *lruList) moveToBack(s *slot) {
+	l.remove(s)
+	l.pushBack(s)
+}
+
+// onList reports whether the slot is linked into the LRU ring.
+func (s *slot) onList() bool { return s.next != nil }
 
 // Stats counts cache activity.
 type Stats struct {
@@ -62,8 +117,16 @@ type Stats struct {
 	Stalls    uint64 // acquisitions that had to wait for a free slot
 }
 
+// waiter is a party blocked because every slot was pinned: a parked
+// process or a retry callback. Exactly one of p and fn is set.
+type waiter struct {
+	p  *sim.Proc
+	fn func()
+}
+
 // Cache is a fixed-capacity slot cache. It is not safe for OS-level
-// concurrency; all access happens from simulation processes.
+// concurrency; all access happens in simulation context (processes or
+// scheduler callbacks).
 type Cache struct {
 	name     string
 	slotSize int64
@@ -71,9 +134,9 @@ type Cache struct {
 	index    map[int]*slot
 	// lru holds evictable slots (READ with zero readers, or empty), least
 	// recently used at the front.
-	lru *list.List
-	// freeWaiters are processes blocked because every slot was pinned.
-	freeWaiters []*sim.Proc
+	lru lruList
+	// freeWaiters are parties blocked because every slot was pinned.
+	freeWaiters []waiter
 	stats       Stats
 	policy      Policy
 	rng         *stats.RNG
@@ -101,13 +164,13 @@ func NewWithPolicy(name string, capacity int, slotSize int64, policy Policy, rng
 		name:     name,
 		slotSize: slotSize,
 		index:    make(map[int]*slot, capacity),
-		lru:      list.New(),
 		policy:   policy,
 		rng:      rng,
 	}
+	c.lru.init()
 	for i := 0; i < capacity; i++ {
 		s := &slot{item: -1, st: stateEmpty}
-		s.elem = c.lru.PushBack(s)
+		c.lru.pushBack(s)
 		c.slots = append(c.slots, s)
 	}
 	return c
@@ -163,11 +226,10 @@ func (c *Cache) Warm(item int, data interface{}) bool {
 	if _, ok := c.index[item]; ok {
 		return false
 	}
-	e := c.lru.Front()
-	if e == nil {
+	s := c.lru.front()
+	if s == nil {
 		return false
 	}
-	s := e.Value.(*slot)
 	if s.item >= 0 {
 		// Warming never evicts live data; it only consumes empty slots.
 		return false
@@ -177,7 +239,7 @@ func (c *Cache) Warm(item int, data interface{}) bool {
 	s.readers = 0
 	s.data = data
 	c.index[item] = s
-	c.lru.MoveToBack(e)
+	c.lru.moveToBack(s)
 	return true
 }
 
@@ -227,81 +289,120 @@ func (h *Handle) SetData(d interface{}) {
 // Acquire blocks while the item is being written by another job, and
 // blocks when no slot can be evicted (every slot pinned).
 func (c *Cache) Acquire(p *sim.Proc, item int) (*Handle, bool) {
+	c.validateAcquire(item)
+	for {
+		h, hit, turn := c.tryOnce(item)
+		if h != nil {
+			return h, hit
+		}
+		if turn != nil {
+			// Another job is loading this item; wait for the turn signal,
+			// then retry (the write may have been aborted).
+			p.WaitSignal(turn)
+			continue
+		}
+		c.freeWaiters = append(c.freeWaiters, waiter{p: p})
+		p.Park()
+	}
+}
+
+// AcquireFunc is the callback analogue of Acquire: fn receives the handle
+// and hit flag once the item is available. When the item is resident in
+// READ state, or a slot is immediately evictable, fn runs inline before
+// AcquireFunc returns — mirroring Acquire's non-blocking paths. Otherwise
+// fn is re-attempted in scheduler context each time the blocking condition
+// (a write in progress, or every slot pinned) clears. fn must not block.
+func (c *Cache) AcquireFunc(e *sim.Env, item int, fn func(h *Handle, hit bool)) {
+	c.validateAcquire(item)
+	c.acquireStep(e, item, fn)
+}
+
+func (c *Cache) acquireStep(e *sim.Env, item int, fn func(h *Handle, hit bool)) {
+	h, hit, turn := c.tryOnce(item)
+	if h != nil {
+		fn(h, hit)
+		return
+	}
+	retry := func() { c.acquireStep(e, item, fn) }
+	if turn != nil {
+		turn.OnFire(e, retry)
+		return
+	}
+	c.freeWaiters = append(c.freeWaiters, waiter{fn: retry})
+}
+
+func (c *Cache) validateAcquire(item int) {
 	if len(c.slots) == 0 {
 		panic(fmt.Sprintf("cache %q: Acquire on zero-capacity cache", c.name))
 	}
 	if item < 0 {
 		panic(fmt.Sprintf("cache %q: negative item %d", c.name, item))
 	}
-	for {
-		if s, ok := c.index[item]; ok {
-			switch s.st {
-			case stateRead:
-				c.stats.Hits++
-				c.pin(s)
-				return &Handle{c: c, s: s, item: item}, true
-			case stateWrite:
-				// Another job is loading this item; wait for the turn
-				// signal, then retry (the write may have been aborted).
-				c.stats.WaitHits++
-				p.WaitSignal(s.turned)
-				continue
-			default:
-				panic(fmt.Sprintf("cache %q: indexed slot in empty state", c.name))
-			}
+}
+
+// tryOnce performs one non-blocking acquisition attempt. It returns a
+// handle on success; a turn signal when the item is mid-write; or neither
+// when every slot is pinned (the caller must park on freeWaiters).
+func (c *Cache) tryOnce(item int) (*Handle, bool, *sim.Signal) {
+	if s, ok := c.index[item]; ok {
+		switch s.st {
+		case stateRead:
+			c.stats.Hits++
+			c.pin(s)
+			return &Handle{c: c, s: s, item: item}, true, nil
+		case stateWrite:
+			c.stats.WaitHits++
+			return nil, false, s.turned
+		default:
+			panic(fmt.Sprintf("cache %q: indexed slot in empty state", c.name))
 		}
-		// Miss: take an evictable slot per the configured policy.
-		e := c.victim()
-		if e == nil {
-			c.stats.Stalls++
-			c.freeWaiters = append(c.freeWaiters, p)
-			p.Park()
-			continue
-		}
-		s := e.Value.(*slot)
-		c.lru.Remove(e)
-		s.elem = nil
-		if s.item >= 0 {
-			c.stats.Evictions++
-			delete(c.index, s.item)
-		}
-		c.stats.Misses++
-		s.item = item
-		s.st = stateWrite
-		s.readers = 0
-		s.data = nil
-		s.turned = sim.NewSignal()
-		c.index[item] = s
-		return &Handle{c: c, s: s, item: item, Write: true}, false
 	}
+	// Miss: take an evictable slot per the configured policy.
+	s := c.victim()
+	if s == nil {
+		c.stats.Stalls++
+		return nil, false, nil
+	}
+	c.lru.remove(s)
+	if s.item >= 0 {
+		c.stats.Evictions++
+		delete(c.index, s.item)
+	}
+	c.stats.Misses++
+	s.item = item
+	s.st = stateWrite
+	s.readers = 0
+	s.data = nil
+	s.turned = sim.NewSignal()
+	c.index[item] = s
+	return &Handle{c: c, s: s, item: item, Write: true}, false, nil
 }
 
 // victim selects the slot to evict: the list front for LRU (least
 // recently used), or a uniformly random list element for PolicyRandom.
 // Empty slots are still preferred under PolicyRandom: evicting live data
 // while free slots exist would be strictly wasteful.
-func (c *Cache) victim() *list.Element {
-	if c.policy == PolicyLRU || c.lru.Len() <= 1 {
-		return c.lru.Front()
+func (c *Cache) victim() *slot {
+	if c.policy == PolicyLRU || c.lru.len() <= 1 {
+		return c.lru.front()
 	}
-	if front := c.lru.Front(); front.Value.(*slot).item < 0 {
+	if front := c.lru.front(); front.item < 0 {
 		return front
 	}
-	k := c.rng.Intn(c.lru.Len())
-	e := c.lru.Front()
+	k := c.rng.Intn(c.lru.len())
+	s := c.lru.front()
 	for i := 0; i < k; i++ {
-		e = e.Next()
+		s = s.next
 	}
-	return e
+	return s
 }
 
 // pin marks one more reader on a READ slot, removing it from the LRU list
 // if it was evictable.
 func (c *Cache) pin(s *slot) {
 	s.readers++
-	if s.elem != nil {
-		c.lru.Remove(s.elem)
-		s.elem = nil
+	if s.onList() {
+		c.lru.remove(s)
 	}
 }
 
@@ -335,7 +436,7 @@ func (h *Handle) Abort(e *sim.Env) {
 	s.data = nil
 	turned := s.turned
 	s.turned = nil
-	s.elem = c.lru.PushFront(s) // empty slots are the first eviction choice
+	c.lru.pushFront(s) // empty slots are the first eviction choice
 	turned.Fire(e)
 	c.wakeFreeWaiters(e)
 }
@@ -356,7 +457,7 @@ func (h *Handle) Release(e *sim.Env) {
 	}
 	s.readers--
 	if s.readers == 0 {
-		s.elem = c.lru.PushBack(s)
+		c.lru.pushBack(s)
 		c.wakeFreeWaiters(e)
 	}
 }
@@ -368,7 +469,11 @@ func (c *Cache) wakeFreeWaiters(e *sim.Env) {
 	waiters := c.freeWaiters
 	c.freeWaiters = nil
 	for _, w := range waiters {
-		e.Unpark(w)
+		if w.p != nil {
+			e.Unpark(w.p)
+		} else {
+			e.Defer(w.fn)
+		}
 	}
 }
 
@@ -388,36 +493,36 @@ func (c *Cache) checkInvariants() error {
 			if s.readers != 0 {
 				return fmt.Errorf("WRITE slot with %d readers", s.readers)
 			}
-			if s.elem != nil {
+			if s.onList() {
 				return fmt.Errorf("WRITE slot on LRU list")
 			}
 			if s.turned == nil {
 				return fmt.Errorf("WRITE slot without turn signal")
 			}
 		case stateRead:
-			if s.readers > 0 && s.elem != nil {
+			if s.readers > 0 && s.onList() {
 				return fmt.Errorf("pinned slot on LRU list")
 			}
-			if s.readers == 0 && s.elem == nil {
+			if s.readers == 0 && !s.onList() {
 				return fmt.Errorf("unpinned READ slot missing from LRU list")
 			}
 		case stateEmpty:
 			if s.item != -1 || s.readers != 0 {
 				return fmt.Errorf("dirty empty slot")
 			}
-			if s.elem == nil {
+			if !s.onList() {
 				return fmt.Errorf("empty slot missing from LRU list")
 			}
 		}
-		if s.elem != nil {
+		if s.onList() {
 			evictable++
 		}
 	}
 	if resident != len(c.index) {
 		return fmt.Errorf("index size %d != resident %d", len(c.index), resident)
 	}
-	if evictable != c.lru.Len() {
-		return fmt.Errorf("lru list length %d != evictable %d", c.lru.Len(), evictable)
+	if evictable != c.lru.len() {
+		return fmt.Errorf("lru list length %d != evictable %d", c.lru.len(), evictable)
 	}
 	return nil
 }

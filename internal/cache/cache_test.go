@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -447,4 +448,104 @@ func TestWarm(t *testing.T) {
 	if err := c.checkInvariants(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestAcquireFuncMirrorsAcquire(t *testing.T) {
+	// The same miss/hit/write-wait sequence through both APIs must produce
+	// identical stats and grant times.
+	run := func(callback bool) (Stats, []sim.Time) {
+		e := sim.NewEnv()
+		c := New("c", 1, 1)
+		var times []sim.Time
+		acquire := func(item int, hold sim.Time) {
+			if callback {
+				c.AcquireFunc(e, item, func(h *Handle, hit bool) {
+					times = append(times, e.Now())
+					if !hit {
+						e.After(hold, func() {
+							h.Publish(e)
+							h.Release(e)
+						})
+						return
+					}
+					h.Release(e)
+				})
+				return
+			}
+			e.Spawn("a", func(p *sim.Proc) {
+				h, hit := c.Acquire(p, item)
+				times = append(times, p.Now())
+				if !hit {
+					p.Wait(hold)
+					h.Publish(p.Env())
+				}
+				h.Release(p.Env())
+			})
+		}
+		acquire(7, sim.Millis(5)) // miss: write lease, published at 5ms
+		acquire(7, 0)             // wait-hit: blocked until publish
+		e.Run()
+		e.Close()
+		return c.Stats(), times
+	}
+	procStats, procTimes := run(false)
+	cbStats, cbTimes := run(true)
+	if procStats != cbStats {
+		t.Fatalf("stats diverge: proc %+v vs callback %+v", procStats, cbStats)
+	}
+	if fmt.Sprint(procTimes) != fmt.Sprint(cbTimes) {
+		t.Fatalf("grant times diverge: proc %v vs callback %v", procTimes, cbTimes)
+	}
+	if cbStats.WaitHits != 1 || cbStats.Misses != 1 {
+		t.Fatalf("unexpected stats %+v", cbStats)
+	}
+}
+
+func TestAcquireFuncWaitsForFreeSlot(t *testing.T) {
+	e := sim.NewEnv()
+	c := New("c", 1, 1)
+	h, hit := writeAndPublish(t, e, c, 1)
+	if hit {
+		t.Fatal("first acquire hit")
+	}
+	var grantedAt sim.Time
+	granted := false
+	c.AcquireFunc(e, 2, func(h2 *Handle, hit bool) {
+		granted, grantedAt = true, e.Now()
+		if hit {
+			t.Error("item 2 cannot hit")
+		}
+		h2.Publish(e)
+		h2.Release(e)
+	})
+	if granted {
+		t.Fatal("AcquireFunc granted while every slot was pinned")
+	}
+	e.After(sim.Millis(3), func() { h.Release(e) })
+	e.Run()
+	e.Close()
+	if !granted || grantedAt != sim.Millis(3) {
+		t.Fatalf("granted=%v at %v, want grant at 3ms", granted, grantedAt)
+	}
+	if c.Stats().Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", c.Stats().Stalls)
+	}
+}
+
+// writeAndPublish inserts item via a write lease and publishes it, keeping
+// the read lease (pinning the slot).
+func writeAndPublish(t *testing.T, e *sim.Env, c *Cache, item int) (*Handle, bool) {
+	t.Helper()
+	var h *Handle
+	var hit bool
+	c.AcquireFunc(e, item, func(got *Handle, gotHit bool) {
+		h, hit = got, gotHit
+		if !gotHit {
+			got.Publish(e)
+		}
+	})
+	if h == nil {
+		t.Fatal("acquire did not complete inline on an empty cache")
+	}
+	return h, hit
 }

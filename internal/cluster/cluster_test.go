@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 
 	"rocket/internal/gpu"
@@ -118,7 +119,7 @@ func TestSendAsyncDoesNotBlock(t *testing.T) {
 	c := twoNodeCluster(t)
 	e := sim.NewEnv()
 	e.Spawn("send", func(p *sim.Proc) {
-		c.Net.SendAsync(p, c.Nodes[0], c.Nodes[1], 7e9, "big")
+		c.Net.SendAsync(p.Env(), c.Nodes[0], c.Nodes[1], 7e9, "big")
 		if p.Now() != 0 {
 			t.Errorf("SendAsync blocked caller until %v", p.Now())
 		}
@@ -174,5 +175,73 @@ func TestDefaultConfigSane(t *testing.T) {
 	}
 	if cfg.NetLatency <= 0 {
 		t.Fatal("default latency must be positive")
+	}
+}
+
+func TestSendFuncMirrorsBlockingSend(t *testing.T) {
+	c := twoNodeCluster(t)
+	e := sim.NewEnv()
+	var returned, delivered sim.Time
+	e.At(0, func() {
+		c.Net.SendFunc(e, c.Nodes[0], c.Nodes[1], 7e9, "big", func() {
+			returned = e.Now()
+		})
+	})
+	e.Spawn("recv", func(p *sim.Proc) {
+		p.Recv(c.Nodes[1].Inbox)
+		delivered = p.Now()
+	})
+	e.Run()
+	e.Close()
+	if returned != sim.Second {
+		t.Errorf("SendFunc continuation at %v, want 1s (after serialization)", returned)
+	}
+	if delivered != sim.Second+c.Net.Latency {
+		t.Errorf("delivery at %v, want 1s + latency", delivered)
+	}
+}
+
+func TestSendFuncLocalInline(t *testing.T) {
+	c := twoNodeCluster(t)
+	e := sim.NewEnv()
+	ran := false
+	c.Net.SendFunc(e, c.Nodes[0], c.Nodes[0], 123, "x", func() { ran = true })
+	if !ran {
+		t.Fatal("local SendFunc must call fn inline")
+	}
+	if c.Nodes[0].Inbox.Len() != 1 {
+		t.Fatal("local SendFunc did not deliver")
+	}
+	if c.Net.BytesSent() != 0 {
+		t.Fatal("local send accounted network bytes")
+	}
+	e.Close()
+}
+
+func TestStorageReadFuncMatchesRead(t *testing.T) {
+	run := func(callback bool) []sim.Time {
+		s := NewStorage(sim.Millis(1), 2e9)
+		e := sim.NewEnv()
+		var done []sim.Time
+		for i := 0; i < 3; i++ {
+			if callback {
+				s.ReadFunc(e, 2e9, func() { done = append(done, e.Now()) })
+			} else {
+				e.Spawn("r", func(p *sim.Proc) {
+					s.Read(p, 2e9)
+					done = append(done, p.Now())
+				})
+			}
+		}
+		e.Run()
+		e.Close()
+		return done
+	}
+	procs, cbs := run(false), run(true)
+	if fmt.Sprint(procs) != fmt.Sprint(cbs) {
+		t.Fatalf("Read %v vs ReadFunc %v: completion times must match", procs, cbs)
+	}
+	if len(cbs) != 3 || cbs[2] != sim.Millis(1)+3*sim.Second {
+		t.Fatalf("shared-bandwidth queueing broken: %v", cbs)
 	}
 }

@@ -64,12 +64,50 @@ func (nw *Network) Send(p *sim.Proc, from, to *Node, size int64, payload interfa
 	})
 }
 
-// SendAsync transmits without blocking the caller: a helper process is
-// spawned to perform the send. Use it when the sender must continue
-// immediately (e.g. forwarding while serving other requests).
-func (nw *Network) SendAsync(p *sim.Proc, from, to *Node, size int64, payload interface{}) {
-	env := p.Env()
-	env.Spawn(from.Name()+"/send", func(sp *sim.Proc) {
-		nw.Send(sp, from, to, size, payload)
+// SendFunc is the callback analogue of Send: it occupies the sender's NIC
+// for the serialization time, schedules delivery Latency later, and then
+// calls fn — at the point where Send would have returned to the blocked
+// caller. Local sends (from == to) deliver immediately and call fn inline.
+// fn must not block.
+func (nw *Network) SendFunc(e *sim.Env, from, to *Node, size int64, payload interface{}, fn func()) {
+	nw.messages++
+	msg := Message{From: from.ID, To: to.ID, Size: size, Payload: payload}
+	if from == to {
+		to.Inbox.Send(e, msg)
+		fn()
+		return
+	}
+	nw.bytesSent += size
+	from.NIC.UseFunc(e, nw.TransferTime(size), func(sim.Time) {
+		e.After(nw.Latency, func() {
+			to.Inbox.Send(e, msg)
+		})
+		fn()
+	})
+}
+
+// SendAsync transmits without blocking the caller: the transfer runs as a
+// callback chain — queue for the sender's NIC, occupy it for the
+// serialization time, then deliver after the propagation latency — with no
+// helper goroutine. Use it when the sender must continue immediately (e.g.
+// forwarding while serving other requests).
+func (nw *Network) SendAsync(env *sim.Env, from, to *Node, size int64, payload interface{}) {
+	// The whole transfer is deferred one event so a burst of SendAsync
+	// calls from a single scheduler slice contends for the NIC (and
+	// delivers local messages) in the same order a burst of spawned sender
+	// processes would have.
+	env.Defer(func() {
+		nw.messages++
+		msg := Message{From: from.ID, To: to.ID, Size: size, Payload: payload}
+		if from == to {
+			to.Inbox.Send(env, msg)
+			return
+		}
+		nw.bytesSent += size
+		from.NIC.UseFunc(env, nw.TransferTime(size), func(sim.Time) {
+			env.After(nw.Latency, func() {
+				to.Inbox.Send(env, msg)
+			})
+		})
 	})
 }

@@ -41,6 +41,18 @@ func (s *Storage) Read(p *sim.Proc, size int64) {
 	p.Use(s.server, sim.Seconds(float64(size)/s.Bandwidth))
 }
 
+// ReadFunc is the callback analogue of Read: it charges the request
+// latency, queues on the shared server bandwidth, and calls fn when the
+// transfer completes — no goroutine involved. fn must not block.
+func (s *Storage) ReadFunc(e *sim.Env, size int64, fn func()) {
+	s.reads++
+	s.bytesRead += size
+	transfer := sim.Seconds(float64(size) / s.Bandwidth)
+	e.After(s.Latency, func() {
+		s.server.UseFunc(e, transfer, func(sim.Time) { fn() })
+	})
+}
+
 // BytesRead returns the cumulative bytes served.
 func (s *Storage) BytesRead() int64 { return s.bytesRead }
 

@@ -9,79 +9,133 @@ import (
 	"rocket/internal/trace"
 )
 
-// useTraced occupies resource r for dur and records the occupancy as a
-// task. The recorded interval starts after the resource is granted, so
-// queueing ahead of a busy resource never inflates its busy time.
-func (rt *runtime) useTraced(p *sim.Proc, r *sim.Resource, dur sim.Time,
-	resource string, class trace.Class, kind trace.Kind, item, item2 int) {
-	p.Acquire(r)
-	start := p.Now()
-	p.Wait(dur)
-	r.Release(p.Env())
-	rt.tracer.Record(trace.Task{
-		Resource: resource, Class: class, Kind: kind,
-		Item: item, Item2: item2, Start: start, End: p.Now(),
+// A comparison job is a pure delay state machine: every step either holds
+// a resource for a span of virtual time or waits on a cache/network
+// condition, then continues. Jobs therefore run as callback chains on the
+// scheduler — no goroutine, no channel handoff per step — which is what
+// lets a run dispatch millions of pair jobs cheaply. Only the worker and
+// server control loops remain processes.
+//
+// Chain steps run in scheduler context and must never block; all waiting
+// is via the callback-completion primitives (sim.Resource.UseFunc,
+// cache.AcquireFunc, dht.FetchFunc, cluster ReadFunc/SendAsync).
+
+// job carries one comparison (i, j) through the pipeline of Fig. 2
+// (bottom): acquire both items via the cache hierarchy, run the compare
+// kernel, move the result, post-process, account completion.
+type job struct {
+	n      *nodeRT
+	d      *devRT
+	i, j   int
+	hi, hj *cache.Handle
+}
+
+// startJob launches the job chain for pair (i, j) on worker w's device.
+// The first step is deferred one event, exactly where the per-job process
+// used to be scheduled to start, so dispatch order is unchanged.
+func (n *nodeRT) startJob(w int, i, j int) {
+	jb := &job{n: n, d: n.devs[w], i: i, j: j}
+	n.rt.env.Defer(jb.start)
+}
+
+func (jb *job) start() {
+	jb.n.acquireItemFunc(jb.d, jb.i, func(h *cache.Handle, err error) {
+		if err != nil {
+			jb.fail(err)
+			return
+		}
+		jb.hi = h
+		jb.n.acquireItemFunc(jb.d, jb.j, func(h *cache.Handle, err error) {
+			if err != nil {
+				jb.hi.Release(jb.n.rt.env)
+				jb.fail(err)
+				return
+			}
+			jb.hj = h
+			jb.compare()
+		})
 	})
 }
 
-// runJob executes one comparison job (i, j) on worker w's device: acquire
-// both items through the cache hierarchy (Fig. 4), run the comparison
-// pipeline (Fig. 2, bottom), and account the completion.
-func (n *nodeRT) runJob(p *sim.Proc, w int, i, j int) {
-	rt := n.rt
-	d := n.devs[w]
-	defer d.jobTokens.Release(rt.env)
+// compare runs the comparison kernel on the GPU.
+func (jb *job) compare() {
+	rt := jb.n.rt
+	jb.d.dev.LaunchKernel(rt.env, rt.app.CompareTime(jb.i, jb.j), func(start sim.Time) {
+		rt.tracer.Record(trace.Task{
+			Resource: jb.d.dev.ID, Class: trace.ClassGPU, Kind: trace.KindCompare,
+			Item: jb.i, Item2: jb.j, Start: start, End: rt.env.Now(),
+		})
+		jb.resultOut()
+	})
+}
 
-	hi, err := n.acquireItem(p, d, i)
-	if err != nil {
-		rt.fail(p, err)
+// resultOut transfers the comparison result device -> host.
+func (jb *job) resultOut() {
+	rt := jb.n.rt
+	rs := rt.app.ResultSize()
+	if rs <= 0 {
+		jb.post()
 		return
 	}
-	hj, err := n.acquireItem(p, d, j)
-	if err != nil {
-		hi.Release(rt.env)
-		rt.fail(p, err)
+	jb.d.dev.CopyD2H(rt.env, rs, func(start sim.Time) {
+		rt.tracer.Record(trace.Task{
+			Resource: jb.d.dev.ID + "/d2h", Class: trace.ClassD2H, Kind: trace.KindD2H,
+			Item: jb.i, Item2: jb.j, Start: start, End: rt.env.Now(),
+		})
+		jb.post()
+	})
+}
+
+// post runs the post-processing step on the CPU pool.
+func (jb *job) post() {
+	rt := jb.n.rt
+	pt := rt.app.PostprocessTime(jb.i, jb.j)
+	if pt <= 0 {
+		jb.finish()
 		return
 	}
+	jb.n.node.CPU.UseFunc(rt.env, pt, func(start sim.Time) {
+		rt.tracer.Record(trace.Task{
+			Resource: jb.n.node.Name() + "/cpu", Class: trace.ClassCPU, Kind: trace.KindPost,
+			Item: jb.i, Item2: jb.j, Start: start, End: rt.env.Now(),
+		})
+		jb.finish()
+	})
+}
 
-	// Comparison kernel on the GPU.
-	rt.useTraced(p, d.dev.Compute, d.dev.KernelTime(rt.app.CompareTime(i, j)),
-		d.dev.ID, trace.ClassGPU, trace.KindCompare, i, j)
-
-	// Result transfer device -> host.
-	if rs := rt.app.ResultSize(); rs > 0 {
-		rt.useTraced(p, d.dev.D2H, d.dev.TransferTime(rs),
-			d.dev.ID+"/d2h", trace.ClassD2H, trace.KindD2H, i, j)
-	}
-
-	// Post-processing on the CPU.
-	if pt := rt.app.PostprocessTime(i, j); pt > 0 {
-		rt.useTraced(p, n.node.CPU, pt,
-			n.node.Name()+"/cpu", trace.ClassCPU, trace.KindPost, i, j)
-	}
-
-	// Real kernels, when the application provides them.
+// finish runs real kernels when provided, releases both leases, and
+// accounts the completed pair. The job token is returned last, mirroring
+// the deferred release of the former per-job process.
+func (jb *job) finish() {
+	rt := jb.n.rt
 	if rt.comp != nil {
-		value, cerr := rt.comp.ComparePair(i, j, hi.Data(), hj.Data())
+		value, cerr := rt.comp.ComparePair(jb.i, jb.j, jb.hi.Data(), jb.hj.Data())
 		if cerr != nil {
-			hi.Release(rt.env)
-			hj.Release(rt.env)
-			rt.fail(p, fmt.Errorf("compare (%d, %d): %w", i, j, cerr))
+			jb.hi.Release(rt.env)
+			jb.hj.Release(rt.env)
+			jb.fail(fmt.Errorf("compare (%d, %d): %w", jb.i, jb.j, cerr))
 			return
 		}
 		if rt.cfg.CollectResults {
-			rt.results = append(rt.results, Result{I: i, J: j, Value: value})
+			rt.results = append(rt.results, Result{I: jb.i, J: jb.j, Value: value})
 		}
 	}
+	jb.hi.Release(rt.env)
+	jb.hj.Release(rt.env)
+	jb.n.pairCompleted(jb.d)
+	jb.d.jobTokens.Release(rt.env)
+}
 
-	hi.Release(rt.env)
-	hj.Release(rt.env)
-	n.pairCompleted(p, d)
+// fail records the error and returns the job token.
+func (jb *job) fail(err error) {
+	rt := jb.n.rt
+	rt.fail(err)
+	jb.d.jobTokens.Release(rt.env)
 }
 
 // pairCompleted updates counters, the per-device throughput series, and
 // fires the completion signal after the final pair.
-func (n *nodeRT) pairCompleted(p *sim.Proc, d *devRT) {
+func (n *nodeRT) pairCompleted(d *devRT) {
 	rt := n.rt
 	rt.pairsDone++
 	if rt.throughput != nil {
@@ -90,7 +144,7 @@ func (n *nodeRT) pairCompleted(p *sim.Proc, d *devRT) {
 			ts = stats.NewTimeSeries(rt.cfg.ThroughputWindow.Seconds())
 			rt.throughput[d.dev.ID] = ts
 		}
-		ts.Add(p.Now().Seconds(), 1)
+		ts.Add(rt.env.Now().Seconds(), 1)
 	}
 	if rt.pairsDone == rt.totalPairs {
 		rt.done.Fire(rt.env)
@@ -98,133 +152,194 @@ func (n *nodeRT) pairCompleted(p *sim.Proc, d *devRT) {
 }
 
 // fail records the first error and unblocks the run.
-func (rt *runtime) fail(p *sim.Proc, err error) {
+func (rt *runtime) fail(err error) {
 	if rt.err == nil {
 		rt.err = err
 	}
 	rt.done.Fire(rt.env)
 }
 
-// acquireItem obtains a read lease for item on device d, walking the
+// acquireItemFunc obtains a read lease for item on device d, walking the
 // hierarchy of Fig. 4: device cache, host cache, distributed cache, and
-// finally the full load pipeline.
-func (n *nodeRT) acquireItem(p *sim.Proc, d *devRT, item int) (*cache.Handle, error) {
+// finally the full load pipeline. fn receives the device-level read lease
+// (or the first error).
+func (n *nodeRT) acquireItemFunc(d *devRT, item int, fn func(*cache.Handle, error)) {
 	rt := n.rt
-	dh, hit := d.cache.Acquire(p, item)
-	if hit {
-		return dh, nil
-	}
-	// Device miss: the device write lease is ours to fill.
-	if n.host == nil {
-		// No host cache: load straight through to the device.
-		data, err := n.load(p, d, item)
+	d.cache.AcquireFunc(rt.env, item, func(dh *cache.Handle, hit bool) {
+		if hit {
+			fn(dh, nil)
+			return
+		}
+		// Device miss: the device write lease is ours to fill.
+		if n.host == nil {
+			// No host cache: load straight through to the device.
+			n.loadFunc(d, item, func(data interface{}, err error) {
+				if err != nil {
+					dh.Abort(rt.env)
+					fn(nil, err)
+					return
+				}
+				dh.SetData(data)
+				dh.Publish(rt.env)
+				fn(dh, nil)
+			})
+			return
+		}
+		n.host.AcquireFunc(rt.env, item, func(hh *cache.Handle, hostHit bool) {
+			if hostHit {
+				n.copyH2D(d, item, func() {
+					dh.SetData(hh.Data())
+					dh.Publish(rt.env)
+					hh.Release(rt.env)
+					fn(dh, nil)
+				})
+				return
+			}
+			// Host miss: we hold the host write lease; try the distributed
+			// cache.
+			if n.dht != nil {
+				start := rt.env.Now()
+				n.dht.FetchFunc(rt.env, item, func(data interface{}, hop int, ok bool) {
+					rt.tracer.Record(trace.Task{
+						Resource: n.node.Name() + "/net", Class: trace.ClassNet, Kind: trace.KindFetch,
+						Item: item, Item2: -1, Start: start, End: rt.env.Now(),
+					})
+					if ok {
+						hh.SetData(data)
+						hh.Publish(rt.env)
+						n.copyH2D(d, item, func() {
+							dh.SetData(data)
+							dh.Publish(rt.env)
+							hh.Release(rt.env)
+							fn(dh, nil)
+						})
+						return
+					}
+					n.loadThrough(d, item, dh, hh, fn)
+				})
+				return
+			}
+			n.loadThrough(d, item, dh, hh, fn)
+		})
+	})
+}
+
+// loadThrough executes the full load pipeline; the result lands on the
+// device first (the last stage runs there), then is copied back so the
+// host cache — and thus the distributed cache — can serve it (§4.1.2).
+func (n *nodeRT) loadThrough(d *devRT, item int, dh, hh *cache.Handle, fn func(*cache.Handle, error)) {
+	rt := n.rt
+	n.loadFunc(d, item, func(data interface{}, err error) {
 		if err != nil {
 			dh.Abort(rt.env)
-			return nil, err
+			hh.Abort(rt.env)
+			fn(nil, err)
+			return
 		}
 		dh.SetData(data)
 		dh.Publish(rt.env)
-		return dh, nil
-	}
-
-	hh, hostHit := n.host.Acquire(p, item)
-	if hostHit {
-		n.copyH2D(p, d, item)
-		dh.SetData(hh.Data())
-		dh.Publish(rt.env)
-		hh.Release(rt.env)
-		return dh, nil
-	}
-
-	// Host miss: we hold the host write lease; try the distributed cache.
-	if n.dht != nil {
-		start := p.Now()
-		data, _, ok := n.dht.Fetch(p, item)
-		rt.tracer.Record(trace.Task{
-			Resource: n.node.Name() + "/net", Class: trace.ClassNet, Kind: trace.KindFetch,
-			Item: item, Item2: -1, Start: start, End: p.Now(),
-		})
-		if ok {
+		n.copyD2H(d, item, func() {
 			hh.SetData(data)
 			hh.Publish(rt.env)
-			n.copyH2D(p, d, item)
-			dh.SetData(data)
-			dh.Publish(rt.env)
 			hh.Release(rt.env)
-			return dh, nil
-		}
-	}
-
-	// Full load pipeline; the result lands on the device first (the last
-	// stage runs there), then is copied back so the host cache — and thus
-	// the distributed cache — can serve it (§4.1.2).
-	data, err := n.load(p, d, item)
-	if err != nil {
-		dh.Abort(rt.env)
-		hh.Abort(rt.env)
-		return nil, err
-	}
-	dh.SetData(data)
-	dh.Publish(rt.env)
-	n.copyD2H(p, d, item)
-	hh.SetData(data)
-	hh.Publish(rt.env)
-	hh.Release(rt.env)
-	return dh, nil
+			fn(dh, nil)
+		})
+	})
 }
 
-// load executes the load pipeline ell(item) of Fig. 2: remote I/O, CPU
+// loadFunc executes the load pipeline ell(item) of Fig. 2: remote I/O, CPU
 // parse, host-to-device transfer, and the GPU pre-processing kernel.
-func (n *nodeRT) load(p *sim.Proc, d *devRT, item int) (interface{}, error) {
+func (n *nodeRT) loadFunc(d *devRT, item int, fn func(interface{}, error)) {
 	rt := n.rt
 	rt.loads++
 
 	// Remote I/O through this node's I/O thread. The interval covers the
 	// whole storage interaction including server-side queueing: that is
 	// exactly the time the paper's I/O thread is occupied.
-	p.Acquire(n.node.IO)
-	start := p.Now()
-	rt.cl.Storage.Read(p, rt.app.FileSize(item))
-	n.node.IO.Release(rt.env)
-	rt.tracer.Record(trace.Task{
-		Resource: n.node.Name() + "/io", Class: trace.ClassIO, Kind: trace.KindIO,
-		Item: item, Item2: -1, Start: start, End: p.Now(),
+	n.node.IO.AcquireFunc(rt.env, func() {
+		start := rt.env.Now()
+		rt.cl.Storage.ReadFunc(rt.env, rt.app.FileSize(item), func() {
+			n.node.IO.Release(rt.env)
+			rt.tracer.Record(trace.Task{
+				Resource: n.node.Name() + "/io", Class: trace.ClassIO, Kind: trace.KindIO,
+				Item: item, Item2: -1, Start: start, End: rt.env.Now(),
+			})
+			n.parseAndStage(d, item, fn)
+		})
 	})
+}
 
-	// Parse on the CPU pool.
+// parseAndStage continues the load pipeline after the I/O stage.
+func (n *nodeRT) parseAndStage(d *devRT, item int, fn func(interface{}, error)) {
+	rt := n.rt
+	stage := func() {
+		n.copyH2D(d, item, func() {
+			n.preprocess(d, item, fn)
+		})
+	}
 	if pt := rt.app.ParseTime(item); pt > 0 {
-		rt.useTraced(p, n.node.CPU, pt,
-			n.node.Name()+"/cpu", trace.ClassCPU, trace.KindParse, item, -1)
+		n.node.CPU.UseFunc(rt.env, pt, func(start sim.Time) {
+			rt.tracer.Record(trace.Task{
+				Resource: n.node.Name() + "/cpu", Class: trace.ClassCPU, Kind: trace.KindParse,
+				Item: item, Item2: -1, Start: start, End: rt.env.Now(),
+			})
+			stage()
+		})
+		return
 	}
+	stage()
+}
 
-	// Transfer the parsed item to the device.
-	n.copyH2D(p, d, item)
-
-	// Pre-process on the GPU.
-	if ppt := rt.app.PreprocessTime(item); ppt > 0 {
-		rt.useTraced(p, d.dev.Compute, d.dev.KernelTime(ppt),
-			d.dev.ID, trace.ClassGPU, trace.KindPreprocess, item, -1)
-	}
-
-	if rt.comp != nil {
-		data, err := rt.comp.LoadItem(item)
-		if err != nil {
-			return nil, fmt.Errorf("load item %d: %w", item, err)
+// preprocess runs the GPU pre-processing kernel and materializes the
+// payload for real-kernel applications.
+func (n *nodeRT) preprocess(d *devRT, item int, fn func(interface{}, error)) {
+	rt := n.rt
+	materialize := func() {
+		if rt.comp != nil {
+			data, err := rt.comp.LoadItem(item)
+			if err != nil {
+				fn(nil, fmt.Errorf("load item %d: %w", item, err))
+				return
+			}
+			fn(data, nil)
+			return
 		}
-		return data, nil
+		fn(nil, nil)
 	}
-	return nil, nil
+	if ppt := rt.app.PreprocessTime(item); ppt > 0 {
+		d.dev.LaunchKernel(rt.env, ppt, func(start sim.Time) {
+			rt.tracer.Record(trace.Task{
+				Resource: d.dev.ID, Class: trace.ClassGPU, Kind: trace.KindPreprocess,
+				Item: item, Item2: -1, Start: start, End: rt.env.Now(),
+			})
+			materialize()
+		})
+		return
+	}
+	materialize()
 }
 
 // copyH2D charges a host-to-device transfer of one item.
-func (n *nodeRT) copyH2D(p *sim.Proc, d *devRT, item int) {
-	n.rt.useTraced(p, d.dev.H2D, d.dev.TransferTime(n.rt.app.ItemSize()),
-		d.dev.ID+"/h2d", trace.ClassH2D, trace.KindH2D, item, -1)
+func (n *nodeRT) copyH2D(d *devRT, item int, fn func()) {
+	rt := n.rt
+	d.dev.CopyH2D(rt.env, rt.app.ItemSize(), func(start sim.Time) {
+		rt.tracer.Record(trace.Task{
+			Resource: d.dev.ID + "/h2d", Class: trace.ClassH2D, Kind: trace.KindH2D,
+			Item: item, Item2: -1, Start: start, End: rt.env.Now(),
+		})
+		fn()
+	})
 }
 
 // copyD2H charges a device-to-host transfer of one item (write-back into
 // the host cache after pre-processing).
-func (n *nodeRT) copyD2H(p *sim.Proc, d *devRT, item int) {
-	n.rt.useTraced(p, d.dev.D2H, d.dev.TransferTime(n.rt.app.ItemSize()),
-		d.dev.ID+"/d2h", trace.ClassD2H, trace.KindD2H, item, -1)
+func (n *nodeRT) copyD2H(d *devRT, item int, fn func()) {
+	rt := n.rt
+	d.dev.CopyD2H(rt.env, rt.app.ItemSize(), func(start sim.Time) {
+		rt.tracer.Record(trace.Task{
+			Resource: d.dev.ID + "/d2h", Class: trace.ClassD2H, Kind: trace.KindD2H,
+			Item: item, Item2: -1, Start: start, End: rt.env.Now(),
+		})
+		fn()
+	})
 }

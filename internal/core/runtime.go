@@ -52,6 +52,8 @@ type nodeRT struct {
 	pendingSteals map[uint64]*sim.Signal
 	stealSeq      uint64
 	victimRNG     *stats.RNG
+	// onMsg is the inbox handler, allocated once at startServer.
+	onMsg func(raw interface{})
 }
 
 // devRT pairs a device with its level-1 cache and its concurrent-job
@@ -128,14 +130,12 @@ func Run(cfg Config) (*Metrics, error) {
 
 	if len(rt.nodes) > 1 {
 		for _, n := range rt.nodes {
-			n := n
-			rt.env.Spawn(n.node.Name()+"/server", func(p *sim.Proc) { n.serverLoop(p) })
+			n.startServer()
 		}
 	}
 	for _, n := range rt.nodes {
 		for w := range n.devs {
-			n, w := n, w
-			rt.env.Spawn(n.devs[w].dev.ID+"/worker", func(p *sim.Proc) { n.workerLoop(p, w) })
+			n.startWorker(w)
 		}
 	}
 
@@ -187,8 +187,8 @@ func (rt *runtime) newNodeRT(node *cluster.Node, rng *stats.RNG) (*nodeRT, error
 			Hops:     rt.cfg.Hops,
 			CtrlSize: rt.cfg.ctrlMsgSize,
 			DataSize: rt.cfg.App.ItemSize(),
-			Send: func(p *sim.Proc, to int, size int64, payload interface{}) {
-				rt.cl.Net.SendAsync(p, node, rt.cl.Nodes[to], size, payload)
+			Send: func(e *sim.Env, to int, size int64, payload interface{}) {
+				rt.cl.Net.SendAsync(e, node, rt.cl.Nodes[to], size, payload)
 			},
 			Lookup: func(item int) (interface{}, bool) {
 				if n.host.Contains(item) {
@@ -249,108 +249,222 @@ func (rt *runtime) prewarm() error {
 	return nil
 }
 
-// serverLoop demultiplexes a node's inbox: distributed-cache protocol
-// messages and steal requests/replies.
-func (n *nodeRT) serverLoop(p *sim.Proc) {
-	for {
-		raw := p.Recv(n.node.Inbox)
-		msg := raw.(cluster.Message)
-		if n.dht != nil && n.dht.Handle(p, msg.Payload) {
-			continue
-		}
-		switch m := msg.Payload.(type) {
-		case stealRequest:
-			var region pairs.Region
-			var ok bool
-			if m.Resident != nil {
-				region, ok = n.group.StealBestOverlap(m.Resident)
-			} else {
-				region, ok = n.group.StealLocal(-1)
-			}
-			reply := stealReply{ID: m.ID, Region: region, OK: ok}
-			n.rt.cl.Net.SendAsync(p, n.node, n.rt.cl.Nodes[m.Thief], n.rt.cfg.ctrlMsgSize, reply)
-		case stealReply:
-			sig, ok := n.pendingSteals[m.ID]
-			if !ok {
-				panic(fmt.Sprintf("core: %s received unexpected steal reply %d", n.node.Name(), m.ID))
-			}
-			delete(n.pendingSteals, m.ID)
-			sig.Value = m
-			sig.Fire(p.Env())
-		default:
-			panic(fmt.Sprintf("core: %s received unknown message %T", n.node.Name(), m))
-		}
-	}
+// startServer registers the node's message handler on its inbox. The
+// server is a callback chain, not a process: no message ever blocks it
+// (all protocol replies go through asynchronous sends), so each inbound
+// message is handled inline in scheduler context. Registration is
+// deferred one event, where the server process used to be scheduled to
+// start.
+func (n *nodeRT) startServer() {
+	n.onMsg = func(raw interface{}) { n.handleMessage(raw) }
+	n.rt.env.Defer(func() { n.node.Inbox.RecvFunc(n.rt.env, n.onMsg) })
 }
 
-// workerLoop is the per-GPU Constellation-style worker: pop local work,
-// steal hierarchically when idle, split non-leaf regions, and submit leaf
-// jobs subject to the concurrent-job limit.
-func (n *nodeRT) workerLoop(p *sim.Proc, w int) {
-	rt := n.rt
-	if rt.totalPairs == 0 {
-		rt.done.Fire(p.Env())
+// handleMessage demultiplexes one inbox message — distributed-cache
+// protocol traffic and steal requests/replies — then re-arms the
+// receiver. Queued bursts drain inline, exactly like the former server
+// process draining its inbox within one wake-up.
+func (n *nodeRT) handleMessage(raw interface{}) {
+	env := n.rt.env
+	msg := raw.(cluster.Message)
+	if n.dht != nil && n.dht.Handle(env, msg.Payload) {
+		n.node.Inbox.RecvFunc(env, n.onMsg)
 		return
 	}
-	deque := n.group.Deque(w)
-	// Failed steals back off exponentially (capped) so fully idle workers
-	// do not flood the cluster with steal requests while long comparisons
-	// drain elsewhere; any success resets the backoff.
-	backoff := rt.cfg.StealBackoff
-	maxBackoff := 256 * rt.cfg.StealBackoff
+	switch m := msg.Payload.(type) {
+	case stealRequest:
+		var region pairs.Region
+		var ok bool
+		if m.Resident != nil {
+			region, ok = n.group.StealBestOverlap(m.Resident)
+		} else {
+			region, ok = n.group.StealLocal(-1)
+		}
+		reply := stealReply{ID: m.ID, Region: region, OK: ok}
+		n.rt.cl.Net.SendAsync(env, n.node, n.rt.cl.Nodes[m.Thief], n.rt.cfg.ctrlMsgSize, reply)
+	case stealReply:
+		sig, ok := n.pendingSteals[m.ID]
+		if !ok {
+			panic(fmt.Sprintf("core: %s received unexpected steal reply %d", n.node.Name(), m.ID))
+		}
+		delete(n.pendingSteals, m.ID)
+		sig.Value = m
+		sig.Fire(env)
+	default:
+		panic(fmt.Sprintf("core: %s received unknown message %T", n.node.Name(), m))
+	}
+	n.node.Inbox.RecvFunc(env, n.onMsg)
+}
+
+// worker is the per-GPU Constellation-style work loop: pop local work,
+// steal hierarchically when idle, split non-leaf regions, and submit leaf
+// jobs subject to the concurrent-job limit. Like the jobs it feeds, a
+// worker is a callback state machine: the pop/split fast path runs as a
+// plain loop, and the three suspension points (steal round-trip, failed-
+// steal backoff, job-token back-pressure) are explicit continuations.
+type worker struct {
+	n     *nodeRT
+	w     int
+	deque *steal.Deque
+	// backoff is the current failed-steal delay. Failed steals back off
+	// exponentially (capped) so fully idle workers do not flood the
+	// cluster with steal requests while long comparisons drain elsewhere;
+	// any success resets the backoff.
+	backoff    sim.Time
+	maxBackoff sim.Time
+	// stepFn caches the step method value so backoff rescheduling does
+	// not allocate a closure per idle round.
+	stepFn func()
+}
+
+// startWorker launches worker w's state machine, deferred one event to
+// the slot where the worker process used to be scheduled to start.
+func (n *nodeRT) startWorker(w int) {
+	wk := &worker{
+		n: n, w: w,
+		deque:      n.group.Deque(w),
+		backoff:    n.rt.cfg.StealBackoff,
+		maxBackoff: 256 * n.rt.cfg.StealBackoff,
+	}
+	wk.stepFn = wk.step
+	n.rt.env.Defer(wk.begin)
+}
+
+func (wk *worker) begin() {
+	rt := wk.n.rt
+	if rt.totalPairs == 0 {
+		rt.done.Fire(rt.env)
+		return
+	}
+	wk.step()
+}
+
+// step runs the work loop until it suspends (steal, backoff, or token
+// wait) or the run completes.
+func (wk *worker) step() {
+	rt := wk.n.rt
 	for !rt.done.Fired() && rt.err == nil {
-		region, ok := deque.PopBottom()
+		region, ok := wk.deque.PopBottom()
 		if !ok {
-			region, ok = n.stealWork(p, w)
+			wk.n.stealFunc(wk.w, wk.onSteal)
+			return
 		}
-		if !ok {
-			p.Wait(backoff)
-			if backoff < maxBackoff {
-				backoff *= 2
-			}
-			continue
-		}
-		backoff = rt.cfg.StealBackoff
-		if region.Count() <= rt.cfg.LeafPairs {
-			n.submitLeaf(p, w, region)
-			continue
-		}
-		kids := region.Split()
-		// Push in reverse so the first quadrant is popped first,
-		// preserving depth-first traversal order.
-		for k := len(kids) - 1; k >= 0; k-- {
-			deque.PushBottom(kids[k])
+		if !wk.dispatch(region) {
+			return
 		}
 	}
 }
 
-// stealWork implements victim selection: same-node workers first, then a
+// dispatch handles one region, reporting whether the loop may continue
+// inline (false: a leaf submission suspended on the job-token limit and
+// will resume the loop itself).
+func (wk *worker) dispatch(region pairs.Region) bool {
+	rt := wk.n.rt
+	if region.Count() <= rt.cfg.LeafPairs {
+		return wk.submitLeaf(region)
+	}
+	kids := region.Split()
+	// Push in reverse so the first quadrant is popped first, preserving
+	// depth-first traversal order.
+	for k := len(kids) - 1; k >= 0; k-- {
+		wk.deque.PushBottom(kids[k])
+	}
+	return true
+}
+
+// onSteal continues the loop after a steal attempt.
+func (wk *worker) onSteal(region pairs.Region, ok bool) {
+	rt := wk.n.rt
+	if !ok {
+		rt.env.After(wk.backoff, wk.stepFn)
+		if wk.backoff < wk.maxBackoff {
+			wk.backoff *= 2
+		}
+		return
+	}
+	wk.backoff = rt.cfg.StealBackoff
+	if rt.done.Fired() || rt.err != nil {
+		return
+	}
+	if wk.dispatch(region) {
+		wk.step()
+	}
+}
+
+// submitLeaf submits every pair of a leaf region as an asynchronous job
+// chain, suspending on the concurrent-job limit (back-pressure). It
+// reports whether it completed inline.
+func (wk *worker) submitLeaf(region pairs.Region) bool {
+	list := make([]pairIJ, 0, region.Count())
+	region.Each(func(i, j int) { list = append(list, pairIJ{i, j}) })
+	return wk.submitFrom(list, 0)
+}
+
+// submitFrom submits list[k:], suspending when the job-token pool is
+// exhausted; the continuation resumes at the same pair once a token frees
+// up, and re-enters the work loop after the last pair.
+func (wk *worker) submitFrom(list []pairIJ, k int) bool {
+	rt := wk.n.rt
+	tokens := wk.n.devs[wk.w].jobTokens
+	for ; k < len(list); k++ {
+		if rt.done.Fired() || rt.err != nil {
+			continue
+		}
+		i, j := list[k].i, list[k].j
+		if rt.cfg.PairFilter != nil && !rt.cfg.PairFilter(i, j) {
+			continue
+		}
+		if tokens.TryAcquire(rt.env) {
+			wk.n.startJob(wk.w, i, j)
+			continue
+		}
+		k := k
+		tokens.AcquireFunc(rt.env, func() {
+			wk.n.startJob(wk.w, list[k].i, list[k].j)
+			if wk.submitFrom(list, k+1) {
+				wk.step()
+			}
+		})
+		return false
+	}
+	return true
+}
+
+type pairIJ struct{ i, j int }
+
+// stealFunc implements victim selection: same-node workers first, then a
 // random remote node (StealHierarchical), or a uniformly random node
-// (StealFlat).
-func (n *nodeRT) stealWork(p *sim.Proc, w int) (pairs.Region, bool) {
+// (StealFlat). Local outcomes complete inline; a remote attempt suspends
+// until the reply arrives and then calls fn in scheduler context.
+func (n *nodeRT) stealFunc(w int, fn func(pairs.Region, bool)) {
 	rt := n.rt
 	if rt.cfg.StealPolicy != StealFlat {
 		if r, ok := n.group.StealLocal(w); ok {
 			rt.localSteals++
-			return r, true
+			fn(r, true)
+			return
 		}
 	}
 	if len(rt.nodes) == 1 {
 		if rt.cfg.StealPolicy == StealFlat {
 			if r, ok := n.group.StealLocal(w); ok {
 				rt.localSteals++
-				return r, true
+				fn(r, true)
+				return
 			}
 		}
-		return pairs.Region{}, false
+		fn(pairs.Region{}, false)
+		return
 	}
 	victim := n.pickVictim()
 	if victim == n.node.ID {
 		if r, ok := n.group.StealLocal(w); ok {
 			rt.localSteals++
-			return r, true
+			fn(r, true)
+			return
 		}
-		return pairs.Region{}, false
+		fn(pairs.Region{}, false)
+		return
 	}
 	n.stealSeq++
 	id := n.stealSeq
@@ -362,23 +476,26 @@ func (n *nodeRT) stealWork(p *sim.Proc, w int) (pairs.Region, bool) {
 		req.Resident = n.host.Items(residentSampleMax)
 		size += 8 * int64(len(req.Resident))
 	}
-	start := p.Now()
-	rt.cl.Net.Send(p, n.node, rt.cl.Nodes[victim], size, req)
-	p.WaitSignal(sig)
-	rep := sig.Value.(stealReply)
-	rt.tracer.Record(trace.Task{
-		Resource: n.node.Name() + "/steal",
-		Class:    trace.ClassNet,
-		Kind:     trace.KindSteal,
-		Item:     victim, Item2: -1,
-		Start: start, End: p.Now(),
+	start := rt.env.Now()
+	rt.cl.Net.SendFunc(rt.env, n.node, rt.cl.Nodes[victim], size, req, func() {
+		sig.OnFire(rt.env, func() {
+			rep := sig.Value.(stealReply)
+			rt.tracer.Record(trace.Task{
+				Resource: n.node.Name() + "/steal",
+				Class:    trace.ClassNet,
+				Kind:     trace.KindSteal,
+				Item:     victim, Item2: -1,
+				Start: start, End: rt.env.Now(),
+			})
+			if !rep.OK {
+				rt.failedSteals++
+				fn(pairs.Region{}, false)
+				return
+			}
+			rt.remoteSteals++
+			fn(rep.Region, true)
+		})
 	})
-	if !rep.OK {
-		rt.failedSteals++
-		return pairs.Region{}, false
-	}
-	rt.remoteSteals++
-	return rep.Region, true
 }
 
 // pickVictim selects a steal target according to the policy.
@@ -393,22 +510,4 @@ func (n *nodeRT) pickVictim() int {
 		v++
 	}
 	return v
-}
-
-// submitLeaf submits every pair of a leaf region as an asynchronous job,
-// blocking on the concurrent-job limit (back-pressure).
-func (n *nodeRT) submitLeaf(p *sim.Proc, w int, region pairs.Region) {
-	rt := n.rt
-	region.Each(func(i, j int) {
-		if rt.done.Fired() || rt.err != nil {
-			return
-		}
-		if rt.cfg.PairFilter != nil && !rt.cfg.PairFilter(i, j) {
-			return
-		}
-		p.Acquire(n.devs[w].jobTokens)
-		rt.env.Spawn(fmt.Sprintf("%s/job(%d,%d)", n.devs[w].dev.ID, i, j), func(jp *sim.Proc) {
-			n.runJob(jp, w, i, j)
-		})
-	})
 }

@@ -49,8 +49,8 @@ type (
 
 // SendFunc transmits a payload of the given size to a peer node without
 // blocking the caller beyond local bookkeeping (the core runtime wires
-// this to an asynchronous network send).
-type SendFunc func(p *sim.Proc, to int, size int64, payload interface{})
+// this to an asynchronous network send, which runs as a callback chain).
+type SendFunc func(e *sim.Env, to int, size int64, payload interface{})
 
 // LookupFunc checks the local host cache for an item and returns its
 // payload. In synthetic (cost-model) runs the payload is nil and only the
@@ -132,15 +132,38 @@ func (e *Engine) CandidateList(item int) []int {
 // lookup succeeded. On failure the caller must execute the load pipeline
 // locally.
 func (e *Engine) Fetch(p *sim.Proc, item int) (interface{}, int, bool) {
+	sig := e.beginFetch(p.Env(), item)
+	p.WaitSignal(sig)
+	rep := sig.Value.(Reply)
+	return e.endFetch(rep)
+}
+
+// FetchFunc is the callback analogue of Fetch: fn receives the payload,
+// the hop the item was found at, and the success flag once the reply
+// arrives. The requesting side never blocks a goroutine; the lookup is a
+// pure message chain. fn must not block.
+func (e *Engine) FetchFunc(env *sim.Env, item int, fn func(data interface{}, hop int, ok bool)) {
+	sig := e.beginFetch(env, item)
+	sig.OnFire(env, func() {
+		fn(e.endFetch(sig.Value.(Reply)))
+	})
+}
+
+// beginFetch registers a pending request, sends it to the mediator, and
+// returns the signal the reply will fire.
+func (e *Engine) beginFetch(env *sim.Env, item int) *sim.Signal {
 	e.metrics.Requests++
 	e.nextID++
 	id := e.nextID
 	sig := sim.NewSignal()
 	e.pending[id] = sig
 	mediator := item % e.cfg.NumNodes
-	e.cfg.Send(p, mediator, e.cfg.CtrlSize, Request{ID: id, Item: item, Requester: e.cfg.NodeID})
-	p.WaitSignal(sig)
-	rep := sig.Value.(Reply)
+	e.cfg.Send(env, mediator, e.cfg.CtrlSize, Request{ID: id, Item: item, Requester: e.cfg.NodeID})
+	return sig
+}
+
+// endFetch accounts a reply and unpacks it.
+func (e *Engine) endFetch(rep Reply) (interface{}, int, bool) {
 	if !rep.Hit {
 		e.metrics.Misses++
 		return nil, 0, false
@@ -154,14 +177,14 @@ func (e *Engine) Fetch(p *sim.Proc, item int) (interface{}, int, bool) {
 // Handle processes one inbound protocol message and returns true if the
 // payload was a DHT message. It never blocks on the network: all sends go
 // through the asynchronous SendFunc.
-func (e *Engine) Handle(p *sim.Proc, payload interface{}) bool {
+func (e *Engine) Handle(env *sim.Env, payload interface{}) bool {
 	switch m := payload.(type) {
 	case Request:
-		e.handleRequest(p, m)
+		e.handleRequest(env, m)
 	case Forward:
-		e.handleForward(p, m)
+		e.handleForward(env, m)
 	case Reply:
-		e.handleReply(p, m)
+		e.handleReply(env, m)
 	default:
 		return false
 	}
@@ -169,7 +192,7 @@ func (e *Engine) Handle(p *sim.Proc, payload interface{}) bool {
 }
 
 // handleRequest implements the mediator role.
-func (e *Engine) handleRequest(p *sim.Proc, m Request) {
+func (e *Engine) handleRequest(env *sim.Env, m Request) {
 	if m.Item%e.cfg.NumNodes != e.cfg.NodeID {
 		panic(fmt.Sprintf("dht: node %d received request for item %d mediated by node %d",
 			e.cfg.NodeID, m.Item, m.Item%e.cfg.NumNodes))
@@ -179,7 +202,7 @@ func (e *Engine) handleRequest(p *sim.Proc, m Request) {
 	// holder, deduplicating and bounding the list at h entries.
 	e.candidates[m.Item] = prepend(chain, m.Requester, e.cfg.Hops)
 	if len(chain) == 0 {
-		e.cfg.Send(p, m.Requester, e.cfg.CtrlSize, Reply{ID: m.ID, Item: m.Item})
+		e.cfg.Send(env, m.Requester, e.cfg.CtrlSize, Reply{ID: m.ID, Item: m.Item})
 		return
 	}
 	fwd := Forward{
@@ -189,19 +212,19 @@ func (e *Engine) handleRequest(p *sim.Proc, m Request) {
 		Chain:     chain[1:],
 		Hop:       1,
 	}
-	e.cfg.Send(p, chain[0], e.cfg.CtrlSize, fwd)
+	e.cfg.Send(env, chain[0], e.cfg.CtrlSize, fwd)
 }
 
 // handleForward implements the candidate role.
-func (e *Engine) handleForward(p *sim.Proc, m Forward) {
+func (e *Engine) handleForward(env *sim.Env, m Forward) {
 	if data, ok := e.cfg.Lookup(m.Item); ok {
-		e.cfg.Send(p, m.Requester, e.cfg.DataSize,
+		e.cfg.Send(env, m.Requester, e.cfg.DataSize,
 			Reply{ID: m.ID, Item: m.Item, Hit: true, Hop: m.Hop, Data: data})
 		return
 	}
 	if len(m.Chain) > 0 {
 		next := m.Chain[0]
-		e.cfg.Send(p, next, e.cfg.CtrlSize, Forward{
+		e.cfg.Send(env, next, e.cfg.CtrlSize, Forward{
 			ID:        m.ID,
 			Item:      m.Item,
 			Requester: m.Requester,
@@ -210,18 +233,18 @@ func (e *Engine) handleForward(p *sim.Proc, m Forward) {
 		})
 		return
 	}
-	e.cfg.Send(p, m.Requester, e.cfg.CtrlSize, Reply{ID: m.ID, Item: m.Item, Hop: m.Hop})
+	e.cfg.Send(env, m.Requester, e.cfg.CtrlSize, Reply{ID: m.ID, Item: m.Item, Hop: m.Hop})
 }
 
 // handleReply completes a pending Fetch.
-func (e *Engine) handleReply(p *sim.Proc, m Reply) {
+func (e *Engine) handleReply(env *sim.Env, m Reply) {
 	sig, ok := e.pending[m.ID]
 	if !ok {
 		panic(fmt.Sprintf("dht: node %d received reply for unknown request %d", e.cfg.NodeID, m.ID))
 	}
 	delete(e.pending, m.ID)
 	sig.Value = m
-	sig.Fire(p.Env())
+	sig.Fire(env)
 }
 
 // prepend inserts v at the front of list, removing an existing occurrence

@@ -36,7 +36,7 @@ func newHarness(t *testing.T, n, hops int) *harness {
 			Hops:     hops,
 			CtrlSize: 100,
 			DataSize: 1 << 20,
-			Send: func(p *sim.Proc, to int, size int64, payload interface{}) {
+			Send: func(e *sim.Env, to int, size int64, payload interface{}) {
 				h.messages++
 				h.env.After(sim.Micros(5), func() {
 					h.inboxes[to].Send(h.env, payload)
@@ -54,7 +54,7 @@ func newHarness(t *testing.T, n, hops int) *harness {
 		h.env.Spawn("server", func(p *sim.Proc) {
 			for {
 				msg := p.Recv(h.inboxes[i])
-				if !h.engines[i].Handle(p, msg) {
+				if !h.engines[i].Handle(p.Env(), msg) {
 					t.Errorf("node %d: unhandled message %v", i, msg)
 				}
 			}
@@ -74,7 +74,7 @@ func (h *harness) fetch(node, item int) (data interface{}, hop int, ok bool) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	send := func(*sim.Proc, int, int64, interface{}) {}
+	send := func(*sim.Env, int, int64, interface{}) {}
 	lookup := func(int) (interface{}, bool) { return nil, false }
 	bad := []Config{
 		{NodeID: 0, NumNodes: 0, Hops: 1, Send: send, Lookup: lookup},
@@ -211,7 +211,7 @@ func TestSelfMediatorAndSelfCandidate(t *testing.T) {
 func TestWrongMediatorPanics(t *testing.T) {
 	eng, err := New(Config{
 		NodeID: 1, NumNodes: 4, Hops: 1, CtrlSize: 1, DataSize: 1,
-		Send:   func(*sim.Proc, int, int64, interface{}) {},
+		Send:   func(*sim.Env, int, int64, interface{}) {},
 		Lookup: func(int) (interface{}, bool) { return nil, false },
 	})
 	if err != nil {
@@ -225,7 +225,7 @@ func TestWrongMediatorPanics(t *testing.T) {
 		}
 	}()
 	e.Spawn("x", func(p *sim.Proc) {
-		eng.Handle(p, Request{ID: 1, Item: 8, Requester: 0}) // 8 mod 4 = 0, not 1
+		eng.Handle(p.Env(), Request{ID: 1, Item: 8, Requester: 0}) // 8 mod 4 = 0, not 1
 	})
 	e.Run()
 }
@@ -235,7 +235,7 @@ func TestUnknownPayloadIgnored(t *testing.T) {
 	defer h.env.Close()
 	handled := true
 	h.env.Spawn("x", func(p *sim.Proc) {
-		handled = h.engines[0].Handle(p, "not a dht message")
+		handled = h.engines[0].Handle(p.Env(), "not a dht message")
 	})
 	h.env.Run()
 	if handled {
@@ -287,5 +287,48 @@ func TestQuickProtocolBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// fetchFunc runs a callback-style lookup and returns the outcome after the
+// protocol completes.
+func (h *harness) fetchFunc(node, item int) (data interface{}, hop int, ok bool) {
+	h.engines[node].FetchFunc(h.env, item, func(d interface{}, hp int, o bool) {
+		data, hop, ok = d, hp, o
+	})
+	h.env.Run()
+	return data, hop, ok
+}
+
+func TestFetchFuncMatchesFetch(t *testing.T) {
+	build := func() *harness {
+		h := newHarness(t, 4, 2)
+		h.holdings[1][5] = "payload" // item 5 mediated by node 1
+		return h
+	}
+	// Prime both the same way: a first fetch from node 1 registers it as a
+	// candidate, so the second fetch (from node 0) hits at hop 1.
+	hp := build()
+	hp.fetch(1, 5)
+	d1, hop1, ok1 := hp.fetch(0, 5)
+	m1 := hp.engines[0].Metrics()
+	msgs1 := hp.messages
+	hp.env.Close()
+
+	hf := build()
+	hf.fetchFunc(1, 5)
+	d2, hop2, ok2 := hf.fetchFunc(0, 5)
+	m2 := hf.engines[0].Metrics()
+	msgs2 := hf.messages
+	hf.env.Close()
+
+	if d1 != d2 || hop1 != hop2 || ok1 != ok2 {
+		t.Fatalf("Fetch (%v,%d,%v) vs FetchFunc (%v,%d,%v)", d1, hop1, ok1, d2, hop2, ok2)
+	}
+	if !ok2 || d2 != "payload" {
+		t.Fatalf("lookup failed: %v %v", d2, ok2)
+	}
+	if m1.Requests != m2.Requests || m1.Misses != m2.Misses || msgs1 != msgs2 {
+		t.Fatalf("metrics diverge: %+v/%d vs %+v/%d", m1, msgs1, m2, msgs2)
 	}
 }

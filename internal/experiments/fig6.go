@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"rocket/internal/core"
@@ -43,42 +43,47 @@ func Fig6(o Options) (string, error) {
 	return b.String(), nil
 }
 
-// classEdge is a start (+1) or end (-1) of a task of one class.
-type classEdge struct {
-	at    sim.Time
-	isA   bool
-	delta int
-}
-
 // overlappedTime returns the total time during which at least one task of
-// class a and one of class b are simultaneously active.
+// class a and one of class b are simultaneously active. Each start/end
+// edge is packed into one uint64 — time in the high bits, then a
+// start/end bit (ends sort first, matching half-open intervals), then the
+// class bit — so the sweep sorts machine words instead of structs.
 func overlappedTime(tasks []trace.Task, a, b trace.Class) sim.Time {
-	var edges []classEdge
+	const (
+		classBit = 1 << 0 // class a (vs class b)
+		startBit = 1 << 1 // interval start (vs end)
+	)
+	pack := func(at sim.Time, bits uint64) uint64 { return uint64(at)<<2 | bits }
+	edges := make([]uint64, 0, 2*len(tasks))
 	for _, t := range tasks {
 		if t.Class != a && t.Class != b {
 			continue
 		}
-		edges = append(edges,
-			classEdge{t.Start, t.Class == a, 1},
-			classEdge{t.End, t.Class == a, -1})
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].at != edges[j].at {
-			return edges[i].at < edges[j].at
+		var cls uint64
+		if t.Class == a {
+			cls = classBit
 		}
-		return edges[i].delta < edges[j].delta // process ends before starts
-	})
+		edges = append(edges,
+			pack(t.Start, startBit|cls),
+			pack(t.End, cls))
+	}
+	slices.Sort(edges)
 	var actA, actB int
 	var last, acc sim.Time
 	for _, e := range edges {
+		at := sim.Time(e >> 2)
 		if actA > 0 && actB > 0 {
-			acc += e.at - last
+			acc += at - last
 		}
-		last = e.at
-		if e.isA {
-			actA += e.delta
+		last = at
+		delta := -1
+		if e&startBit != 0 {
+			delta = 1
+		}
+		if e&classBit != 0 {
+			actA += delta
 		} else {
-			actB += e.delta
+			actB += delta
 		}
 	}
 	return acc

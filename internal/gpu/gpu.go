@@ -95,3 +95,25 @@ func (d *Device) KernelTime(base sim.Time) sim.Time {
 func (d *Device) TransferTime(size int64) sim.Time {
 	return sim.Seconds(float64(size) / d.PCIeBW)
 }
+
+// LaunchKernel occupies the compute queue for a baseline duration scaled
+// by the device speed, then calls fn with the grant time (the occupancy
+// ran [start, e.Now()]). Like a real asynchronous kernel launch it never
+// blocks the caller: queueing, execution, and completion run as a
+// zero-allocation callback chain in the simulator, with no goroutine per
+// launch. fn must not block.
+func (d *Device) LaunchKernel(e *sim.Env, base sim.Time, fn func(start sim.Time)) {
+	d.Compute.UseFunc(e, d.KernelTime(base), fn)
+}
+
+// CopyH2D occupies the host-to-device copy engine for size bytes, then
+// calls fn with the grant time. See LaunchKernel.
+func (d *Device) CopyH2D(e *sim.Env, size int64, fn func(start sim.Time)) {
+	d.H2D.UseFunc(e, d.TransferTime(size), fn)
+}
+
+// CopyD2H occupies the device-to-host copy engine for size bytes, then
+// calls fn with the grant time. See LaunchKernel.
+func (d *Device) CopyD2H(e *sim.Env, size int64, fn func(start sim.Time)) {
+	d.D2H.UseFunc(e, d.TransferTime(size), fn)
+}

@@ -84,3 +84,42 @@ func TestNewBadModelPanics(t *testing.T) {
 	}()
 	New("x", Model{Name: "broken"})
 }
+
+func TestLaunchKernelOccupiesCompute(t *testing.T) {
+	e := sim.NewEnv()
+	d := New("n0/gpu0", TitanXPascal) // speed 1.65
+	base := sim.Millis(33)
+	var intervals [][2]sim.Time
+	for i := 0; i < 2; i++ {
+		d.LaunchKernel(e, base, func(start sim.Time) {
+			intervals = append(intervals, [2]sim.Time{start, e.Now()})
+		})
+	}
+	e.Run()
+	e.Close()
+	dur := d.KernelTime(base)
+	want := [][2]sim.Time{{0, dur}, {dur, 2 * dur}}
+	for i := range want {
+		if intervals[i] != want[i] {
+			t.Fatalf("kernel %d occupancy %v, want %v (compute queue must serialize)",
+				i, intervals[i], want[i])
+		}
+	}
+	if d.Compute.BusyTime(e.Now()) != 2*dur {
+		t.Fatalf("compute busy %v, want %v", d.Compute.BusyTime(e.Now()), 2*dur)
+	}
+}
+
+func TestCopyEnginesIndependent(t *testing.T) {
+	e := sim.NewEnv()
+	d := New("n0/gpu0", TitanXMaxwell)
+	var h2dEnd, d2hEnd sim.Time
+	size := int64(12e9) // 1 second on the default PCIe engine
+	d.CopyH2D(e, size, func(sim.Time) { h2dEnd = e.Now() })
+	d.CopyD2H(e, size, func(sim.Time) { d2hEnd = e.Now() })
+	e.Run()
+	e.Close()
+	if h2dEnd != sim.Second || d2hEnd != sim.Second {
+		t.Fatalf("copies ended at %v / %v, want 1s each (independent engines)", h2dEnd, d2hEnd)
+	}
+}

@@ -1,0 +1,188 @@
+package sim
+
+import "testing"
+
+// The engine's performance contract, enforced here and measured by the
+// benchmarks below:
+//
+//   - dispatching a plain callback event costs zero heap allocations once
+//     the queue has grown to its steady-state capacity;
+//   - process resume/yield costs two channel handoffs but no allocations;
+//   - the callback-completion primitives allocate only their continuation
+//     closures, never per-event queue boxes.
+
+func TestZeroAllocEventDispatch(t *testing.T) {
+	e := NewEnv()
+	fn := func() {}
+	// Warm the queue so the backing array is at capacity.
+	for i := 0; i < 1024; i++ {
+		e.After(Time(i), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("event schedule+dispatch allocates %.1f objects/event, want 0", allocs)
+	}
+}
+
+func TestZeroAllocResourceGrant(t *testing.T) {
+	e := NewEnv()
+	r := NewResource("r", 1)
+	fn := func() { r.Release(e) }
+	// Warm the waiter slice and event queue.
+	for i := 0; i < 64; i++ {
+		r.AcquireFunc(e, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.AcquireFunc(e, fn) // grants inline, releases inline
+	})
+	if allocs != 0 {
+		t.Fatalf("uncontended acquire/release allocates %.1f objects, want 0", allocs)
+	}
+}
+
+func TestZeroAllocWaitDispatch(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("p", func(p *Proc) {
+		for {
+			p.Wait(1)
+		}
+	})
+	e.Step() // start the process; it parks in Wait
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Step() // resume, re-Wait, yield
+	})
+	if allocs != 0 {
+		t.Fatalf("process Wait dispatch allocates %.1f objects/event, want 0", allocs)
+	}
+	e.Close()
+}
+
+// BenchmarkEventDispatch measures the raw queue push+pop+call cycle.
+func BenchmarkEventDispatch(b *testing.B) {
+	e := NewEnv()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEventQueueChurn measures push/pop with a deep queue (realistic
+// steady state: thousands of in-flight events).
+func BenchmarkEventQueueChurn(b *testing.B) {
+	e := NewEnv()
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		e.After(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(4096, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkWaitPingPong measures the goroutine process path: one resume +
+// one yield (two channel handoffs) per simulated Wait.
+func BenchmarkWaitPingPong(b *testing.B) {
+	e := NewEnv()
+	e.Spawn("p", func(p *Proc) {
+		for {
+			p.Wait(1)
+		}
+	})
+	e.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.StopTimer()
+	e.Close()
+}
+
+// BenchmarkTimerChain measures AfterFunc self-rescheduling, the pattern
+// callback state machines reduce to.
+func BenchmarkTimerChain(b *testing.B) {
+	e := NewEnv()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		e.AfterFunc(1, tick)
+	}
+	e.AfterFunc(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkResourceContentionCallback measures a capacity-1 resource with
+// a deep callback wait queue: one grant hand-off per Step pair.
+func BenchmarkResourceContentionCallback(b *testing.B) {
+	e := NewEnv()
+	r := NewResource("r", 1)
+	var use func(start Time)
+	use = func(start Time) {
+		r.UseFunc(e, 1, use)
+	}
+	for i := 0; i < 64; i++ {
+		r.UseFunc(e, 1, use)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkResourceContentionProcs is the process-based counterpart of
+// BenchmarkResourceContentionCallback: the same contended semaphore, paid
+// for with goroutine handoffs.
+func BenchmarkResourceContentionProcs(b *testing.B) {
+	e := NewEnv()
+	r := NewResource("r", 1)
+	for i := 0; i < 64; i++ {
+		e.Spawn("u", func(p *Proc) {
+			for {
+				p.Use(r, 1)
+			}
+		})
+	}
+	for i := 0; i < 64; i++ {
+		e.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.StopTimer()
+	e.Close()
+}
+
+// BenchmarkMailboxThroughput measures send → callback-deliver cycles.
+func BenchmarkMailboxThroughput(b *testing.B) {
+	e := NewEnv()
+	m := NewMailbox("m")
+	var recv func(v interface{})
+	recv = func(v interface{}) {
+		m.RecvFunc(e, recv)
+	}
+	m.RecvFunc(e, recv)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(e, i)
+		e.Step()
+	}
+}

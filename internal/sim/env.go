@@ -1,8 +1,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // Env is a discrete-event simulation environment. All processes, resources,
@@ -10,7 +10,7 @@ import (
 // from a single OS goroutine (the one that calls Run or Step).
 type Env struct {
 	now     Time
-	events  eventHeap
+	events  eventQueue
 	seq     uint64
 	live    map[*Proc]struct{}
 	yield   chan yieldKind
@@ -20,10 +20,26 @@ type Env struct {
 	// the goroutine driving the scheduler, so user panics surface normally.
 	panicked bool
 	panicVal interface{}
-	// eventsProcessed counts scheduler dispatches; useful for perf metrics
-	// and for loop-bound assertions in tests.
+	// eventsProcessed counts scheduler dispatches: process resumes, timer
+	// firings, and inline callbacks. Stale wake-ups for finished processes
+	// and stopped timers are skipped without being counted, so the metric
+	// reflects useful dispatch work only.
 	eventsProcessed uint64
+	// flushed tracks how much of eventsProcessed has been added to the
+	// process-wide counter (see GlobalEvents).
+	flushed uint64
 }
+
+// globalEvents accumulates dispatches over all Envs in the process,
+// including the per-job inner simulations the scheduler runs on separate
+// goroutines. Envs add their counts in bulk when Run/RunUntil/Close
+// return, so the hot dispatch loop never touches the atomic.
+var globalEvents atomic.Uint64
+
+// GlobalEvents returns the total number of events dispatched by all
+// environments in this process so far. Benchmark harnesses read it before
+// and after a run to derive an events/second rate.
+func GlobalEvents() uint64 { return globalEvents.Load() }
 
 type yieldKind int
 
@@ -32,30 +48,34 @@ const (
 	yieldDone                     // process function returned
 )
 
+// eventKind discriminates the queue entry variants.
+type eventKind uint8
+
+const (
+	evFn       eventKind = iota // run fn inline in scheduler context
+	evProc                      // resume proc (skip if finished)
+	evTimer                     // fire timer (skip if stopped)
+	evUseGrant                  // unit of res granted: begin the timed hold
+	evUseEnd                    // timed hold over: release res, call useFn(useStart)
+)
+
+// event is one entry of the queue. The use variants exist so the hot
+// "occupy a resource for d, then continue" pattern costs zero closure
+// allocations: the resource, continuation, and grant time ride inline in
+// the event (see Resource.UseFunc).
 type event struct {
-	at   Time
-	seq  uint64
-	proc *Proc  // non-nil: resume this process
-	fn   func() // non-nil: run inline in scheduler context (must not block)
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	at    Time
+	seq   uint64
+	kind  eventKind
+	proc  *Proc
+	fn    func()
+	timer *Timer
+	res   *Resource
+	useFn func(start Time)
+	// useStart is the grant time for evUseEnd; useDur the hold duration
+	// for evUseGrant.
+	useStart Time
+	useDur   Time
 }
 
 // NewEnv returns an empty environment at virtual time zero.
@@ -69,8 +89,14 @@ func NewEnv() *Env {
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
-// EventsProcessed returns the number of scheduler dispatches so far.
+// EventsProcessed returns the number of scheduler dispatches so far. Stale
+// wake-ups (events for processes that already finished) and stopped timers
+// are not counted.
 func (e *Env) EventsProcessed() uint64 { return e.eventsProcessed }
+
+// PendingEvents returns the number of queued events, including not yet
+// skipped stale wake-ups and stopped timers.
+func (e *Env) PendingEvents() int { return e.events.Len() }
 
 // LiveProcs returns the number of processes that have been spawned and have
 // not yet finished.
@@ -80,19 +106,44 @@ func (e *Env) schedule(at Time, p *Proc, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", at, e.now))
 	}
+	kind := evFn
+	if p != nil {
+		kind = evProc
+	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, kind: kind, proc: p, fn: fn})
+}
+
+// scheduleUseGrant enqueues the hand-off of a resource unit to a queued
+// UseFunc continuation, at the slot where a process wake-up would go.
+func (e *Env) scheduleUseGrant(r *Resource, d Time, fn func(start Time)) {
+	e.seq++
+	e.events.push(event{at: e.now, seq: e.seq, kind: evUseGrant, res: r, useFn: fn, useDur: d})
+}
+
+// scheduleUseEnd enqueues the completion of a timed resource hold that
+// was granted at start.
+func (e *Env) scheduleUseEnd(r *Resource, d Time, fn func(start Time), start Time) {
+	e.seq++
+	e.events.push(event{at: e.now + d, seq: e.seq, kind: evUseEnd, res: r, useFn: fn, useStart: start})
 }
 
 // At schedules fn to run in scheduler context at virtual time t (>= now).
-// fn must not block; it may wake processes, fire signals, and send to
-// mailboxes.
+// fn must not block; it may wake processes, fire signals, send to
+// mailboxes, and schedule further callbacks.
 func (e *Env) At(t Time, fn func()) {
 	e.schedule(t, nil, fn)
 }
 
 // After schedules fn to run d from now. See At.
 func (e *Env) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Defer schedules fn at the current virtual time, after the events already
+// queued at this instant. It is the callback analogue of waking a process
+// "now": completion callbacks granted by resources, signals, and mailboxes
+// run through Defer-like events so that callback and process waiters
+// interleave in the same FIFO order.
+func (e *Env) Defer(fn func()) { e.schedule(e.now, nil, fn) }
 
 // wake arranges for p to resume at the current virtual time. It must be
 // called at most once per blocked period of p; Signal, Resource, and
@@ -111,6 +162,12 @@ func (e *Env) Unpark(p *Proc) {
 // Spawn creates a new process executing fn and schedules it to start at the
 // current virtual time. It may be called before Run or from inside a running
 // process.
+//
+// A process costs a goroutine plus two channel handoffs per resume. Work
+// that only sleeps and continues — a transfer, a cache fill, a timer chain
+// — is much cheaper as a callback chain via AfterFunc, Resource.UseFunc,
+// Signal.OnFire, and Mailbox.RecvFunc; reserve Spawn for control loops
+// that genuinely block mid-stack.
 func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	if e.closed {
 		panic("sim: Spawn on closed Env")
@@ -127,6 +184,7 @@ func (e *Env) resumeProc(p *Proc, kill bool) {
 	p.resume <- resumeMsg{kill: kill}
 	kind := <-e.yield
 	if kind == yieldDone {
+		p.done = true
 		delete(e.live, p)
 	}
 	if e.panicked {
@@ -136,7 +194,9 @@ func (e *Env) resumeProc(p *Proc, kill bool) {
 }
 
 // Step executes the next pending event, advancing virtual time. It returns
-// false if the event queue is empty.
+// false if the event queue is empty. A stale wake-up (the process already
+// finished) or a stopped timer consumes the queue entry and advances the
+// clock to its timestamp, but does not count as a dispatch.
 func (e *Env) Step() bool {
 	if e.closed {
 		return false
@@ -144,15 +204,31 @@ func (e *Env) Step() bool {
 	if e.events.Len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	e.now = ev.at
-	e.eventsProcessed++
-	if ev.proc != nil {
-		if _, ok := e.live[ev.proc]; !ok {
-			return true // stale wake-up for a finished process
+	switch ev.kind {
+	case evProc:
+		if ev.proc.done {
+			return true // stale wake-up for a finished process: skip, uncounted
 		}
+		e.eventsProcessed++
 		e.resumeProc(ev.proc, false)
-	} else if ev.fn != nil {
+	case evTimer:
+		if ev.timer.state != timerPending {
+			return true // stopped timer: skip, uncounted
+		}
+		ev.timer.state = timerFired
+		e.eventsProcessed++
+		ev.timer.fn()
+	case evUseGrant:
+		e.eventsProcessed++
+		e.scheduleUseEnd(ev.res, ev.useDur, ev.useFn, e.now)
+	case evUseEnd:
+		e.eventsProcessed++
+		ev.res.Release(e)
+		ev.useFn(ev.useStart)
+	default:
+		e.eventsProcessed++
 		ev.fn()
 	}
 	return true
@@ -166,40 +242,52 @@ func (e *Env) Run() {
 		panic("sim: Run is not reentrant")
 	}
 	e.running = true
-	defer func() { e.running = false }()
+	defer func() {
+		e.running = false
+		e.flushGlobalEvents()
+	}()
 	for e.Step() {
 	}
 }
 
 // RunUntil executes events with timestamps <= t and then sets the clock to
-// t. It returns the number of events processed.
+// t. It returns the number of events dispatched (stale wake-ups and
+// stopped timers excluded). Events scheduled exactly at t are executed.
 func (e *Env) RunUntil(t Time) uint64 {
 	if e.running {
 		panic("sim: RunUntil is not reentrant")
 	}
 	e.running = true
-	defer func() { e.running = false }()
-	var n uint64
-	for e.events.Len() > 0 && e.events[0].at <= t {
+	start := e.eventsProcessed
+	defer func() {
+		e.running = false
+		e.flushGlobalEvents()
+	}()
+	for e.events.Len() > 0 && e.events.minTime() <= t {
 		e.Step()
-		n++
 	}
 	if e.now < t {
 		e.now = t
 	}
-	return n
+	return e.eventsProcessed - start
 }
 
 // Close terminates all still-live processes by unwinding them with a
 // sentinel panic at their next blocking point, then marks the Env unusable.
-// It is safe to call Close multiple times. Close must not be called from
-// inside a process.
+// All pending events are dropped: callbacks scheduled with At/After/Defer
+// and timers armed with AfterFunc never run. It is safe to call Close
+// multiple times. Close must not be called from inside a process or while
+// Run or RunUntil is executing.
 func (e *Env) Close() {
+	if e.running {
+		panic("sim: Close is not reentrant with Run or RunUntil")
+	}
 	if e.closed {
 		return
 	}
-	// Drain pending wake-ups first so no process is resumed twice.
-	e.events = nil
+	// Drop pending wake-ups, callbacks, and timers so no process is resumed
+	// twice and no fn runs after shutdown.
+	e.events = eventQueue{}
 	for p := range e.live {
 		e.resumeProc(p, true)
 	}
@@ -207,4 +295,14 @@ func (e *Env) Close() {
 		panic(fmt.Sprintf("sim: %d processes survived Close", len(e.live)))
 	}
 	e.closed = true
+	e.flushGlobalEvents()
+}
+
+// flushGlobalEvents publishes this Env's dispatch count increments to the
+// process-wide counter.
+func (e *Env) flushGlobalEvents() {
+	if d := e.eventsProcessed - e.flushed; d > 0 {
+		globalEvents.Add(d)
+		e.flushed = e.eventsProcessed
+	}
 }

@@ -1,13 +1,27 @@
 package sim
 
+// mwaiter is one blocked receiver: a process or a callback. Exactly one of
+// p and fn is set.
+type mwaiter struct {
+	p  *Proc
+	fn func(v interface{})
+}
+
 // Mailbox is an unbounded FIFO message queue. Any simulation code may Send;
-// processes block in Recv until a message is available. Messages are
-// delivered in send order, and blocked receivers are served FIFO.
+// processes block in Recv (and callbacks register with RecvFunc) until a
+// message is available. Messages are delivered in send order, and blocked
+// receivers — processes and callbacks alike — are served FIFO.
 type Mailbox struct {
 	name    string
 	q       []interface{}
-	waiters []*Proc
+	waiters []mwaiter
 	sent    uint64
+	// pendingFn holds callback receivers that have been woken by a Send
+	// but whose delivery event has not dispatched yet; deliverFn is the
+	// single reusable dispatcher closure, so waking a callback receiver
+	// allocates nothing.
+	pendingFn []func(v interface{})
+	deliverFn func()
 }
 
 // NewMailbox returns an empty mailbox.
@@ -29,19 +43,58 @@ func (m *Mailbox) Send(e *Env, v interface{}) {
 	if len(m.waiters) > 0 {
 		w := m.waiters[0]
 		m.waiters = m.waiters[1:]
-		e.wake(w)
+		if w.p != nil {
+			e.wake(w.p)
+		} else {
+			m.pendingFn = append(m.pendingFn, w.fn)
+			if m.deliverFn == nil {
+				m.deliverFn = m.deliverNext
+			}
+			e.Defer(m.deliverFn)
+		}
 	}
+}
+
+// deliverNext runs the longest-woken callback receiver: like a woken
+// process it takes the head message at dispatch time, and re-queues the
+// receiver if the message was snatched (e.g. by TryRecv) between wake-up
+// and dispatch.
+func (m *Mailbox) deliverNext() {
+	fn := m.pendingFn[0]
+	m.pendingFn[0] = nil
+	m.pendingFn = m.pendingFn[1:]
+	if len(m.q) == 0 {
+		m.waiters = append(m.waiters, mwaiter{fn: fn})
+		return
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	fn(v)
 }
 
 // Recv blocks until a message is available and returns it.
 func (p *Proc) Recv(m *Mailbox) interface{} {
 	for len(m.q) == 0 {
-		m.waiters = append(m.waiters, p)
+		m.waiters = append(m.waiters, mwaiter{p: p})
 		p.yieldBlockedAndWait()
 	}
 	v := m.q[0]
 	m.q = m.q[1:]
 	return v
+}
+
+// RecvFunc delivers the next message to fn. When a message is already
+// queued, fn runs inline before RecvFunc returns — mirroring Recv's
+// non-blocking path. Otherwise fn joins the FIFO receiver queue and runs
+// in scheduler context when a message arrives. fn must not block.
+func (m *Mailbox) RecvFunc(e *Env, fn func(v interface{})) {
+	if len(m.q) > 0 {
+		v := m.q[0]
+		m.q = m.q[1:]
+		fn(v)
+		return
+	}
+	m.waiters = append(m.waiters, mwaiter{fn: fn})
 }
 
 // TryRecv returns the next message if one is queued, without blocking.

@@ -9,6 +9,9 @@ type Proc struct {
 	name   string
 	env    *Env
 	resume chan resumeMsg
+	// done is set by the scheduler when the process function returns; it
+	// lets the dispatch loop skip stale wake-ups without a map lookup.
+	done bool
 }
 
 type resumeMsg struct {

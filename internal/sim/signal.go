@@ -1,11 +1,19 @@
 package sim
 
+// swaiter is one party waiting on a signal: a blocked process or a
+// callback. Exactly one of p and fn is set.
+type swaiter struct {
+	p  *Proc
+	fn func()
+}
+
 // Signal is a one-shot broadcast condition. Processes block on WaitSignal
-// until Fire is called, after which all current and future waiters proceed
-// immediately. The zero value is an unfired signal.
+// and callbacks register with OnFire until Fire is called, after which all
+// current and future waiters proceed immediately. The zero value is an
+// unfired signal.
 type Signal struct {
 	fired   bool
-	waiters []*Proc
+	waiters []swaiter
 	// Value optionally carries a payload set by the firing party, e.g. the
 	// result of an asynchronous operation.
 	Value interface{}
@@ -18,14 +26,19 @@ func NewSignal() *Signal { return &Signal{} }
 func (s *Signal) Fired() bool { return s.fired }
 
 // Fire marks the signal fired and wakes all waiters at the current virtual
-// time. Firing an already-fired signal is a no-op.
+// time, in registration order: blocked processes resume and callbacks run
+// in scheduler context. Firing an already-fired signal is a no-op.
 func (s *Signal) Fire(e *Env) {
 	if s.fired {
 		return
 	}
 	s.fired = true
 	for _, w := range s.waiters {
-		e.wake(w)
+		if w.p != nil {
+			e.wake(w.p)
+		} else {
+			e.Defer(w.fn)
+		}
 	}
 	s.waiters = nil
 }
@@ -36,6 +49,17 @@ func (p *Proc) WaitSignal(s *Signal) {
 	if s.fired {
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	s.waiters = append(s.waiters, swaiter{p: p})
 	p.yieldBlockedAndWait()
+}
+
+// OnFire arranges for fn to run when the signal fires. If the signal has
+// already fired, fn runs inline before OnFire returns — mirroring
+// WaitSignal's immediate return. fn must not block.
+func (s *Signal) OnFire(e *Env, fn func()) {
+	if s.fired {
+		fn()
+		return
+	}
+	s.waiters = append(s.waiters, swaiter{fn: fn})
 }

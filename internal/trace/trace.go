@@ -5,9 +5,10 @@
 package trace
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 
 	"rocket/internal/sim"
@@ -167,31 +168,49 @@ func (tr *Tracer) Merge(other *Tracer) {
 // timeline in start order, the Fig. 6 view. Limit caps the number of rows
 // (0 = no limit).
 func (tr *Tracer) WriteTimeline(w io.Writer, limit int) error {
-	tasks := append([]Task(nil), tr.tasks...)
-	sort.SliceStable(tasks, func(i, j int) bool {
-		if tasks[i].Resource != tasks[j].Resource {
-			return tasks[i].Resource < tasks[j].Resource
-		}
-		return tasks[i].Start < tasks[j].Start
-	})
-	if limit > 0 && len(tasks) > limit {
-		tasks = tasks[:limit]
+	// Bucket task indices by resource first, then sort each bucket by
+	// (Start, index): resources are few, so this replaces the per-element
+	// string comparisons of one big sort — which dominated the whole
+	// Fig. 6 rendering path — with cheap integer sorts. Moving indices
+	// instead of the ~64-byte tasks keeps the swaps allocation-free.
+	buckets := make(map[string][]int)
+	for i := range tr.tasks {
+		buckets[tr.tasks[i].Resource] = append(buckets[tr.tasks[i].Resource], i)
 	}
-	var last string
-	for _, t := range tasks {
-		if t.Resource != last {
-			if _, err := fmt.Fprintf(w, "== %s ==\n", t.Resource); err != nil {
+	names := make([]string, 0, len(buckets))
+	for name := range buckets {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	rows := 0
+	for _, name := range names {
+		if limit > 0 && rows >= limit {
+			break
+		}
+		idx := buckets[name]
+		slices.SortFunc(idx, func(i, j int) int {
+			if c := cmp.Compare(tr.tasks[i].Start, tr.tasks[j].Start); c != 0 {
+				return c
+			}
+			return cmp.Compare(i, j)
+		})
+		if _, err := fmt.Fprintf(w, "== %s ==\n", name); err != nil {
+			return err
+		}
+		for _, i := range idx {
+			if limit > 0 && rows >= limit {
+				break
+			}
+			t := tr.tasks[i]
+			items := fmt.Sprintf("item %d", t.Item)
+			if t.Item2 >= 0 {
+				items = fmt.Sprintf("pair (%d, %d)", t.Item, t.Item2)
+			}
+			if _, err := fmt.Fprintf(w, "  %12v .. %-12v %-11s %s\n",
+				t.Start, t.End, t.Kind, items); err != nil {
 				return err
 			}
-			last = t.Resource
-		}
-		items := fmt.Sprintf("item %d", t.Item)
-		if t.Item2 >= 0 {
-			items = fmt.Sprintf("pair (%d, %d)", t.Item, t.Item2)
-		}
-		if _, err := fmt.Fprintf(w, "  %12v .. %-12v %-11s %s\n",
-			t.Start, t.End, t.Kind, items); err != nil {
-			return err
+			rows++
 		}
 	}
 	return nil
