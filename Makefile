@@ -5,13 +5,20 @@ GO ?= go
 ROCKET_SCALE ?= 50
 BENCH_RUN ?= local
 
-.PHONY: build test bench bench-sim bench-json lint ci fmt
+.PHONY: build test race-stress bench bench-sim bench-json lint ci fmt
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+
+# Mirrors the workflow's race-stress step: exercise the parallel
+# inner-sim workers and fault-recovery paths repeatedly under -race with
+# different worker-pool widths.
+race-stress:
+	GOMAXPROCS=2 $(GO) test -race -count=2 ./internal/sched/ ./internal/core/
+	GOMAXPROCS=8 $(GO) test -race -count=2 ./internal/sched/ ./internal/core/
 
 # Full evaluation at reporting scale (minutes). CI runs the smoke variant.
 # Output is benchstat-friendly: run twice (before/after a change) with
@@ -37,6 +44,6 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build test
+ci: lint build test race-stress
 	ROCKET_SCALE=$(ROCKET_SCALE) $(GO) test -bench=. -benchtime=1x -run='^$$' .
 	ROCKET_SCALE=$(ROCKET_SCALE) $(MAKE) bench-json BENCH_RUN=ci

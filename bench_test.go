@@ -78,3 +78,9 @@ func BenchmarkAblationBackoff(b *testing.B)     { benchExperiment(b, "ablation-b
 // two-tenant mix, reporting makespan, mean wait, and utilization.
 
 func BenchmarkQueueScaling(b *testing.B) { benchExperiment(b, "queue-scaling") }
+
+// Fault-injection subsystem: crash/straggler/partition sweep with
+// steal-based recovery, reporting completion-time inflation against the
+// failure-free baseline.
+
+func BenchmarkResilience(b *testing.B) { benchExperiment(b, "resilience") }

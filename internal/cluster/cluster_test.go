@@ -245,3 +245,109 @@ func TestStorageReadFuncMatchesRead(t *testing.T) {
 		t.Fatalf("shared-bandwidth queueing broken: %v", cbs)
 	}
 }
+
+// The message and byte counters must agree on what a "message" is: fabric
+// transfers only. Loopback sends (from == to) touch neither counter, over
+// every send variant.
+func TestNetworkCountersAgreeOnLocalSends(t *testing.T) {
+	c := twoNodeCluster(t)
+	e := sim.NewEnv()
+	e.Spawn("local", func(p *sim.Proc) {
+		c.Net.Send(p, c.Nodes[0], c.Nodes[0], 1e6, "a")
+	})
+	c.Net.SendFunc(e, c.Nodes[0], c.Nodes[0], 1e6, "b", func() {})
+	c.Net.SendAsync(e, c.Nodes[0], c.Nodes[0], 1e6, "c")
+	e.Run()
+	if c.Net.Messages() != 0 || c.Net.BytesSent() != 0 {
+		t.Fatalf("loopback counted: messages=%d bytes=%d, want 0/0",
+			c.Net.Messages(), c.Net.BytesSent())
+	}
+	e.Spawn("remote", func(p *sim.Proc) {
+		c.Net.Send(p, c.Nodes[0], c.Nodes[1], 1e6, "d")
+	})
+	c.Net.SendFunc(e, c.Nodes[0], c.Nodes[1], 2e6, "e", func() {})
+	c.Net.SendAsync(e, c.Nodes[0], c.Nodes[1], 3e6, "f")
+	e.Run()
+	e.Close()
+	if c.Net.Messages() != 3 || c.Net.BytesSent() != 6e6 {
+		t.Fatalf("fabric accounting: messages=%d bytes=%d, want 3/6e6",
+			c.Net.Messages(), c.Net.BytesSent())
+	}
+	if c.Nodes[0].Inbox.Len() != 3 || c.Nodes[1].Inbox.Len() != 3 {
+		t.Fatalf("deliveries: local=%d remote=%d, want 3/3",
+			c.Nodes[0].Inbox.Len(), c.Nodes[1].Inbox.Len())
+	}
+}
+
+func TestNetworkDropsToDeadNode(t *testing.T) {
+	c := twoNodeCluster(t)
+	e := sim.NewEnv()
+	alive := []bool{true, false}
+	var drops []Message
+	c.Net.SetAliveFunc(func(n int) bool { return alive[n] })
+	c.Net.SetDropFunc(func(_ *sim.Env, m Message) { drops = append(drops, m) })
+	c.Net.SendAsync(e, c.Nodes[0], c.Nodes[1], 1e6, "lost")
+	e.Run()
+	if len(drops) != 1 || drops[0].Payload != "lost" {
+		t.Fatalf("drops = %+v", drops)
+	}
+	if c.Net.Dropped() != 1 || c.Net.Messages() != 0 || c.Net.BytesSent() != 0 {
+		t.Fatalf("send-time drop accounting: dropped=%d messages=%d bytes=%d",
+			c.Net.Dropped(), c.Net.Messages(), c.Net.BytesSent())
+	}
+	if c.Nodes[1].Inbox.Len() != 0 {
+		t.Fatal("message delivered to dead node")
+	}
+	e.Close()
+}
+
+func TestNetworkDropsInFlightWhenReceiverDies(t *testing.T) {
+	c := twoNodeCluster(t)
+	e := sim.NewEnv()
+	alive := []bool{true, true}
+	var drops int
+	c.Net.SetAliveFunc(func(n int) bool { return alive[n] })
+	c.Net.SetDropFunc(func(_ *sim.Env, m Message) { drops++ })
+	c.Net.SendAsync(e, c.Nodes[0], c.Nodes[1], 7e9, "in-flight") // 1s serialization
+	e.At(sim.Millis(500), func() { alive[1] = false })           // dies mid-transfer
+	e.Run()
+	e.Close()
+	if drops != 1 || c.Net.Dropped() != 1 {
+		t.Fatalf("in-flight drop not notified: drops=%d", drops)
+	}
+	// The transfer was transmitted, so it stays in the fabric counters.
+	if c.Net.Messages() != 1 || c.Net.BytesSent() != 7e9 {
+		t.Fatalf("messages=%d bytes=%d", c.Net.Messages(), c.Net.BytesSent())
+	}
+	if c.Nodes[1].Inbox.Len() != 0 {
+		t.Fatal("message delivered after death")
+	}
+}
+
+func TestNetworkLinkPartitionAndDegradation(t *testing.T) {
+	c := twoNodeCluster(t)
+	e := sim.NewEnv()
+	state := LinkState{Up: false, LatencyFactor: 1, BandwidthFactor: 1}
+	c.Net.SetLinkFunc(func(from, to int) LinkState { return state })
+	var drops int
+	c.Net.SetDropFunc(func(_ *sim.Env, m Message) { drops++ })
+	c.Net.SendAsync(e, c.Nodes[0], c.Nodes[1], 1e6, "cut")
+	e.Run()
+	if drops != 1 {
+		t.Fatalf("partitioned link delivered: drops=%d", drops)
+	}
+	// Degraded: 2x latency, 4x serialization.
+	state = LinkState{Up: true, LatencyFactor: 2, BandwidthFactor: 4}
+	var gotAt sim.Time
+	e.Spawn("recv", func(p *sim.Proc) {
+		p.Recv(c.Nodes[1].Inbox)
+		gotAt = p.Now()
+	})
+	c.Net.SendAsync(e, c.Nodes[0], c.Nodes[1], 7e9, "slow") // 1s healthy
+	e.Run()
+	e.Close()
+	want := 4*sim.Second + 2*c.Net.Latency
+	if gotAt != want {
+		t.Fatalf("degraded delivery at %v, want %v", gotAt, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rocket/internal/cluster"
+	"rocket/internal/fault"
 	"rocket/internal/sim"
 )
 
@@ -90,6 +91,13 @@ type Config struct {
 	StealBackoff sim.Time
 	// StealPolicy selects victim selection; default StealHierarchical.
 	StealPolicy StealPolicy
+
+	// Faults, when non-nil and non-empty, injects the deterministic fault
+	// schedule (node crashes/restarts, straggler GPUs, degraded or
+	// partitioned links) into the run and enables steal-based recovery.
+	// With a nil or empty schedule every fault path is dormant and the
+	// run is bit-identical to a failure-free build.
+	Faults *fault.Schedule
 
 	// ctrlMsgSize is the wire size of control messages.
 	ctrlMsgSize int64

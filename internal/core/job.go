@@ -19,33 +19,53 @@ import (
 // Chain steps run in scheduler context and must never block; all waiting
 // is via the callback-completion primitives (sim.Resource.UseFunc,
 // cache.AcquireFunc, dht.FetchFunc, cluster ReadFunc/SendAsync).
+//
+// Fault semantics: a job is pinned to its node's epoch. When the node
+// crashes, the epoch advances and every suspended step of the old epoch
+// quenches at its next resumption — it stops without touching the rebuilt
+// caches or token pool (its own handles reference only the orphaned
+// objects) and, for the one cluster-durable resource it may hold (the I/O
+// thread), releases it first. The crashed pair itself is re-exposed by
+// recovery, so nothing is double-counted and nothing is lost.
 
 // job carries one comparison (i, j) through the pipeline of Fig. 2
 // (bottom): acquire both items via the cache hierarchy, run the compare
 // kernel, move the result, post-process, account completion.
 type job struct {
-	n      *nodeRT
-	d      *devRT
-	i, j   int
-	hi, hj *cache.Handle
+	n     *nodeRT
+	d     *devRT
+	epoch int
+	i, j  int
+	hi    *cache.Handle
+	hj    *cache.Handle
 }
 
 // startJob launches the job chain for pair (i, j) on worker w's device.
 // The first step is deferred one event, exactly where the per-job process
 // used to be scheduled to start, so dispatch order is unchanged.
 func (n *nodeRT) startJob(w int, i, j int) {
-	jb := &job{n: n, d: n.devs[w], i: i, j: j}
+	jb := &job{n: n, d: n.devs[w], epoch: n.epoch, i: i, j: j}
+	if n.rt.inj != nil {
+		n.inflight[pairIJ{i, j}] = struct{}{}
+	}
 	n.rt.env.Defer(jb.start)
 }
 
+// stale reports whether the job belongs to a crashed incarnation of its
+// node. Stale steps stop silently; recovery already re-exposed the pair.
+func (jb *job) stale() bool { return jb.epoch != jb.n.epoch }
+
 func (jb *job) start() {
-	jb.n.acquireItemFunc(jb.d, jb.i, func(h *cache.Handle, err error) {
+	if jb.stale() {
+		return
+	}
+	jb.acquireItemFunc(jb.i, func(h *cache.Handle, err error) {
 		if err != nil {
 			jb.fail(err)
 			return
 		}
 		jb.hi = h
-		jb.n.acquireItemFunc(jb.d, jb.j, func(h *cache.Handle, err error) {
+		jb.acquireItemFunc(jb.j, func(h *cache.Handle, err error) {
 			if err != nil {
 				jb.hi.Release(jb.n.rt.env)
 				jb.fail(err)
@@ -61,6 +81,9 @@ func (jb *job) start() {
 func (jb *job) compare() {
 	rt := jb.n.rt
 	jb.d.dev.LaunchKernel(rt.env, rt.app.CompareTime(jb.i, jb.j), func(start sim.Time) {
+		if jb.stale() {
+			return
+		}
 		rt.tracer.Record(trace.Task{
 			Resource: jb.d.dev.ID, Class: trace.ClassGPU, Kind: trace.KindCompare,
 			Item: jb.i, Item2: jb.j, Start: start, End: rt.env.Now(),
@@ -78,6 +101,9 @@ func (jb *job) resultOut() {
 		return
 	}
 	jb.d.dev.CopyD2H(rt.env, rs, func(start sim.Time) {
+		if jb.stale() {
+			return
+		}
 		rt.tracer.Record(trace.Task{
 			Resource: jb.d.dev.ID + "/d2h", Class: trace.ClassD2H, Kind: trace.KindD2H,
 			Item: jb.i, Item2: jb.j, Start: start, End: rt.env.Now(),
@@ -95,6 +121,9 @@ func (jb *job) post() {
 		return
 	}
 	jb.n.node.CPU.UseFunc(rt.env, pt, func(start sim.Time) {
+		if jb.stale() {
+			return
+		}
 		rt.tracer.Record(trace.Task{
 			Resource: jb.n.node.Name() + "/cpu", Class: trace.ClassCPU, Kind: trace.KindPost,
 			Item: jb.i, Item2: jb.j, Start: start, End: rt.env.Now(),
@@ -122,32 +151,47 @@ func (jb *job) finish() {
 	}
 	jb.hi.Release(rt.env)
 	jb.hj.Release(rt.env)
-	jb.n.pairCompleted(jb.d)
+	jb.n.pairCompleted(jb)
 	jb.d.jobTokens.Release(rt.env)
 }
 
 // fail records the error and returns the job token.
 func (jb *job) fail(err error) {
 	rt := jb.n.rt
+	if rt.inj != nil {
+		delete(jb.n.inflight, pairIJ{jb.i, jb.j})
+	}
 	rt.fail(err)
 	jb.d.jobTokens.Release(rt.env)
 }
 
 // pairCompleted updates counters, the per-device throughput series, and
 // fires the completion signal after the final pair.
-func (n *nodeRT) pairCompleted(d *devRT) {
+func (n *nodeRT) pairCompleted(jb *job) {
 	rt := n.rt
+	if rt.inj != nil {
+		delete(n.inflight, pairIJ{jb.i, jb.j})
+	}
 	rt.pairsDone++
 	if rt.throughput != nil {
-		ts, ok := rt.throughput[d.dev.ID]
+		ts, ok := rt.throughput[jb.d.dev.ID]
 		if !ok {
 			ts = stats.NewTimeSeries(rt.cfg.ThroughputWindow.Seconds())
-			rt.throughput[d.dev.ID] = ts
+			rt.throughput[jb.d.dev.ID] = ts
 		}
 		ts.Add(rt.env.Now().Seconds(), 1)
 	}
 	if rt.pairsDone == rt.totalPairs {
+		rt.markFinished()
 		rt.done.Fire(rt.env)
+	}
+}
+
+// markFinished pins the completion time (see runtime.finishedAt).
+func (rt *runtime) markFinished() {
+	if !rt.finished {
+		rt.finished = true
+		rt.finishedAt = rt.env.Now()
 	}
 }
 
@@ -156,24 +200,28 @@ func (rt *runtime) fail(err error) {
 	if rt.err == nil {
 		rt.err = err
 	}
+	rt.markFinished()
 	rt.done.Fire(rt.env)
 }
 
-// acquireItemFunc obtains a read lease for item on device d, walking the
-// hierarchy of Fig. 4: device cache, host cache, distributed cache, and
-// finally the full load pipeline. fn receives the device-level read lease
-// (or the first error).
-func (n *nodeRT) acquireItemFunc(d *devRT, item int, fn func(*cache.Handle, error)) {
-	rt := n.rt
-	d.cache.AcquireFunc(rt.env, item, func(dh *cache.Handle, hit bool) {
+// acquireItemFunc obtains a read lease for item on the job's device,
+// walking the hierarchy of Fig. 4: device cache, host cache, distributed
+// cache, and finally the full load pipeline. fn receives the device-level
+// read lease (or the first error).
+func (jb *job) acquireItemFunc(item int, fn func(*cache.Handle, error)) {
+	rt := jb.n.rt
+	jb.d.cache.AcquireFunc(rt.env, item, func(dh *cache.Handle, hit bool) {
+		if jb.stale() {
+			return
+		}
 		if hit {
 			fn(dh, nil)
 			return
 		}
 		// Device miss: the device write lease is ours to fill.
-		if n.host == nil {
+		if jb.n.host == nil {
 			// No host cache: load straight through to the device.
-			n.loadFunc(d, item, func(data interface{}, err error) {
+			jb.loadFunc(item, func(data interface{}, err error) {
 				if err != nil {
 					dh.Abort(rt.env)
 					fn(nil, err)
@@ -185,9 +233,12 @@ func (n *nodeRT) acquireItemFunc(d *devRT, item int, fn func(*cache.Handle, erro
 			})
 			return
 		}
-		n.host.AcquireFunc(rt.env, item, func(hh *cache.Handle, hostHit bool) {
+		jb.n.host.AcquireFunc(rt.env, item, func(hh *cache.Handle, hostHit bool) {
+			if jb.stale() {
+				return
+			}
 			if hostHit {
-				n.copyH2D(d, item, func() {
+				jb.copyH2D(item, func() {
 					dh.SetData(hh.Data())
 					dh.Publish(rt.env)
 					hh.Release(rt.env)
@@ -197,17 +248,20 @@ func (n *nodeRT) acquireItemFunc(d *devRT, item int, fn func(*cache.Handle, erro
 			}
 			// Host miss: we hold the host write lease; try the distributed
 			// cache.
-			if n.dht != nil {
+			if jb.n.dht != nil {
 				start := rt.env.Now()
-				n.dht.FetchFunc(rt.env, item, func(data interface{}, hop int, ok bool) {
+				jb.n.dht.FetchFunc(rt.env, item, func(data interface{}, hop int, ok bool) {
+					if jb.stale() {
+						return
+					}
 					rt.tracer.Record(trace.Task{
-						Resource: n.node.Name() + "/net", Class: trace.ClassNet, Kind: trace.KindFetch,
+						Resource: jb.n.node.Name() + "/net", Class: trace.ClassNet, Kind: trace.KindFetch,
 						Item: item, Item2: -1, Start: start, End: rt.env.Now(),
 					})
 					if ok {
 						hh.SetData(data)
 						hh.Publish(rt.env)
-						n.copyH2D(d, item, func() {
+						jb.copyH2D(item, func() {
 							dh.SetData(data)
 							dh.Publish(rt.env)
 							hh.Release(rt.env)
@@ -215,11 +269,11 @@ func (n *nodeRT) acquireItemFunc(d *devRT, item int, fn func(*cache.Handle, erro
 						})
 						return
 					}
-					n.loadThrough(d, item, dh, hh, fn)
+					jb.loadThrough(item, dh, hh, fn)
 				})
 				return
 			}
-			n.loadThrough(d, item, dh, hh, fn)
+			jb.loadThrough(item, dh, hh, fn)
 		})
 	})
 }
@@ -227,9 +281,9 @@ func (n *nodeRT) acquireItemFunc(d *devRT, item int, fn func(*cache.Handle, erro
 // loadThrough executes the full load pipeline; the result lands on the
 // device first (the last stage runs there), then is copied back so the
 // host cache — and thus the distributed cache — can serve it (§4.1.2).
-func (n *nodeRT) loadThrough(d *devRT, item int, dh, hh *cache.Handle, fn func(*cache.Handle, error)) {
-	rt := n.rt
-	n.loadFunc(d, item, func(data interface{}, err error) {
+func (jb *job) loadThrough(item int, dh, hh *cache.Handle, fn func(*cache.Handle, error)) {
+	rt := jb.n.rt
+	jb.loadFunc(item, func(data interface{}, err error) {
 		if err != nil {
 			dh.Abort(rt.env)
 			hh.Abort(rt.env)
@@ -238,7 +292,7 @@ func (n *nodeRT) loadThrough(d *devRT, item int, dh, hh *cache.Handle, fn func(*
 		}
 		dh.SetData(data)
 		dh.Publish(rt.env)
-		n.copyD2H(d, item, func() {
+		jb.copyD2H(item, func() {
 			hh.SetData(data)
 			hh.Publish(rt.env)
 			hh.Release(rt.env)
@@ -249,38 +303,50 @@ func (n *nodeRT) loadThrough(d *devRT, item int, dh, hh *cache.Handle, fn func(*
 
 // loadFunc executes the load pipeline ell(item) of Fig. 2: remote I/O, CPU
 // parse, host-to-device transfer, and the GPU pre-processing kernel.
-func (n *nodeRT) loadFunc(d *devRT, item int, fn func(interface{}, error)) {
-	rt := n.rt
+func (jb *job) loadFunc(item int, fn func(interface{}, error)) {
+	rt := jb.n.rt
 	rt.loads++
 
 	// Remote I/O through this node's I/O thread. The interval covers the
 	// whole storage interaction including server-side queueing: that is
 	// exactly the time the paper's I/O thread is occupied.
-	n.node.IO.AcquireFunc(rt.env, func() {
+	jb.n.node.IO.AcquireFunc(rt.env, func() {
+		if jb.stale() {
+			// The I/O thread outlives the crash (it belongs to the cluster
+			// node, not the epoch); hand it back before quenching.
+			jb.n.node.IO.Release(rt.env)
+			return
+		}
 		start := rt.env.Now()
 		rt.cl.Storage.ReadFunc(rt.env, rt.app.FileSize(item), func() {
-			n.node.IO.Release(rt.env)
+			jb.n.node.IO.Release(rt.env)
+			if jb.stale() {
+				return
+			}
 			rt.tracer.Record(trace.Task{
-				Resource: n.node.Name() + "/io", Class: trace.ClassIO, Kind: trace.KindIO,
+				Resource: jb.n.node.Name() + "/io", Class: trace.ClassIO, Kind: trace.KindIO,
 				Item: item, Item2: -1, Start: start, End: rt.env.Now(),
 			})
-			n.parseAndStage(d, item, fn)
+			jb.parseAndStage(item, fn)
 		})
 	})
 }
 
 // parseAndStage continues the load pipeline after the I/O stage.
-func (n *nodeRT) parseAndStage(d *devRT, item int, fn func(interface{}, error)) {
-	rt := n.rt
+func (jb *job) parseAndStage(item int, fn func(interface{}, error)) {
+	rt := jb.n.rt
 	stage := func() {
-		n.copyH2D(d, item, func() {
-			n.preprocess(d, item, fn)
+		jb.copyH2D(item, func() {
+			jb.preprocess(item, fn)
 		})
 	}
 	if pt := rt.app.ParseTime(item); pt > 0 {
-		n.node.CPU.UseFunc(rt.env, pt, func(start sim.Time) {
+		jb.n.node.CPU.UseFunc(rt.env, pt, func(start sim.Time) {
+			if jb.stale() {
+				return
+			}
 			rt.tracer.Record(trace.Task{
-				Resource: n.node.Name() + "/cpu", Class: trace.ClassCPU, Kind: trace.KindParse,
+				Resource: jb.n.node.Name() + "/cpu", Class: trace.ClassCPU, Kind: trace.KindParse,
 				Item: item, Item2: -1, Start: start, End: rt.env.Now(),
 			})
 			stage()
@@ -292,8 +358,8 @@ func (n *nodeRT) parseAndStage(d *devRT, item int, fn func(interface{}, error)) 
 
 // preprocess runs the GPU pre-processing kernel and materializes the
 // payload for real-kernel applications.
-func (n *nodeRT) preprocess(d *devRT, item int, fn func(interface{}, error)) {
-	rt := n.rt
+func (jb *job) preprocess(item int, fn func(interface{}, error)) {
+	rt := jb.n.rt
 	materialize := func() {
 		if rt.comp != nil {
 			data, err := rt.comp.LoadItem(item)
@@ -307,9 +373,12 @@ func (n *nodeRT) preprocess(d *devRT, item int, fn func(interface{}, error)) {
 		fn(nil, nil)
 	}
 	if ppt := rt.app.PreprocessTime(item); ppt > 0 {
-		d.dev.LaunchKernel(rt.env, ppt, func(start sim.Time) {
+		jb.d.dev.LaunchKernel(rt.env, ppt, func(start sim.Time) {
+			if jb.stale() {
+				return
+			}
 			rt.tracer.Record(trace.Task{
-				Resource: d.dev.ID, Class: trace.ClassGPU, Kind: trace.KindPreprocess,
+				Resource: jb.d.dev.ID, Class: trace.ClassGPU, Kind: trace.KindPreprocess,
 				Item: item, Item2: -1, Start: start, End: rt.env.Now(),
 			})
 			materialize()
@@ -320,11 +389,14 @@ func (n *nodeRT) preprocess(d *devRT, item int, fn func(interface{}, error)) {
 }
 
 // copyH2D charges a host-to-device transfer of one item.
-func (n *nodeRT) copyH2D(d *devRT, item int, fn func()) {
-	rt := n.rt
-	d.dev.CopyH2D(rt.env, rt.app.ItemSize(), func(start sim.Time) {
+func (jb *job) copyH2D(item int, fn func()) {
+	rt := jb.n.rt
+	jb.d.dev.CopyH2D(rt.env, rt.app.ItemSize(), func(start sim.Time) {
+		if jb.stale() {
+			return
+		}
 		rt.tracer.Record(trace.Task{
-			Resource: d.dev.ID + "/h2d", Class: trace.ClassH2D, Kind: trace.KindH2D,
+			Resource: jb.d.dev.ID + "/h2d", Class: trace.ClassH2D, Kind: trace.KindH2D,
 			Item: item, Item2: -1, Start: start, End: rt.env.Now(),
 		})
 		fn()
@@ -333,11 +405,14 @@ func (n *nodeRT) copyH2D(d *devRT, item int, fn func()) {
 
 // copyD2H charges a device-to-host transfer of one item (write-back into
 // the host cache after pre-processing).
-func (n *nodeRT) copyD2H(d *devRT, item int, fn func()) {
-	rt := n.rt
-	d.dev.CopyD2H(rt.env, rt.app.ItemSize(), func(start sim.Time) {
+func (jb *job) copyD2H(item int, fn func()) {
+	rt := jb.n.rt
+	jb.d.dev.CopyD2H(rt.env, rt.app.ItemSize(), func(start sim.Time) {
+		if jb.stale() {
+			return
+		}
 		rt.tracer.Record(trace.Task{
-			Resource: d.dev.ID + "/d2h", Class: trace.ClassD2H, Kind: trace.KindD2H,
+			Resource: jb.d.dev.ID + "/d2h", Class: trace.ClassD2H, Kind: trace.KindD2H,
 			Item: item, Item2: -1, Start: start, End: rt.env.Now(),
 		})
 		fn()

@@ -42,6 +42,20 @@ type Metrics struct {
 	RemoteSteals uint64
 	FailedSteals uint64
 
+	// Fault-injection outcomes; all zero in failure-free runs.
+	Crashes  uint64
+	Restarts uint64
+	// DroppedMessages counts fabric messages discarded because an
+	// endpoint was dead or a link partitioned.
+	DroppedMessages uint64
+	// StaleStealReplies counts steal replies that arrived after a crash
+	// invalidated their pending request (their regions are re-exposed).
+	StaleStealReplies uint64
+	// RecoveredRegions/RecoveredPairs measure the work re-exposed for
+	// stealing by crash recovery.
+	RecoveredRegions uint64
+	RecoveredPairs   int64
+
 	// Tracer holds per-class busy times (and task timelines when detailed
 	// tracing was enabled).
 	Tracer *trace.Tracer
@@ -79,20 +93,31 @@ func (m *Metrics) Throughput() float64 {
 // aggregate gathers per-node state into the metrics after a run.
 func (rt *runtime) aggregate() *Metrics {
 	m := &Metrics{
-		Runtime:          rt.env.Now(),
-		Pairs:            uint64(rt.pairsDone),
-		Loads:            rt.loads,
-		IOBytes:          rt.cl.Storage.BytesRead(),
-		IOReads:          rt.cl.Storage.Reads(),
-		NetBytes:         rt.cl.Net.BytesSent(),
-		Tracer:           rt.tracer,
-		LocalSteals:      rt.localSteals,
-		RemoteSteals:     rt.remoteSteals,
-		FailedSteals:     rt.failedSteals,
-		Results:          rt.results,
-		DeviceThroughput: rt.throughput,
-		Events:           rt.env.EventsProcessed(),
-		JobLimit:         rt.nodes[0].devs[0].jobTokens.Cap(),
+		Runtime:           rt.env.Now(),
+		Pairs:             uint64(rt.pairsDone),
+		Loads:             rt.loads,
+		IOBytes:           rt.cl.Storage.BytesRead(),
+		IOReads:           rt.cl.Storage.Reads(),
+		NetBytes:          rt.cl.Net.BytesSent(),
+		Tracer:            rt.tracer,
+		LocalSteals:       rt.localSteals,
+		RemoteSteals:      rt.remoteSteals,
+		FailedSteals:      rt.failedSteals,
+		Crashes:           rt.crashes,
+		Restarts:          rt.restarts,
+		DroppedMessages:   rt.cl.Net.Dropped(),
+		StaleStealReplies: rt.staleStealReplies,
+		RecoveredRegions:  rt.recoveredRegions,
+		RecoveredPairs:    rt.recoveredPairs,
+		Results:           rt.results,
+		DeviceThroughput:  rt.throughput,
+		Events:            rt.env.EventsProcessed(),
+		JobLimit:          rt.nodes[0].devs[0].jobTokens.Cap(),
+	}
+	if rt.inj != nil && rt.finished {
+		// Fault events armed beyond completion still drain through the
+		// event loop; report the pinned completion time instead.
+		m.Runtime = rt.finishedAt
 	}
 	m.R = float64(m.Loads) / float64(rt.cfg.App.NumItems())
 	m.DHT.HitAtHop = make([]uint64, rt.cfg.Hops)
@@ -118,6 +143,7 @@ func (rt *runtime) aggregate() *Metrics {
 			dm := n.dht.Metrics()
 			m.DHT.Requests += dm.Requests
 			m.DHT.Misses += dm.Misses
+			m.DHT.StaleReplies += dm.StaleReplies
 			for i, h := range dm.HitAtHop {
 				m.DHT.HitAtHop[i] += h
 			}

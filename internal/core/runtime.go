@@ -1,17 +1,35 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"rocket/internal/cache"
 	"rocket/internal/cluster"
 	"rocket/internal/dht"
+	"rocket/internal/fault"
 	"rocket/internal/gpu"
 	"rocket/internal/pairs"
 	"rocket/internal/sim"
 	"rocket/internal/stats"
 	"rocket/internal/steal"
 	"rocket/internal/trace"
+)
+
+// Sentinel errors surfaced through the run result. Both are wrapped with
+// context; match with errors.Is.
+var (
+	// ErrProtocol reports an inter-node message the runtime cannot
+	// explain: an unknown payload type, or (in failure-free runs, where
+	// nothing may be lost) a steal reply with no matching pending
+	// request. With fault injection active, unmatched steal replies are
+	// expected after a crash and are absorbed instead.
+	ErrProtocol = errors.New("core: protocol violation")
+	// ErrPartitionLost reports that every node of the run crashed with
+	// work outstanding and no restart is scheduled, so the job can never
+	// complete. Schedulers treat it as retryable (the job can be requeued
+	// on fresh nodes).
+	ErrPartitionLost = errors.New("core: partition lost")
 )
 
 // runtime is the cluster-wide execution state of one run.
@@ -34,6 +52,23 @@ type runtime struct {
 	remoteSteals uint64
 	failedSteals uint64
 
+	// Fault-injection state; inj is nil (and every recovery path dormant)
+	// in failure-free runs.
+	inj *fault.Injector
+	// orphans holds regions recovered while every node was dead, waiting
+	// for a restart to adopt them.
+	orphans []pairs.Region
+	// finished pins the completion (or abort) time so fault events
+	// scheduled beyond it do not inflate the reported runtime.
+	finished   bool
+	finishedAt sim.Time
+
+	crashes           uint64
+	restarts          uint64
+	staleStealReplies uint64
+	recoveredRegions  uint64
+	recoveredPairs    int64
+
 	results    []Result
 	throughput map[string]*stats.TimeSeries
 }
@@ -42,6 +77,15 @@ type runtime struct {
 type nodeRT struct {
 	rt   *runtime
 	node *cluster.Node
+	// alive and epoch implement fail-stop semantics: a crash flips alive
+	// and bumps epoch, and every suspended callback chain belonging to the
+	// old epoch quenches itself at its next step instead of touching the
+	// rebuilt state.
+	alive bool
+	epoch int
+	// rootRNG is the run-wide generator caches fork from, kept so a crash
+	// rebuild draws its forks from the same deterministic stream.
+	rootRNG *stats.RNG
 	// host is the level-2 cache; nil when disabled.
 	host *cache.Cache
 	devs []*devRT
@@ -52,7 +96,14 @@ type nodeRT struct {
 	pendingSteals map[uint64]*sim.Signal
 	stealSeq      uint64
 	victimRNG     *stats.RNG
-	// onMsg is the inbox handler, allocated once at startServer.
+	// workers are the live worker state machines of the current epoch.
+	workers []*worker
+	// inflight tracks pairs handed to job chains but not yet completed,
+	// so a crash can re-expose them. Populated only under fault injection.
+	inflight map[pairIJ]struct{}
+	// onMsg is the inbox handler, allocated once at startServer; it stays
+	// registered across crash/restart (the fabric never delivers to a dead
+	// node, so it simply lies dormant while down).
 	onMsg func(raw interface{})
 }
 
@@ -120,6 +171,14 @@ func Run(cfg Config) (*Metrics, error) {
 		rt.nodes = append(rt.nodes, n)
 	}
 
+	// Arm fault injection before any workload event is scheduled so fault
+	// events fire first within their timestamp.
+	if !cfg.Faults.Empty() {
+		if err := rt.armFaults(cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
+
 	if err := rt.prewarm(); err != nil {
 		return nil, err
 	}
@@ -154,23 +213,42 @@ func Run(cfg Config) (*Metrics, error) {
 
 func (rt *runtime) newNodeRT(node *cluster.Node, rng *stats.RNG) (*nodeRT, error) {
 	n := &nodeRT{
-		rt:            rt,
-		node:          node,
-		group:         steal.NewGroup(len(node.GPUs)),
-		pendingSteals: make(map[uint64]*sim.Signal),
-		victimRNG:     rng.Fork(),
+		rt:        rt,
+		node:      node,
+		alive:     true,
+		rootRNG:   rng,
+		victimRNG: rng.Fork(),
 	}
+	if err := n.buildVolatile(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// buildVolatile (re)creates the node's crash-volatile state: deques,
+// caches, job-token pools, the pending-steal table, and the DHT engine.
+// It runs once at startup and again on every crash, so a restarted node
+// rejoins cold while any surviving chains of the old epoch reference only
+// the orphaned objects.
+func (n *nodeRT) buildVolatile() error {
+	rt := n.rt
+	node := n.node
+	n.group = steal.NewGroup(len(node.GPUs))
+	n.pendingSteals = make(map[uint64]*sim.Signal)
+	n.inflight = make(map[pairIJ]struct{})
 	policy := cache.PolicyLRU
 	if rt.cfg.EvictRandom {
 		policy = cache.PolicyRandom
 	}
 	newCache := func(name string, slots int) *cache.Cache {
-		return cache.NewWithPolicy(name, slots, rt.cfg.App.ItemSize(), policy, rng.Fork())
+		return cache.NewWithPolicy(name, slots, rt.cfg.App.ItemSize(), policy, n.rootRNG.Fork())
 	}
 	hostSlots := rt.cfg.hostSlotsFor(node.Spec.HostCacheBytes)
+	n.host = nil
 	if hostSlots > 0 {
 		n.host = newCache(node.Name()+"/host", hostSlots)
 	}
+	n.devs = n.devs[:0]
 	for _, dev := range node.GPUs {
 		slots := rt.cfg.deviceSlotsFor(dev.MemBytes)
 		n.devs = append(n.devs, &devRT{
@@ -180,6 +258,7 @@ func (rt *runtime) newNodeRT(node *cluster.Node, rng *stats.RNG) (*nodeRT, error
 		})
 	}
 
+	n.dht = nil
 	if rt.cfg.DistCache && n.host != nil {
 		eng, err := dht.New(dht.Config{
 			NodeID:   node.ID,
@@ -187,6 +266,7 @@ func (rt *runtime) newNodeRT(node *cluster.Node, rng *stats.RNG) (*nodeRT, error
 			Hops:     rt.cfg.Hops,
 			CtrlSize: rt.cfg.ctrlMsgSize,
 			DataSize: rt.cfg.App.ItemSize(),
+			Alive:    rt.nodeAliveFn(),
 			Send: func(e *sim.Env, to int, size int64, payload interface{}) {
 				rt.cl.Net.SendAsync(e, node, rt.cl.Nodes[to], size, payload)
 			},
@@ -200,11 +280,20 @@ func (rt *runtime) newNodeRT(node *cluster.Node, rng *stats.RNG) (*nodeRT, error
 			},
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		n.dht = eng
 	}
-	return n, nil
+	return nil
+}
+
+// nodeAliveFn returns the liveness hook handed to protocol layers, or nil
+// in failure-free runs (preserving their no-liveness fast paths exactly).
+func (rt *runtime) nodeAliveFn() dht.AliveFunc {
+	if rt.cfg.Faults.Empty() {
+		return nil
+	}
+	return func(id int) bool { return rt.nodes[id].alive }
 }
 
 // hostPeek returns the payload of a resident host-cache item. It is only
@@ -271,6 +360,7 @@ func (n *nodeRT) handleMessage(raw interface{}) {
 		n.node.Inbox.RecvFunc(env, n.onMsg)
 		return
 	}
+	rt := n.rt
 	switch m := msg.Payload.(type) {
 	case stealRequest:
 		var region pairs.Region
@@ -281,17 +371,31 @@ func (n *nodeRT) handleMessage(raw interface{}) {
 			region, ok = n.group.StealLocal(-1)
 		}
 		reply := stealReply{ID: m.ID, Region: region, OK: ok}
-		n.rt.cl.Net.SendAsync(env, n.node, n.rt.cl.Nodes[m.Thief], n.rt.cfg.ctrlMsgSize, reply)
+		rt.cl.Net.SendAsync(env, n.node, rt.cl.Nodes[m.Thief], rt.cfg.ctrlMsgSize, reply)
 	case stealReply:
 		sig, ok := n.pendingSteals[m.ID]
 		if !ok {
-			panic(fmt.Sprintf("core: %s received unexpected steal reply %d", n.node.Name(), m.ID))
+			// Reachable once nodes can crash with replies in flight: a
+			// thief that crashed and restarted has lost its pending table.
+			// Salvage the region (it left the victim's deque) and drop the
+			// reply; in a failure-free run the same condition is a protocol
+			// violation surfaced through the run result.
+			if rt.inj != nil {
+				rt.staleStealReplies++
+				if m.OK {
+					rt.recoverRegions([]pairs.Region{m.Region})
+				}
+			} else {
+				rt.fail(fmt.Errorf("%w: %s received unexpected steal reply %d",
+					ErrProtocol, n.node.Name(), m.ID))
+			}
+			break
 		}
 		delete(n.pendingSteals, m.ID)
 		sig.Value = m
 		sig.Fire(env)
 	default:
-		panic(fmt.Sprintf("core: %s received unknown message %T", n.node.Name(), m))
+		rt.fail(fmt.Errorf("%w: %s received unknown message %T", ErrProtocol, n.node.Name(), m))
 	}
 	n.node.Inbox.RecvFunc(env, n.onMsg)
 }
@@ -303,8 +407,11 @@ func (n *nodeRT) handleMessage(raw interface{}) {
 // plain loop, and the three suspension points (steal round-trip, failed-
 // steal backoff, job-token back-pressure) are explicit continuations.
 type worker struct {
-	n     *nodeRT
-	w     int
+	n *nodeRT
+	w int
+	// epoch pins the worker to the node incarnation that started it; a
+	// crash strands the old epoch's continuations, which quench themselves.
+	epoch int
 	deque *steal.Deque
 	// backoff is the current failed-steal delay. Failed steals back off
 	// exponentially (capped) so fully idle workers do not flood the
@@ -315,6 +422,11 @@ type worker struct {
 	// stepFn caches the step method value so backoff rescheduling does
 	// not allocate a closure per idle round.
 	stepFn func()
+	// pendingList/pendingK record a leaf submission suspended on the
+	// job-token limit, so crash recovery can harvest the unsubmitted tail
+	// list[pendingK:]. pendingList is nil while nothing is suspended.
+	pendingList []pairIJ
+	pendingK    int
 }
 
 // startWorker launches worker w's state machine, deferred one event to
@@ -322,13 +434,19 @@ type worker struct {
 func (n *nodeRT) startWorker(w int) {
 	wk := &worker{
 		n: n, w: w,
+		epoch:      n.epoch,
 		deque:      n.group.Deque(w),
 		backoff:    n.rt.cfg.StealBackoff,
 		maxBackoff: 256 * n.rt.cfg.StealBackoff,
 	}
 	wk.stepFn = wk.step
+	n.workers = append(n.workers, wk)
 	n.rt.env.Defer(wk.begin)
 }
+
+// stale reports whether the worker belongs to a crashed incarnation of
+// its node and must stop touching the rebuilt state.
+func (wk *worker) stale() bool { return wk.epoch != wk.n.epoch }
 
 func (wk *worker) begin() {
 	rt := wk.n.rt
@@ -343,6 +461,9 @@ func (wk *worker) begin() {
 // wait) or the run completes.
 func (wk *worker) step() {
 	rt := wk.n.rt
+	if wk.stale() {
+		return
+	}
 	for !rt.done.Fired() && rt.err == nil {
 		region, ok := wk.deque.PopBottom()
 		if !ok {
@@ -375,6 +496,14 @@ func (wk *worker) dispatch(region pairs.Region) bool {
 // onSteal continues the loop after a steal attempt.
 func (wk *worker) onSteal(region pairs.Region, ok bool) {
 	rt := wk.n.rt
+	if wk.stale() {
+		// The node crashed while the steal was in flight; the region left
+		// its victim's deque, so hand it to recovery instead of losing it.
+		if ok {
+			rt.recoverRegions([]pairs.Region{region})
+		}
+		return
+	}
 	if !ok {
 		rt.env.After(wk.backoff, wk.stepFn)
 		if wk.backoff < wk.maxBackoff {
@@ -419,7 +548,14 @@ func (wk *worker) submitFrom(list []pairIJ, k int) bool {
 			continue
 		}
 		k := k
+		wk.pendingList, wk.pendingK = list, k
 		tokens.AcquireFunc(rt.env, func() {
+			if wk.stale() {
+				// Crash recovery harvested list[k:]; this grant arrived on
+				// the orphaned token pool and simply dies with it.
+				return
+			}
+			wk.pendingList = nil
 			wk.n.startJob(wk.w, list[k].i, list[k].j)
 			if wk.submitFrom(list, k+1) {
 				wk.step()
@@ -427,6 +563,7 @@ func (wk *worker) submitFrom(list []pairIJ, k int) bool {
 		})
 		return false
 	}
+	wk.pendingList = nil
 	return true
 }
 
@@ -457,6 +594,11 @@ func (n *nodeRT) stealFunc(w int, fn func(pairs.Region, bool)) {
 		return
 	}
 	victim := n.pickVictim()
+	if victim < 0 {
+		// Fault-aware selection found no live peer to target.
+		fn(pairs.Region{}, false)
+		return
+	}
 	if victim == n.node.ID {
 		if r, ok := n.group.StealLocal(w); ok {
 			rt.localSteals++
@@ -498,16 +640,36 @@ func (n *nodeRT) stealFunc(w int, fn func(pairs.Region, bool)) {
 	})
 }
 
-// pickVictim selects a steal target according to the policy.
+// pickVictim selects a steal target according to the policy; -1 means no
+// eligible victim exists. Failure-free runs keep the original draw
+// sequence exactly; under fault injection the thief draws uniformly among
+// live nodes only (steal-based recovery assumes a failure detector, like
+// Constellation's membership layer).
 func (n *nodeRT) pickVictim() int {
 	rt := n.rt
-	if rt.cfg.StealPolicy == StealFlat {
-		return n.victimRNG.Intn(len(rt.nodes))
+	if rt.inj == nil {
+		if rt.cfg.StealPolicy == StealFlat {
+			return n.victimRNG.Intn(len(rt.nodes))
+		}
+		// Hierarchical: uniform among remote nodes.
+		v := n.victimRNG.Intn(len(rt.nodes) - 1)
+		if v >= n.node.ID {
+			v++
+		}
+		return v
 	}
-	// Hierarchical: uniform among remote nodes.
-	v := n.victimRNG.Intn(len(rt.nodes) - 1)
-	if v >= n.node.ID {
-		v++
+	cands := make([]int, 0, len(rt.nodes))
+	for _, peer := range rt.nodes {
+		if !peer.alive {
+			continue
+		}
+		if peer == n && rt.cfg.StealPolicy != StealFlat {
+			continue
+		}
+		cands = append(cands, peer.node.ID)
 	}
-	return v
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[n.victimRNG.Intn(len(cands))]
 }

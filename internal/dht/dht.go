@@ -57,6 +57,12 @@ type SendFunc func(e *sim.Env, to int, size int64, payload interface{})
 // boolean matters.
 type LookupFunc func(item int) (interface{}, bool)
 
+// AliveFunc reports whether a peer node is currently reachable. It backs
+// the engine's failure routing: fetches to a dead mediator resolve as
+// immediate misses, and mediators skip dead candidates when forwarding.
+// A nil AliveFunc means every node is always alive.
+type AliveFunc func(node int) bool
+
 // Config parameterizes an Engine.
 type Config struct {
 	NodeID   int
@@ -69,6 +75,9 @@ type Config struct {
 	DataSize int64
 	Send     SendFunc
 	Lookup   LookupFunc
+	// Alive, when non-nil, lets the protocol route around dead nodes
+	// (fault injection); nil preserves the failure-free behavior exactly.
+	Alive AliveFunc
 }
 
 // Metrics counts request outcomes observed at the requester side.
@@ -77,6 +86,11 @@ type Metrics struct {
 	// HitAtHop[k] counts hits served by the (k+1)-th candidate.
 	HitAtHop []uint64
 	Misses   uint64
+	// StaleReplies counts replies for requests no longer pending —
+	// duplicates, or answers to lookups a crash already resolved. They
+	// are dropped, not errors: a node that crashed and restarted has
+	// legitimately forgotten its pending table.
+	StaleReplies uint64
 }
 
 // Engine is the per-node protocol state machine. One engine instance
@@ -149,17 +163,44 @@ func (e *Engine) FetchFunc(env *sim.Env, item int, fn func(data interface{}, hop
 	})
 }
 
+// alive reports reachability of a peer (always true without an AliveFunc).
+func (e *Engine) alive(node int) bool {
+	return e.cfg.Alive == nil || e.cfg.Alive(node)
+}
+
 // beginFetch registers a pending request, sends it to the mediator, and
-// returns the signal the reply will fire.
+// returns the signal the reply will fire. A dead mediator resolves as an
+// immediate local miss: the requester routes around it and falls back to
+// the load pipeline without spending a message.
 func (e *Engine) beginFetch(env *sim.Env, item int) *sim.Signal {
 	e.metrics.Requests++
 	e.nextID++
 	id := e.nextID
 	sig := sim.NewSignal()
-	e.pending[id] = sig
 	mediator := item % e.cfg.NumNodes
+	if !e.alive(mediator) {
+		sig.Value = Reply{ID: id, Item: item}
+		sig.Fire(env)
+		return sig
+	}
+	e.pending[id] = sig
 	e.cfg.Send(env, mediator, e.cfg.CtrlSize, Request{ID: id, Item: item, Requester: e.cfg.NodeID})
 	return sig
+}
+
+// FailPending resolves a pending fetch as a miss. The runtime calls it
+// when the fabric drops a Request or Forward carrying the lookup (the
+// mediator or a candidate died with the message in flight), so the
+// requester falls back to loading instead of hanging. Unknown IDs are
+// ignored (the fetch may have resolved through another path).
+func (e *Engine) FailPending(env *sim.Env, id uint64) {
+	sig, ok := e.pending[id]
+	if !ok {
+		return
+	}
+	delete(e.pending, id)
+	sig.Value = Reply{ID: id}
+	sig.Fire(env)
 }
 
 // endFetch accounts a reply and unpacks it.
@@ -191,7 +232,9 @@ func (e *Engine) Handle(env *sim.Env, payload interface{}) bool {
 	return true
 }
 
-// handleRequest implements the mediator role.
+// handleRequest implements the mediator role. Dead candidates are dropped
+// from the walk (the fault layer's routing): the request visits only
+// reachable nodes, and an all-dead candidate list is an immediate miss.
 func (e *Engine) handleRequest(env *sim.Env, m Request) {
 	if m.Item%e.cfg.NumNodes != e.cfg.NodeID {
 		panic(fmt.Sprintf("dht: node %d received request for item %d mediated by node %d",
@@ -201,6 +244,9 @@ func (e *Engine) handleRequest(env *sim.Env, m Request) {
 	// Record the requester as the most recent (and thus most likely future)
 	// holder, deduplicating and bounding the list at h entries.
 	e.candidates[m.Item] = prepend(chain, m.Requester, e.cfg.Hops)
+	if e.cfg.Alive != nil {
+		chain = e.aliveOnly(chain)
+	}
 	if len(chain) == 0 {
 		e.cfg.Send(env, m.Requester, e.cfg.CtrlSize, Reply{ID: m.ID, Item: m.Item})
 		return
@@ -215,20 +261,36 @@ func (e *Engine) handleRequest(env *sim.Env, m Request) {
 	e.cfg.Send(env, chain[0], e.cfg.CtrlSize, fwd)
 }
 
-// handleForward implements the candidate role.
+// aliveOnly filters a candidate chain down to reachable nodes.
+func (e *Engine) aliveOnly(chain []int) []int {
+	out := make([]int, 0, len(chain))
+	for _, n := range chain {
+		if e.alive(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// handleForward implements the candidate role. Candidates that died after
+// the chain was built are skipped; Hop counts nodes actually visited, so
+// HitAtHop keeps measuring real message cost.
 func (e *Engine) handleForward(env *sim.Env, m Forward) {
 	if data, ok := e.cfg.Lookup(m.Item); ok {
 		e.cfg.Send(env, m.Requester, e.cfg.DataSize,
 			Reply{ID: m.ID, Item: m.Item, Hit: true, Hop: m.Hop, Data: data})
 		return
 	}
-	if len(m.Chain) > 0 {
-		next := m.Chain[0]
-		e.cfg.Send(env, next, e.cfg.CtrlSize, Forward{
+	chain := m.Chain
+	for len(chain) > 0 && !e.alive(chain[0]) {
+		chain = chain[1:]
+	}
+	if len(chain) > 0 {
+		e.cfg.Send(env, chain[0], e.cfg.CtrlSize, Forward{
 			ID:        m.ID,
 			Item:      m.Item,
 			Requester: m.Requester,
-			Chain:     m.Chain[1:],
+			Chain:     chain[1:],
 			Hop:       m.Hop + 1,
 		})
 		return
@@ -236,11 +298,15 @@ func (e *Engine) handleForward(env *sim.Env, m Forward) {
 	e.cfg.Send(env, m.Requester, e.cfg.CtrlSize, Reply{ID: m.ID, Item: m.Item, Hop: m.Hop})
 }
 
-// handleReply completes a pending Fetch.
+// handleReply completes a pending Fetch. Replies for IDs no longer pending
+// are stale — the requester crashed and restarted (losing its pending
+// table), or the fetch was already failed by a message drop — and are
+// counted and discarded rather than treated as fatal.
 func (e *Engine) handleReply(env *sim.Env, m Reply) {
 	sig, ok := e.pending[m.ID]
 	if !ok {
-		panic(fmt.Sprintf("dht: node %d received reply for unknown request %d", e.cfg.NodeID, m.ID))
+		e.metrics.StaleReplies++
+		return
 	}
 	delete(e.pending, m.ID)
 	sig.Value = m

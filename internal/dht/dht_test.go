@@ -16,17 +16,37 @@ type harness struct {
 	inboxes  []*sim.Mailbox
 	holdings []map[int]interface{}
 	messages int
+	// alive models node liveness; entries flipped to false make the fabric
+	// swallow messages to that node (it "never responds"). withLiveness
+	// additionally exposes the state to the engines via Config.Alive.
+	alive []bool
 }
 
 func newHarness(t *testing.T, n, hops int) *harness {
+	return buildHarness(t, n, hops, false)
+}
+
+// withLiveness builds a harness whose engines route around nodes marked
+// dead in h.alive.
+func withLiveness(t *testing.T, n, hops int) *harness {
+	return buildHarness(t, n, hops, true)
+}
+
+func buildHarness(t *testing.T, n, hops int, liveness bool) *harness {
 	t.Helper()
 	h := &harness{env: sim.NewEnv()}
 	h.inboxes = make([]*sim.Mailbox, n)
 	h.holdings = make([]map[int]interface{}, n)
 	h.engines = make([]*Engine, n)
+	h.alive = make([]bool, n)
 	for i := 0; i < n; i++ {
 		h.inboxes[i] = sim.NewMailbox("inbox")
 		h.holdings[i] = make(map[int]interface{})
+		h.alive[i] = true
+	}
+	var aliveFn AliveFunc
+	if liveness {
+		aliveFn = func(node int) bool { return h.alive[node] }
 	}
 	for i := 0; i < n; i++ {
 		i := i
@@ -36,8 +56,12 @@ func newHarness(t *testing.T, n, hops int) *harness {
 			Hops:     hops,
 			CtrlSize: 100,
 			DataSize: 1 << 20,
+			Alive:    aliveFn,
 			Send: func(e *sim.Env, to int, size int64, payload interface{}) {
 				h.messages++
+				if !h.alive[to] {
+					return // dead receiver: the fabric swallows the message
+				}
 				h.env.After(sim.Micros(5), func() {
 					h.inboxes[to].Send(h.env, payload)
 				})
@@ -330,5 +354,137 @@ func TestFetchFuncMatchesFetch(t *testing.T) {
 	}
 	if m1.Requests != m2.Requests || m1.Misses != m2.Misses || msgs1 != msgs2 {
 		t.Fatalf("metrics diverge: %+v/%d vs %+v/%d", m1, msgs1, m2, msgs2)
+	}
+}
+
+// Satellite: a duplicate (stale) Reply for an already-resolved pending ID
+// must be counted and dropped, not panic.
+func TestStaleReplyIsCountedNotFatal(t *testing.T) {
+	h := newHarness(t, 4, 2)
+	defer h.env.Close()
+	const item = 7 // mediator = 3
+	if _, _, ok := h.fetch(0, item); ok {
+		t.Fatal("first fetch should miss")
+	}
+	// Replay the failure reply for the already-resolved request ID 1, twice.
+	for i := 0; i < 2; i++ {
+		if !h.engines[0].Handle(h.env, Reply{ID: 1, Item: item}) {
+			t.Fatal("stale reply not recognized as a DHT message")
+		}
+	}
+	h.env.Run()
+	m := h.engines[0].Metrics()
+	if m.StaleReplies != 2 {
+		t.Fatalf("StaleReplies = %d, want 2", m.StaleReplies)
+	}
+	if m.Requests != 1 || m.Misses != 1 {
+		t.Fatalf("stale replies perturbed outcome counters: %+v", m)
+	}
+}
+
+// Satellite: a reply for an ID that was never issued (e.g. addressed to a
+// node that crashed and restarted, losing its pending table) is stale too.
+func TestReplyAfterRestartLostPendingTable(t *testing.T) {
+	h := newHarness(t, 2, 1)
+	defer h.env.Close()
+	h.engines[0].Handle(h.env, Reply{ID: 99, Item: 0, Hit: true, Data: "late"})
+	h.env.Run()
+	if m := h.engines[0].Metrics(); m.StaleReplies != 1 {
+		t.Fatalf("StaleReplies = %d, want 1", m.StaleReplies)
+	}
+}
+
+// Satellite: the mediator's candidate list references a node that never
+// responds (dead). Without liveness routing the fetch would hang on the
+// swallowed Forward; FailPending resolves it as a miss, the way the core
+// runtime reacts to a fabric drop notification.
+func TestFailPendingResolvesDroppedLookup(t *testing.T) {
+	h := newHarness(t, 4, 2)
+	defer h.env.Close()
+	const item = 5     // mediator = 1
+	h.fetch(2, item)   // register node 2 as a candidate
+	h.alive[2] = false // node 2 dies and will never respond
+	h.holdings[2][item] = "unreachable"
+	var data interface{}
+	var ok, resolved bool
+	h.engines[0].FetchFunc(h.env, item, func(d interface{}, hp int, o bool) {
+		data, ok, resolved = d, o, true
+	})
+	h.env.Run() // forward to node 2 swallowed; fetch still pending
+	if resolved {
+		t.Fatal("fetch resolved without a reply")
+	}
+	h.engines[0].FailPending(h.env, 1)
+	h.env.Run()
+	if !resolved || ok || data != nil {
+		t.Fatalf("FailPending outcome = (%v, %v, resolved=%v); want miss", data, ok, resolved)
+	}
+	if m := h.engines[0].Metrics(); m.Misses != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// Unknown IDs are ignored.
+	h.engines[0].FailPending(h.env, 12345)
+}
+
+// With liveness routing, the mediator skips the dead candidate entirely:
+// the walk visits only live nodes and a hit is still found behind the dead
+// entry in the list.
+func TestMediatorRoutesAroundDeadCandidate(t *testing.T) {
+	h := withLiveness(t, 5, 3)
+	defer h.env.Close()
+	const item = 10  // mediator = 0
+	h.fetch(3, item) // candidates: [3]
+	h.fetch(4, item) // candidates: [4, 3]
+	h.holdings[3][item] = "behind-dead"
+	h.alive[4] = false // most recent candidate dies
+	h.messages = 0
+	data, hop, ok := h.fetch(1, item)
+	if !ok || data != "behind-dead" {
+		t.Fatalf("fetch = %v, %d, %v; want hit via live candidate", data, hop, ok)
+	}
+	if hop != 1 {
+		t.Fatalf("hop = %d; dead candidate must not consume a hop", hop)
+	}
+	// request + forward(to 3) + data reply: no message to the dead node.
+	if h.messages != 3 {
+		t.Fatalf("messages = %d, want 3", h.messages)
+	}
+}
+
+// A dead mediator resolves as an immediate, message-free miss.
+func TestDeadMediatorImmediateMiss(t *testing.T) {
+	h := withLiveness(t, 4, 2)
+	defer h.env.Close()
+	const item = 6 // mediator = 2
+	h.alive[2] = false
+	h.messages = 0
+	_, _, ok := h.fetch(0, item)
+	if ok {
+		t.Fatal("fetch through dead mediator succeeded")
+	}
+	if h.messages != 0 {
+		t.Fatalf("messages = %d, want 0 (routed around)", h.messages)
+	}
+	m := h.engines[0].Metrics()
+	if m.Requests != 1 || m.Misses != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// A candidate that dies mid-chain is skipped at forward time.
+func TestForwardSkipsCandidateThatDiedMidChain(t *testing.T) {
+	h := withLiveness(t, 6, 3)
+	defer h.env.Close()
+	const item = 12 // mediator = 0
+	h.fetch(1, item)
+	h.fetch(2, item)
+	h.fetch(3, item) // candidates: [3, 2, 1]
+	h.holdings[1][item] = "tail"
+	// Node 2 (mid-chain) dies before the next fetch: the mediator prunes
+	// it and the forward chain becomes [3, 1].
+	h.alive[2] = false
+	data, hop, ok := h.fetch(5, item)
+	if !ok || data != "tail" || hop != 2 {
+		t.Fatalf("fetch = %v, %d, %v; want hit at hop 2 via [3, 1]", data, hop, ok)
 	}
 }

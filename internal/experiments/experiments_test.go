@@ -174,3 +174,35 @@ func TestQueueMixIsSkewedAcrossTenantsAndApps(t *testing.T) {
 		t.Fatalf("want all three applications in the mix, got %v", apps)
 	}
 }
+
+func TestResilienceSweep(t *testing.T) {
+	out, err := Resilience(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"failure-free", "crash 1/8", "crash 4/8", "restart",
+		"straggler", "cut", "degraded", "inflation", "recovered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("resilience output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "1.000x") {
+		t.Errorf("baseline row must report 1.000x inflation:\n%s", out)
+	}
+}
+
+// With a fixed seed and fault schedule the resilience experiment must be
+// byte-deterministic across runs.
+func TestResilienceDeterministic(t *testing.T) {
+	a, err := Resilience(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resilience(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("resilience output differs across runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}

@@ -40,6 +40,7 @@ func All() []Experiment {
 		{"ablation-prewarm", "—", "persistent-cache prewarm fraction sweep", AblationPrewarm},
 		{"ablation-backoff", "—", "steal backoff sweep", AblationBackoff},
 		{"queue-scaling", "—", "rocketd scheduler: job count x policy sweep", QueueScaling},
+		{"resilience", "—", "fault sweep: completion-time inflation vs failure-free", Resilience},
 	}
 }
 

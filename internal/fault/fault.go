@@ -1,0 +1,350 @@
+// Package fault implements deterministic fault injection for the Rocket
+// simulation. A Schedule is a list of timed events — node crashes and
+// restarts, per-GPU straggler windows, and link partitions or degradations
+// — expressed in virtual time. An Injector arms the schedule on a sim.Env
+// and maintains the resulting cluster health state, which the runtime
+// wires into the network (liveness, link state, message drops), the GPU
+// devices (kernel throttling), and its own crash/restart recovery hooks.
+//
+// Everything is driven by the discrete-event clock: the same schedule,
+// seed, and workload always produce the same run, which is what lets the
+// resilience experiment report reproducible completion-time inflation and
+// lets tests assert exact recovery behavior.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"rocket/internal/sim"
+)
+
+// EventKind discriminates scheduled fault events.
+type EventKind int
+
+const (
+	// NodeCrash fail-stops a node: its volatile state (caches, deques,
+	// pending protocol tables) is lost and messages to or from it drop.
+	NodeCrash EventKind = iota
+	// NodeRestart rejoins a crashed node with cold caches and idle workers.
+	NodeRestart
+	// GPUSlowdown multiplies one device's kernel durations by Factor
+	// (>= 1) from the event time onward; Factor == 1 restores full speed.
+	GPUSlowdown
+	// LinkDown partitions the (symmetric) link between nodes A and B.
+	LinkDown
+	// LinkUp heals a partitioned link.
+	LinkUp
+	// LinkDegrade multiplies the link's propagation latency and
+	// serialization time by LatencyFactor and BandwidthFactor (>= 1);
+	// 1/1 restores the healthy link.
+	LinkDegrade
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case NodeCrash:
+		return "crash"
+	case NodeRestart:
+		return "restart"
+	case GPUSlowdown:
+		return "gpu-slow"
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case LinkDegrade:
+		return "link-degrade"
+	}
+	return fmt.Sprintf("fault.EventKind(%d)", int(k))
+}
+
+// Event is one scheduled fault. Which fields matter depends on Kind.
+type Event struct {
+	At   sim.Time
+	Kind EventKind
+	// Node is the target of NodeCrash, NodeRestart, and GPUSlowdown.
+	Node int
+	// GPU is the device index within Node (GPUSlowdown).
+	GPU int
+	// Factor is the GPUSlowdown multiplier (>= 1; 1 restores).
+	Factor float64
+	// A and B are the link endpoints (LinkDown, LinkUp, LinkDegrade);
+	// links are symmetric.
+	A, B int
+	// LatencyFactor and BandwidthFactor are the LinkDegrade multipliers
+	// (>= 1; both 1 restores).
+	LatencyFactor   float64
+	BandwidthFactor float64
+}
+
+// Schedule is an ordered set of fault events. The zero value is an empty
+// (fault-free) schedule; the builder methods append and return the
+// receiver for chaining.
+type Schedule struct {
+	Events []Event
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// Crash appends a fail-stop of node at the given time.
+func (s *Schedule) Crash(node int, at sim.Time) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Kind: NodeCrash, Node: node})
+	return s
+}
+
+// Restart appends a rejoin of node at the given time.
+func (s *Schedule) Restart(node int, at sim.Time) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Kind: NodeRestart, Node: node})
+	return s
+}
+
+// SlowGPU appends a straggler window start: from at onward, kernels on
+// device gpu of node take factor times their nominal duration.
+func (s *Schedule) SlowGPU(node, gpu int, at sim.Time, factor float64) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Kind: GPUSlowdown, Node: node, GPU: gpu, Factor: factor})
+	return s
+}
+
+// RestoreGPU appends the end of a straggler window.
+func (s *Schedule) RestoreGPU(node, gpu int, at sim.Time) *Schedule {
+	return s.SlowGPU(node, gpu, at, 1)
+}
+
+// CutLink appends a symmetric partition of the link between a and b.
+func (s *Schedule) CutLink(a, b int, at sim.Time) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Kind: LinkDown, A: a, B: b})
+	return s
+}
+
+// RestoreLink appends the healing of a partitioned link.
+func (s *Schedule) RestoreLink(a, b int, at sim.Time) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Kind: LinkUp, A: a, B: b})
+	return s
+}
+
+// DegradeLink appends a symmetric degradation of the link between a and b:
+// latency is multiplied by latF and serialization time by bwF from at
+// onward. DegradeLink(a, b, at, 1, 1) restores the healthy link.
+func (s *Schedule) DegradeLink(a, b int, at sim.Time, latF, bwF float64) *Schedule {
+	s.Events = append(s.Events, Event{
+		At: at, Kind: LinkDegrade, A: a, B: b,
+		LatencyFactor: latF, BandwidthFactor: bwF,
+	})
+	return s
+}
+
+// Validate checks every event against the platform shape: gpus[i] is the
+// number of devices of node i (len(gpus) is the node count).
+func (s *Schedule) Validate(gpus []int) error {
+	if s == nil {
+		return nil
+	}
+	p := len(gpus)
+	checkNode := func(i int, n int) error {
+		if n < 0 || n >= p {
+			return fmt.Errorf("fault: event %d: node %d out of range [0, %d)", i, n, p)
+		}
+		return nil
+	}
+	for i, ev := range s.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("fault: event %d: negative time %v", i, ev.At)
+		}
+		switch ev.Kind {
+		case NodeCrash, NodeRestart:
+			if err := checkNode(i, ev.Node); err != nil {
+				return err
+			}
+		case GPUSlowdown:
+			if err := checkNode(i, ev.Node); err != nil {
+				return err
+			}
+			if ev.GPU < 0 || ev.GPU >= gpus[ev.Node] {
+				return fmt.Errorf("fault: event %d: node %d has no GPU %d", i, ev.Node, ev.GPU)
+			}
+			if ev.Factor < 1 {
+				return fmt.Errorf("fault: event %d: GPU factor %v < 1", i, ev.Factor)
+			}
+		case LinkDown, LinkUp, LinkDegrade:
+			if err := checkNode(i, ev.A); err != nil {
+				return err
+			}
+			if err := checkNode(i, ev.B); err != nil {
+				return err
+			}
+			if ev.A == ev.B {
+				return fmt.Errorf("fault: event %d: link endpoints equal (%d)", i, ev.A)
+			}
+			if ev.Kind == LinkDegrade && (ev.LatencyFactor < 1 || ev.BandwidthFactor < 1) {
+				return fmt.Errorf("fault: event %d: link factors %v/%v < 1",
+					i, ev.LatencyFactor, ev.BandwidthFactor)
+			}
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// Hooks are the runtime's recovery callbacks, invoked in scheduler context
+// after the injector has updated its own state (so a hook observing
+// Alive/Link/GPUFactor sees the post-event world).
+type Hooks struct {
+	OnCrash   func(node int)
+	OnRestart func(node int)
+}
+
+// linkKey normalizes a symmetric link to (min, max).
+func linkKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+type linkHealth struct {
+	down bool
+	latF float64
+	bwF  float64
+}
+
+// Injector is the armed form of a Schedule: it owns the evolving health
+// state and exposes the query hooks the cluster layers consume. All
+// methods must be called from the Env's scheduler goroutine.
+type Injector struct {
+	alive []bool
+	gpuF  map[[2]int]float64
+	links map[[2]int]linkHealth
+	// restartsLeft counts not-yet-fired NodeRestart events; recovery uses
+	// it to decide whether an all-dead partition can still heal.
+	restartsLeft int
+	hooks        Hooks
+}
+
+// NewInjector validates the schedule against the platform shape (gpus[i] =
+// number of devices of node i) and arms every event on env. Events sharing
+// a timestamp fire in schedule order.
+func NewInjector(env *sim.Env, gpus []int, s *Schedule, hooks Hooks) (*Injector, error) {
+	if err := s.Validate(gpus); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		alive: make([]bool, len(gpus)),
+		gpuF:  make(map[[2]int]float64),
+		links: make(map[[2]int]linkHealth),
+		hooks: hooks,
+	}
+	for i := range inj.alive {
+		inj.alive[i] = true
+	}
+	// Stable order by time, preserving schedule order for ties.
+	events := append([]Event(nil), s.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	for _, ev := range events {
+		if ev.Kind == NodeRestart {
+			inj.restartsLeft++
+		}
+		ev := ev
+		env.At(ev.At, func() { inj.apply(ev) })
+	}
+	return inj, nil
+}
+
+// apply transitions the health state for one event and runs the matching
+// hook. Redundant events (crashing a dead node, healing a healthy link)
+// are no-ops so schedules compose without bookkeeping.
+func (inj *Injector) apply(ev Event) {
+	switch ev.Kind {
+	case NodeCrash:
+		if !inj.alive[ev.Node] {
+			return
+		}
+		inj.alive[ev.Node] = false
+		if inj.hooks.OnCrash != nil {
+			inj.hooks.OnCrash(ev.Node)
+		}
+	case NodeRestart:
+		inj.restartsLeft--
+		if inj.alive[ev.Node] {
+			return
+		}
+		inj.alive[ev.Node] = true
+		if inj.hooks.OnRestart != nil {
+			inj.hooks.OnRestart(ev.Node)
+		}
+	case GPUSlowdown:
+		key := [2]int{ev.Node, ev.GPU}
+		if ev.Factor == 1 {
+			delete(inj.gpuF, key)
+			return
+		}
+		inj.gpuF[key] = ev.Factor
+	case LinkDown:
+		lh := inj.links[linkKey(ev.A, ev.B)]
+		lh.down = true
+		inj.links[linkKey(ev.A, ev.B)] = lh
+	case LinkUp:
+		lh := inj.links[linkKey(ev.A, ev.B)]
+		lh.down = false
+		inj.setOrClear(linkKey(ev.A, ev.B), lh)
+	case LinkDegrade:
+		lh := inj.links[linkKey(ev.A, ev.B)]
+		lh.latF, lh.bwF = ev.LatencyFactor, ev.BandwidthFactor
+		inj.setOrClear(linkKey(ev.A, ev.B), lh)
+	}
+}
+
+func (inj *Injector) setOrClear(key [2]int, lh linkHealth) {
+	if !lh.down && (lh.latF == 0 || lh.latF == 1) && (lh.bwF == 0 || lh.bwF == 1) {
+		delete(inj.links, key)
+		return
+	}
+	inj.links[key] = lh
+}
+
+// Alive reports node liveness.
+func (inj *Injector) Alive(node int) bool { return inj.alive[node] }
+
+// AliveCount returns the number of live nodes.
+func (inj *Injector) AliveCount() int {
+	n := 0
+	for _, a := range inj.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// RestartsPending reports whether any NodeRestart event has yet to fire —
+// i.e. whether an all-dead partition can still heal on its own.
+func (inj *Injector) RestartsPending() bool { return inj.restartsLeft > 0 }
+
+// GPUFactor returns the current straggler multiplier for a device (1 when
+// healthy).
+func (inj *Injector) GPUFactor(node, gpu int) float64 {
+	if f, ok := inj.gpuF[[2]int{node, gpu}]; ok {
+		return f
+	}
+	return 1
+}
+
+// Link returns the health of the (symmetric) link between two nodes: up,
+// plus the latency and serialization-time multipliers (1 when healthy).
+func (inj *Injector) Link(from, to int) (up bool, latF, bwF float64) {
+	lh, ok := inj.links[linkKey(from, to)]
+	if !ok {
+		return true, 1, 1
+	}
+	latF, bwF = lh.latF, lh.bwF
+	if latF == 0 {
+		latF = 1
+	}
+	if bwF == 0 {
+		bwF = 1
+	}
+	return !lh.down, latF, bwF
+}

@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"testing"
+
+	"rocket/internal/sim"
+)
+
+func TestScheduleValidate(t *testing.T) {
+	gpus := []int{2, 1}
+	cases := []*Schedule{
+		new(Schedule).Crash(2, 0),
+		new(Schedule).Crash(-1, 0),
+		new(Schedule).Crash(0, -sim.Second),
+		new(Schedule).SlowGPU(0, 2, 0, 2),
+		new(Schedule).SlowGPU(0, 0, 0, 0.5),
+		new(Schedule).CutLink(0, 0, 0),
+		new(Schedule).CutLink(0, 5, 0),
+		new(Schedule).DegradeLink(0, 1, 0, 0.5, 1),
+	}
+	for i, s := range cases {
+		if err := s.Validate(gpus); err == nil {
+			t.Errorf("case %d: invalid schedule accepted: %+v", i, s.Events)
+		}
+	}
+	ok := new(Schedule).
+		Crash(1, sim.Second).
+		Restart(1, 2*sim.Second).
+		SlowGPU(0, 1, 0, 4).
+		CutLink(0, 1, sim.Second).
+		RestoreLink(0, 1, 2*sim.Second).
+		DegradeLink(0, 1, 3*sim.Second, 2, 8)
+	if err := ok.Validate(gpus); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	var nilSched *Schedule
+	if !nilSched.Empty() || !new(Schedule).Empty() {
+		t.Fatal("Empty misreported")
+	}
+	if err := nilSched.Validate(gpus); err != nil {
+		t.Fatal("nil schedule must validate")
+	}
+}
+
+func TestInjectorLifecycle(t *testing.T) {
+	e := sim.NewEnv()
+	s := new(Schedule).
+		Crash(1, sim.Second).
+		SlowGPU(0, 0, sim.Second, 3).
+		CutLink(0, 2, sim.Second).
+		Restart(1, 3*sim.Second).
+		RestoreGPU(0, 0, 3*sim.Second).
+		RestoreLink(0, 2, 3*sim.Second)
+	var crashes, restarts []int
+	inj, err := NewInjector(e, []int{1, 1, 1}, s, Hooks{
+		OnCrash:   func(n int) { crashes = append(crashes, n) },
+		OnRestart: func(n int) { restarts = append(restarts, n) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Alive(1) || inj.AliveCount() != 3 || !inj.RestartsPending() {
+		t.Fatal("initial state wrong")
+	}
+	e.RunUntil(2 * sim.Second)
+	if inj.Alive(1) || inj.AliveCount() != 2 {
+		t.Fatal("crash not applied")
+	}
+	if f := inj.GPUFactor(0, 0); f != 3 {
+		t.Fatalf("GPUFactor = %v, want 3", f)
+	}
+	if up, _, _ := inj.Link(2, 0); up {
+		t.Fatal("cut link still up (symmetric lookup)")
+	}
+	if up, latF, bwF := inj.Link(0, 1); !up || latF != 1 || bwF != 1 {
+		t.Fatal("untouched link not healthy")
+	}
+	e.RunUntil(4 * sim.Second)
+	e.Close()
+	if !inj.Alive(1) || inj.RestartsPending() {
+		t.Fatal("restart not applied")
+	}
+	if f := inj.GPUFactor(0, 0); f != 1 {
+		t.Fatalf("restored GPUFactor = %v", f)
+	}
+	if up, _, _ := inj.Link(0, 2); !up {
+		t.Fatal("link not restored")
+	}
+	if len(crashes) != 1 || crashes[0] != 1 || len(restarts) != 1 || restarts[0] != 1 {
+		t.Fatalf("hooks: crashes=%v restarts=%v", crashes, restarts)
+	}
+}
+
+func TestInjectorRedundantEventsAreNoOps(t *testing.T) {
+	e := sim.NewEnv()
+	s := new(Schedule).
+		Crash(0, sim.Second).
+		Crash(0, sim.Second). // second crash of a dead node
+		Restart(0, 2*sim.Second).
+		Restart(0, 2*sim.Second) // second restart of a live node
+	var crashes, restarts int
+	if _, err := NewInjector(e, []int{1}, s, Hooks{
+		OnCrash:   func(int) { crashes++ },
+		OnRestart: func(int) { restarts++ },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	e.Close()
+	if crashes != 1 || restarts != 1 {
+		t.Fatalf("crashes=%d restarts=%d, want 1/1", crashes, restarts)
+	}
+}
+
+func TestInjectorLinkDegradation(t *testing.T) {
+	e := sim.NewEnv()
+	s := new(Schedule).
+		DegradeLink(0, 1, 0, 2, 8).
+		DegradeLink(0, 1, sim.Second, 1, 1)
+	inj, err := NewInjector(e, []int{1, 1}, s, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(sim.Millis(500))
+	if up, latF, bwF := inj.Link(1, 0); !up || latF != 2 || bwF != 8 {
+		t.Fatalf("degraded link = %v/%v/%v", up, latF, bwF)
+	}
+	e.RunUntil(2 * sim.Second)
+	e.Close()
+	if up, latF, bwF := inj.Link(0, 1); !up || latF != 1 || bwF != 1 {
+		t.Fatalf("restored link = %v/%v/%v", up, latF, bwF)
+	}
+	if len(inj.links) != 0 {
+		t.Fatal("healthy link not cleared from the map")
+	}
+}

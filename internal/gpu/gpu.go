@@ -69,6 +69,27 @@ type Device struct {
 	// H2D and D2H are the two copy engines.
 	H2D *sim.Resource
 	D2H *sim.Resource
+	// throttle, when set, reports the current straggler factor (>= 1)
+	// multiplying kernel durations; nil means full speed. PCIe copies are
+	// unaffected (thermal throttling slows the SMs, not the bus).
+	throttle func() float64
+}
+
+// SetThrottle installs a straggler hook: every kernel launched afterwards
+// takes fn() times its nominal duration (fn must return >= 1; values below
+// are clamped). Passing nil restores full speed. Fault injection uses this
+// to model per-device slowdowns over windows of virtual time.
+func (d *Device) SetThrottle(fn func() float64) { d.throttle = fn }
+
+// slowdown returns the current straggler factor.
+func (d *Device) slowdown() float64 {
+	if d.throttle == nil {
+		return 1
+	}
+	if f := d.throttle(); f > 1 {
+		return f
+	}
+	return 1
 }
 
 // New returns a device with fresh resources.
@@ -103,7 +124,11 @@ func (d *Device) TransferTime(size int64) sim.Time {
 // zero-allocation callback chain in the simulator, with no goroutine per
 // launch. fn must not block.
 func (d *Device) LaunchKernel(e *sim.Env, base sim.Time, fn func(start sim.Time)) {
-	d.Compute.UseFunc(e, d.KernelTime(base), fn)
+	dur := d.KernelTime(base)
+	if f := d.slowdown(); f != 1 {
+		dur = sim.Time(float64(dur) * f)
+	}
+	d.Compute.UseFunc(e, dur, fn)
 }
 
 // CopyH2D occupies the host-to-device copy engine for size bytes, then

@@ -123,3 +123,28 @@ func TestCopyEnginesIndependent(t *testing.T) {
 		t.Fatalf("copies ended at %v / %v, want 1s each (independent engines)", h2dEnd, d2hEnd)
 	}
 }
+
+func TestThrottleStretchesKernels(t *testing.T) {
+	d := New("n/g", TitanXMaxwell)
+	e := sim.NewEnv()
+	factor := 1.0
+	d.SetThrottle(func() float64 { return factor })
+	var ends []sim.Time
+	d.LaunchKernel(e, sim.Millis(10), func(sim.Time) { ends = append(ends, e.Now()) })
+	factor = 4
+	d.LaunchKernel(e, sim.Millis(10), func(sim.Time) { ends = append(ends, e.Now()) })
+	factor = 0.25 // below 1 clamps to full speed
+	d.LaunchKernel(e, sim.Millis(10), func(sim.Time) { ends = append(ends, e.Now()) })
+	e.Run()
+	e.Close()
+	want := []sim.Time{sim.Millis(10), sim.Millis(50), sim.Millis(60)}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("kernel %d ended at %v, want %v (ends=%v)", i, ends[i], want[i], ends)
+		}
+	}
+	d.SetThrottle(nil)
+	if d.slowdown() != 1 {
+		t.Fatal("nil throttle must mean full speed")
+	}
+}

@@ -21,6 +21,9 @@ type JobMetrics struct {
 	Nodes []int
 	// Rejected marks jobs refused admission by the MaxQueued limit.
 	Rejected bool
+	// Retries counts requeues after partition loss (fault injection);
+	// Start/End/Inner describe the final attempt.
+	Retries int
 
 	Arrival sim.Time
 	Start   sim.Time
@@ -55,6 +58,8 @@ type Metrics struct {
 
 	Completed int
 	Rejected  int
+	// Retries totals partition-loss requeues across all jobs.
+	Retries int
 
 	// Makespan is the completion time of the last job.
 	Makespan sim.Time
@@ -86,7 +91,9 @@ func aggregate(cfg Config, states []*jobState) *Metrics {
 			Tenant:  js.tenant,
 			App:     js.job.App.Name(),
 			Arrival: js.job.Arrival,
+			Retries: js.attempt,
 		}
+		m.Retries += js.attempt
 		t := tenants[js.tenant]
 		if t == nil {
 			t = &TenantMetrics{Tenant: js.tenant}

@@ -19,12 +19,14 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 
 	"rocket/internal/cluster"
 	"rocket/internal/core"
+	"rocket/internal/fault"
 	"rocket/internal/gpu"
 	"rocket/internal/pairs"
 	"rocket/internal/sim"
@@ -46,6 +48,11 @@ type Job struct {
 	Arrival sim.Time
 	// Seed overrides the per-job seed derived from Config.Seed.
 	Seed uint64
+	// Faults injects a deterministic fault schedule into the job's first
+	// attempt. A job aborted by partition loss (core.ErrPartitionLost) is
+	// requeued up to Config.MaxRetries times; retries run fault-free,
+	// modeling placement on fresh nodes.
+	Faults *fault.Schedule
 	// Mutate, when non-nil, adjusts the job's runtime configuration
 	// (cache sizes, steal policy, ...) before execution.
 	Mutate func(*core.Config)
@@ -71,6 +78,10 @@ type Config struct {
 	// MaxRunning caps concurrently executing jobs in addition to the
 	// node-pool limit. 0 = bounded only by free nodes.
 	MaxRunning int
+	// MaxRetries is how many times a job whose partition died under it
+	// (core.ErrPartitionLost) is requeued before the failure aborts the
+	// whole run. 0 = partition loss is fatal.
+	MaxRetries int
 	// Workers is the number of OS threads executing inner simulations in
 	// parallel; 0 defaults to GOMAXPROCS. It does not affect results.
 	Workers int
@@ -94,6 +105,21 @@ type jobState struct {
 	done    chan struct{}
 	started bool
 	reject  bool
+	// attempt counts executions so far; retry marks a partition-lost
+	// attempt whose lease release doubles as a requeue.
+	attempt int
+	retry   bool
+}
+
+// resetForRetry returns the state to the queue for another attempt.
+func (js *jobState) resetForRetry() {
+	js.attempt++
+	js.retry = false
+	js.lease = nil
+	js.inner = nil
+	js.err = nil
+	js.started = false
+	js.done = make(chan struct{})
 }
 
 func (cfg Config) normalize() (Config, error) {
@@ -121,6 +147,9 @@ func (cfg Config) normalize() (Config, error) {
 	}
 	if cfg.MaxQueued < 0 || cfg.MaxRunning < 0 {
 		return cfg, fmt.Errorf("sched: negative admission limits")
+	}
+	if cfg.MaxRetries < 0 {
+		return cfg, fmt.Errorf("sched: negative MaxRetries")
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -285,9 +314,16 @@ func Run(cfg Config) (*Metrics, error) {
 
 		// Every running job's completion time is fixed once its inner
 		// simulation finishes; collect them before advancing the clock.
+		// A job whose partition died under it is requeued (up to
+		// MaxRetries) at its abort time instead of failing the run.
 		for _, js := range running {
 			<-js.done
 			if js.err != nil {
+				if errors.Is(js.err, core.ErrPartitionLost) && js.attempt < cfg.MaxRetries {
+					js.retry = true
+					js.end = js.start + js.inner.Runtime
+					continue
+				}
 				return fail(js)
 			}
 			js.end = js.start + js.inner.Runtime
@@ -304,12 +340,17 @@ func Run(cfg Config) (*Metrics, error) {
 		}
 		clock = next
 
-		// Completions release their leases back to the pool.
+		// Completions release their leases back to the pool; aborted
+		// attempts additionally rejoin the queue for another try.
 		keep := running[:0]
 		for _, js := range running {
 			if js.end <= clock {
 				usage[js.tenant] += float64(len(js.lease)) * (js.end - js.start).Seconds()
 				free = append(free, js.lease...)
+				if js.retry {
+					js.resetForRetry()
+					pending = append(pending, js)
+				}
 			} else {
 				keep = append(keep, js)
 			}
@@ -343,6 +384,10 @@ func (cfg Config) runInner(js *jobState, sem chan struct{}) {
 		Cluster:   cl,
 		Seed:      js.seed,
 		DistCache: len(js.lease) > 1,
+	}
+	if js.attempt == 0 {
+		// Retries model placement on fresh nodes and run fault-free.
+		ccfg.Faults = js.job.Faults
 	}
 	if js.job.Mutate != nil {
 		js.job.Mutate(&ccfg)

@@ -14,12 +14,26 @@ import (
 // worker pushes and pops at the bottom; thieves steal from the top. The
 // simulation is single-threaded, so no synchronization is needed — the
 // contract matches Cilk/Constellation semantics, not lock-free mechanics.
+//
+// Storage is a slice with an explicit head index. StealTop advances head
+// instead of re-slicing (tasks = tasks[1:] would walk the slice ever
+// deeper into its backing array, forcing append to reallocate and grow it
+// without bound under sustained push/steal cycles); the occupied window is
+// compacted back to the front once the dead prefix dominates, so capacity
+// stays proportional to the high-water queue depth.
 type Deque struct {
 	tasks []pairs.Region
+	head  int
 }
 
+// compactAt is the dead-prefix length beyond which StealTop shifts the
+// live window back to the front of the backing array. Compaction copies at
+// most as many elements as were stolen since the last one, so the
+// amortized cost per steal is O(1).
+const compactAt = 32
+
 // Len returns the number of queued tasks.
-func (d *Deque) Len() int { return len(d.tasks) }
+func (d *Deque) Len() int { return len(d.tasks) - d.head }
 
 // PushBottom adds a task at the worker end.
 func (d *Deque) PushBottom(r pairs.Region) {
@@ -29,31 +43,48 @@ func (d *Deque) PushBottom(r pairs.Region) {
 // PopBottom removes and returns the most recently pushed task (LIFO),
 // which is the deepest, most local task.
 func (d *Deque) PopBottom() (pairs.Region, bool) {
-	if len(d.tasks) == 0 {
+	if d.Len() == 0 {
 		return pairs.Region{}, false
 	}
 	r := d.tasks[len(d.tasks)-1]
 	d.tasks = d.tasks[:len(d.tasks)-1]
+	if d.head == len(d.tasks) {
+		d.tasks = d.tasks[:0]
+		d.head = 0
+	}
 	return r, true
 }
 
 // StealTop removes and returns the oldest task (FIFO), which sits highest
 // in the divide-and-conquer tree and therefore represents the most work.
 func (d *Deque) StealTop() (pairs.Region, bool) {
-	if len(d.tasks) == 0 {
+	if d.Len() == 0 {
 		return pairs.Region{}, false
 	}
-	r := d.tasks[0]
-	d.tasks = d.tasks[1:]
+	r := d.tasks[d.head]
+	d.head++
+	switch {
+	case d.head == len(d.tasks):
+		d.tasks = d.tasks[:0]
+		d.head = 0
+	case d.head >= compactAt && d.head*2 >= len(d.tasks):
+		n := copy(d.tasks, d.tasks[d.head:])
+		d.tasks = d.tasks[:n]
+		d.head = 0
+	}
 	return r, true
 }
 
+// top returns the oldest queued task; it must not be called on an empty
+// deque.
+func (d *Deque) top() pairs.Region { return d.tasks[d.head] }
+
 // PeekTopCount returns the pair count of the top task, or 0 if empty.
 func (d *Deque) PeekTopCount() int64 {
-	if len(d.tasks) == 0 {
+	if d.Len() == 0 {
 		return 0
 	}
-	return d.tasks[0].Count()
+	return d.top().Count()
 }
 
 // Group is the set of deques of one node's workers (one worker per GPU).
@@ -85,6 +116,23 @@ func (g *Group) QueuedTasks() int {
 	return total
 }
 
+// Drain removes and returns every queued task in the group, deque by
+// deque in top-to-bottom (FIFO) order. Crash recovery uses it to re-expose
+// a dead node's unfinished regions for stealing elsewhere.
+func (g *Group) Drain() []pairs.Region {
+	var out []pairs.Region
+	for _, d := range g.deques {
+		for {
+			r, ok := d.StealTop()
+			if !ok {
+				break
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // StealBestOverlap steals the top task whose item ranges overlap the
 // thief's resident items (ascending, distinct) the most — the paper's
 // §7 cache-aware stealing extension. Ties are broken towards the larger
@@ -97,7 +145,7 @@ func (g *Group) StealBestOverlap(resident []int) (pairs.Region, bool) {
 		if d.Len() == 0 {
 			continue
 		}
-		top := d.tasks[0]
+		top := d.top()
 		overlap := top.OverlapCount(resident)
 		count := top.Count()
 		if overlap > bestOverlap || (overlap == bestOverlap && count > bestCount) {

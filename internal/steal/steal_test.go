@@ -143,6 +143,85 @@ func TestQuickConservation(t *testing.T) {
 	}
 }
 
+// Regression for the backing-array leak: StealTop used to re-slice
+// (tasks = tasks[1:]), so sustained push/steal cycles walked the slice
+// ever deeper into a backing array that append then had to regrow without
+// bound. With the head index + compaction, capacity must stay proportional
+// to the high-water queue depth, not the cycle count.
+func TestStealTopBoundedCapacity(t *testing.T) {
+	d := &Deque{}
+	const depth = 8
+	for k := 0; k < 100000; k++ {
+		for i := 0; i < depth; i++ {
+			d.PushBottom(region(i + 2))
+		}
+		for i := 0; i < depth; i++ {
+			if _, ok := d.StealTop(); !ok {
+				t.Fatal("steal failed")
+			}
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after balanced cycles", d.Len())
+	}
+	// The bound below is generous (compaction keeps the live window plus a
+	// dead prefix of at most compactAt + live); the pre-fix behavior grows
+	// into the thousands.
+	if c := cap(d.tasks); c > 4*(depth+compactAt) {
+		t.Fatalf("backing array grew to cap %d under push/steal cycles", c)
+	}
+}
+
+// Mixed steal/pop cycles with a persistent backlog must also keep the
+// backing array bounded, and preserve FIFO/LIFO order across compactions.
+func TestStealTopCompactionPreservesOrder(t *testing.T) {
+	d := &Deque{}
+	next := 2
+	for i := 0; i < 40; i++ { // persistent backlog straddling compactAt
+		d.PushBottom(region(next))
+		next++
+	}
+	expectTop := 2
+	for k := 0; k < 50000; k++ {
+		d.PushBottom(region(next))
+		next++
+		if r, ok := d.StealTop(); !ok || r != region(expectTop) {
+			t.Fatalf("cycle %d: StealTop = %v, want %v", k, r, region(expectTop))
+		}
+		expectTop++
+	}
+	if d.Len() != 40 {
+		t.Fatalf("backlog length = %d, want 40", d.Len())
+	}
+	if c := cap(d.tasks); c > 4*(40+compactAt) {
+		t.Fatalf("backing array grew to cap %d", c)
+	}
+	// The remaining backlog must drain bottom-first in push order.
+	if r, ok := d.PopBottom(); !ok || r != region(next-1) {
+		t.Fatalf("PopBottom = %v, want %v", r, region(next-1))
+	}
+}
+
+func TestGroupDrain(t *testing.T) {
+	g := NewGroup(2)
+	g.Deque(0).PushBottom(region(3))
+	g.Deque(0).PushBottom(region(4))
+	g.Deque(1).PushBottom(region(5))
+	got := g.Drain()
+	want := []pairs.Region{region(3), region(4), region(5)}
+	if len(got) != len(want) {
+		t.Fatalf("Drain = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if g.QueuedTasks() != 0 {
+		t.Fatal("group not empty after Drain")
+	}
+}
+
 func TestStealBestOverlapPrefersResidentItems(t *testing.T) {
 	g := NewGroup(2)
 	// Deque 0's top covers items 0-9; deque 1's top covers items 100-109.
