@@ -1,11 +1,16 @@
 # Local entry points mirroring .github/workflows/ci.yml, so local and CI
 # runs cannot drift: `make ci` executes exactly the workflow's steps.
+# (The only tolerated difference: staticcheck/govulncheck are installed
+# on CI runners; locally they run when present on PATH and are skipped
+# with a notice otherwise, since offline sandboxes cannot `go install`.)
 
 GO ?= go
 ROCKET_SCALE ?= 50
 BENCH_RUN ?= local
+BENCH_BASELINE ?= BENCH_pr2.json
+COVERAGE_FLOOR ?= 75.0
 
-.PHONY: build test race-stress bench bench-sim bench-json lint ci fmt
+.PHONY: build test race-stress bench bench-sim bench-json bench-gate coverage smoke lint ci fmt
 
 build:
 	$(GO) build ./...
@@ -14,11 +19,11 @@ test:
 	$(GO) test -race ./...
 
 # Mirrors the workflow's race-stress step: exercise the parallel
-# inner-sim workers and fault-recovery paths repeatedly under -race with
-# different worker-pool widths.
+# inner-sim workers, the online submission paths, and fault recovery
+# repeatedly under -race with different worker-pool widths.
 race-stress:
-	GOMAXPROCS=2 $(GO) test -race -count=2 ./internal/sched/ ./internal/core/
-	GOMAXPROCS=8 $(GO) test -race -count=2 ./internal/sched/ ./internal/core/
+	GOMAXPROCS=2 $(GO) test -race -count=2 ./internal/sched/ ./internal/core/ ./internal/serve/
+	GOMAXPROCS=8 $(GO) test -race -count=2 ./internal/sched/ ./internal/core/ ./internal/serve/
 
 # Full evaluation at reporting scale (minutes). CI runs the smoke variant.
 # Output is benchstat-friendly: run twice (before/after a change) with
@@ -36,14 +41,65 @@ bench-sim:
 bench-json:
 	$(GO) run ./cmd/rocketbench -exp all -scale $(ROCKET_SCALE) -json $(BENCH_RUN) -q
 
+# Mirrors the workflow's bench-gate job: regenerate BENCH_ci.json and gate
+# it against the committed baseline — fail on output_sha256 drift, warn on
+# >25% ns_per_op regressions.
+bench-gate:
+	$(GO) run ./cmd/rocketbench -exp all -scale $(ROCKET_SCALE) -json ci -q
+	$(GO) run ./cmd/benchgate -baseline $(BENCH_BASELINE) -candidate BENCH_ci.json -max-regress 0.25
+
+# Mirrors the workflow's coverage job: total statement coverage across all
+# packages must not drop below the seed-measured floor.
+coverage:
+	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=./... ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{gsub("%","",$$NF); print $$NF}'); \
+	echo "total coverage: $$total% (floor $(COVERAGE_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVERAGE_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }'
+
+# Mirrors the workflow's smoke job: every example and CLI runs end to end
+# at tiny scale, including a rocketd serve -> drain -> offline-replay
+# round trip.
+smoke:
+	for d in examples/*/; do echo "== go run ./$$d"; $(GO) run "./$$d" > /dev/null || exit 1; done
+	$(GO) run ./cmd/rocketbench -exp fig6 -scale 200 -seed 1 -json smoke -q
+	$(GO) run ./cmd/benchgate -baseline BENCH_smoke.json -candidate BENCH_smoke.json
+	$(GO) run ./cmd/rocketgen -app forensics -n 4 -out /tmp/rocket-smoke-gen
+	$(GO) run ./cmd/rockettrace -app forensics -n 8 -limit 20 > /dev/null
+	$(GO) run ./cmd/rocketqueue -example > /tmp/rocket-smoke-jobs.json
+	$(GO) run ./cmd/rocketqueue -manifest /tmp/rocket-smoke-jobs.json -policy fifo > /dev/null
+	$(GO) run ./cmd/rocketqueue -replay /tmp/rocket-smoke-jobs.json -json > /dev/null
+	$(GO) build -o /tmp/rocket-smoke-rocketd ./cmd/rocketd
+	/tmp/rocket-smoke-rocketd -addr 127.0.0.1:18080 -nodes 4 -time-scale 0 -log /tmp/rocket-smoke-served.json > /tmp/rocket-smoke-report.txt & \
+	pid=$$!; \
+	sleep 1; \
+	curl -sf 127.0.0.1:18080/healthz > /dev/null && \
+	curl -sf 127.0.0.1:18080/v1/jobs -d '{"app":"forensics","items":8}' > /dev/null && \
+	curl -sf 127.0.0.1:18080/v1/jobs -d '{"app":"microscopy","items":8,"tenant":"lab"}' > /dev/null && \
+	sleep 2 && \
+	curl -sf 127.0.0.1:18080/metrics | grep -q 'rocketd_jobs' && \
+	kill -TERM $$pid && wait $$pid || { kill $$pid 2>/dev/null; exit 1; }
+	$(GO) run ./cmd/rocketqueue -replay /tmp/rocket-smoke-served.json > /tmp/rocket-smoke-replay.txt
+	tail -2 /tmp/rocket-smoke-report.txt > /tmp/rocket-smoke-report-tail.txt
+	tail -2 /tmp/rocket-smoke-replay.txt > /tmp/rocket-smoke-replay-tail.txt
+	diff /tmp/rocket-smoke-report-tail.txt /tmp/rocket-smoke-replay-tail.txt
+	$(GO) run ./cmd/rocketload -local -jobs 16 -clients 8 -items 8
+	$(GO) run ./cmd/rocketload -local -jobs 8 -mode open -rate 100 -items 8 -fault-rate 0.25
+
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not on PATH, skipped (CI installs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not on PATH, skipped (CI installs it)"; fi
 
 fmt:
 	gofmt -w .
 
 ci: lint build test race-stress
 	ROCKET_SCALE=$(ROCKET_SCALE) $(GO) test -bench=. -benchtime=1x -run='^$$' .
-	ROCKET_SCALE=$(ROCKET_SCALE) $(MAKE) bench-json BENCH_RUN=ci
+	ROCKET_SCALE=$(ROCKET_SCALE) $(MAKE) bench-gate
+	$(MAKE) coverage
+	$(MAKE) smoke

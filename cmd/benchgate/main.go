@@ -1,0 +1,76 @@
+// Command benchgate is the CI benchmark regression gate: it compares a
+// candidate BENCH_<run>.json (freshly produced by rocketbench) against
+// the committed baseline and fails the build when determinism or
+// performance regressed.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_pr2.json -candidate BENCH_ci.json
+//	benchgate ... -max-regress 0.25 -strict-perf -summary "$GITHUB_STEP_SUMMARY"
+//
+// Gates:
+//
+//   - determinism (always fatal): every experiment present in the baseline
+//     must exist in the candidate with a bit-identical output_sha256;
+//   - performance (warning by default, fatal with -strict-perf): each
+//     experiment's ns_per_op may grow at most -max-regress (default 25%).
+//     Wall time on shared CI runners is noisy, which is why timing alone
+//     does not fail the build unless asked to.
+//
+// -summary appends a markdown table to the given file (pass
+// $GITHUB_STEP_SUMMARY in CI to surface the diff on the job page).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rocket/internal/benchfmt"
+)
+
+func run() error {
+	var (
+		baseline   = flag.String("baseline", "BENCH_pr2.json", "committed baseline BENCH json")
+		candidate  = flag.String("candidate", "BENCH_ci.json", "freshly produced BENCH json")
+		maxRegress = flag.Float64("max-regress", 0.25, "tolerated fractional ns_per_op growth per experiment")
+		strictPerf = flag.Bool("strict-perf", false, "fail (not warn) on perf regressions")
+		summary    = flag.String("summary", "", "append a markdown summary to this file")
+	)
+	flag.Parse()
+
+	base, err := benchfmt.Read(*baseline)
+	if err != nil {
+		return err
+	}
+	cand, err := benchfmt.Read(*candidate)
+	if err != nil {
+		return err
+	}
+	g := benchfmt.Gate(base, cand, benchfmt.GateOptions{
+		MaxRegress:  *maxRegress,
+		PerfIsFatal: *strictPerf,
+	})
+	fmt.Print(g.Text())
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.WriteString(g.Markdown()); err != nil {
+			return err
+		}
+	}
+	if g.Failed() {
+		return fmt.Errorf("gate failed (%d failures)", len(g.Failures))
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

@@ -18,7 +18,6 @@ package main
 
 import (
 	"crypto/sha256"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,37 +25,10 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"rocket/internal/benchfmt"
 	"rocket/internal/experiments"
 	"rocket/internal/sim"
 )
-
-// expResult is one experiment's benchmark record in BENCH_<run>.json.
-type expResult struct {
-	ID    string `json:"id"`
-	Paper string `json:"paper"`
-	// NsPerOp is the wall-clock nanoseconds of one full experiment run.
-	NsPerOp int64 `json:"ns_per_op"`
-	// AllocsPerOp is the number of heap allocations during the run.
-	AllocsPerOp uint64 `json:"allocs_per_op"`
-	// Events is the number of simulation events dispatched by the run
-	// (summed over all inner environments).
-	Events uint64 `json:"events"`
-	// EventsPerSec is the dispatch throughput: Events / wall seconds.
-	EventsPerSec float64 `json:"events_per_sec"`
-	// OutputSHA256 fingerprints the rendered experiment output, so runs
-	// can be compared for bit-identical results across engine changes.
-	OutputSHA256 string `json:"output_sha256"`
-}
-
-// benchReport is the top-level BENCH_<run>.json document.
-type benchReport struct {
-	Run         string      `json:"run"`
-	Scale       int         `json:"scale"`
-	Seed        uint64      `json:"seed"`
-	GoVersion   string      `json:"go_version"`
-	UnixTime    int64       `json:"unix_time"`
-	Experiments []expResult `json:"experiments"`
-}
 
 func main() {
 	var (
@@ -109,7 +81,7 @@ func main() {
 		toRun = []experiments.Experiment{e}
 	}
 
-	report := benchReport{
+	report := benchfmt.Report{
 		Run:       *jsonRun,
 		Scale:     opts.Scale,
 		Seed:      opts.Seed,
@@ -130,7 +102,7 @@ func main() {
 		}
 		runtime.ReadMemStats(&mem)
 		events := sim.GlobalEvents() - events0
-		r := expResult{
+		r := benchfmt.ExpResult{
 			ID:           e.ID,
 			Paper:        e.Paper,
 			NsPerOp:      wall.Nanoseconds(),
@@ -151,13 +123,7 @@ func main() {
 
 	if *jsonRun != "" {
 		path := "BENCH_" + *jsonRun + ".json"
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(path, buf, 0o644); err != nil {
+		if err := report.Write(path); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,13 +1,14 @@
-// Command rocketqueue drives rocketd, the multi-job scheduler: it reads a
-// job manifest, schedules every job over one shared simulated cluster
-// under the chosen policy, and prints a throughput/latency report.
+// Command rocketqueue drives rocketd's batch mode: it reads a job
+// manifest, schedules every job over one shared simulated cluster under
+// the chosen policy, and prints a throughput/latency report.
 //
 // Usage:
 //
-//	rocketqueue -manifest jobs.json [-policy fair] [-seed 1]
+//	rocketqueue -manifest jobs.json [-policy fair] [-seed 1] [-json]
+//	rocketqueue -replay served.json
 //	rocketqueue -example > jobs.json
 //
-// The manifest is JSON:
+// The manifest is JSON (package rocket/internal/jobspec):
 //
 //	{
 //	  "nodes": 8,
@@ -26,55 +27,23 @@
 // Apps are "forensics", "microscopy", or "bioinformatics"; items is the
 // data-set size n. The -policy flag overrides the manifest's policy, so
 // one manifest can be compared across fifo, sjf, and fair.
+//
+// -replay runs an arrival log recorded by a rocketd server (GET /v1/log,
+// or the file the daemon writes on shutdown). The log is an ordinary
+// manifest whose arrivals are exact nanoseconds, so the batch run takes
+// the same admission and placement decisions the server took; with
+// -json, the output is byte-comparable against the server's final
+// metrics document.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"rocket"
-	"rocket/internal/apps/forensics"
-	"rocket/internal/apps/microscopy"
-	"rocket/internal/apps/phylo"
-	"rocket/internal/sim"
+	"rocket/internal/jobspec"
 )
-
-type manifest struct {
-	Nodes      int           `json:"nodes"`
-	Policy     string        `json:"policy"`
-	MaxQueued  int           `json:"max_queued"`
-	MaxRunning int           `json:"max_running"`
-	Seed       uint64        `json:"seed"`
-	Jobs       []manifestJob `json:"jobs"`
-}
-
-type manifestJob struct {
-	ID        string  `json:"id"`
-	Tenant    string  `json:"tenant"`
-	App       string  `json:"app"`
-	Items     int     `json:"items"`
-	Nodes     int     `json:"nodes"`
-	ArrivalMS float64 `json:"arrival_ms"`
-	Seed      uint64  `json:"seed"`
-}
-
-func buildApp(mj manifestJob, seed uint64) (rocket.Application, error) {
-	if mj.Items < 2 {
-		return nil, fmt.Errorf("job %q: items must be >= 2, got %d", mj.ID, mj.Items)
-	}
-	switch mj.App {
-	case "forensics":
-		return forensics.New(forensics.Params{N: mj.Items, Seed: seed}), nil
-	case "microscopy":
-		return microscopy.New(microscopy.Params{N: mj.Items, Seed: seed}), nil
-	case "bioinformatics", "phylo":
-		return phylo.New(phylo.Params{N: mj.Items, Seed: seed}), nil
-	default:
-		return nil, fmt.Errorf("job %q: unknown app %q (known: forensics, microscopy, bioinformatics)", mj.ID, mj.App)
-	}
-}
 
 // The example's batch jobs are 6 nodes wide on an 8-node cluster: they
 // serialize, and under FIFO the queued second batch job blocks the narrow
@@ -98,8 +67,10 @@ const exampleManifest = `{
 func run() error {
 	var (
 		path    = flag.String("manifest", "", "path to the job manifest (JSON)")
+		replay  = flag.String("replay", "", "path to a rocketd arrival log to replay (same schema)")
 		policy  = flag.String("policy", "", "override the manifest's policy: fifo, sjf, or fair")
 		seed    = flag.Uint64("seed", 0, "override the manifest's seed")
+		asJSON  = flag.Bool("json", false, "print fleet metrics as JSON instead of tables")
 		example = flag.Bool("example", false, "print an example manifest and exit")
 	)
 	flag.Parse()
@@ -108,16 +79,22 @@ func run() error {
 		fmt.Print(exampleManifest)
 		return nil
 	}
+	if *replay != "" {
+		if *path != "" {
+			return fmt.Errorf("-manifest and -replay are mutually exclusive")
+		}
+		*path = *replay
+	}
 	if *path == "" {
 		flag.Usage()
-		return fmt.Errorf("a -manifest file is required (try -example)")
+		return fmt.Errorf("a -manifest or -replay file is required (try -example)")
 	}
 	raw, err := os.ReadFile(*path)
 	if err != nil {
 		return err
 	}
-	var man manifest
-	if err := json.Unmarshal(raw, &man); err != nil {
+	man, err := jobspec.Parse(raw)
+	if err != nil {
 		return fmt.Errorf("%s: %w", *path, err)
 	}
 	if *seed != 0 {
@@ -126,44 +103,22 @@ func run() error {
 	if *policy != "" {
 		man.Policy = *policy
 	}
-	if man.Policy == "" {
-		man.Policy = "fifo"
-	}
-	pol, err := rocket.ParseQueuePolicy(man.Policy)
+
+	cfg, err := man.Config()
 	if err != nil {
 		return err
 	}
-
-	jobs := make([]rocket.QueueJob, len(man.Jobs))
-	for i, mj := range man.Jobs {
-		appSeed := mj.Seed
-		if appSeed == 0 {
-			appSeed = man.Seed + uint64(i)
-		}
-		app, err := buildApp(mj, appSeed)
+	m, err := rocket.RunQueue(cfg)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		buf, err := m.JSON()
 		if err != nil {
 			return err
 		}
-		jobs[i] = rocket.QueueJob{
-			ID:      mj.ID,
-			Tenant:  mj.Tenant,
-			App:     app,
-			Nodes:   mj.Nodes,
-			Arrival: sim.Millis(mj.ArrivalMS),
-			Seed:    mj.Seed,
-		}
-	}
-
-	m, err := rocket.RunQueue(rocket.QueueConfig{
-		Jobs:       jobs,
-		Nodes:      man.Nodes,
-		Policy:     pol,
-		MaxQueued:  man.MaxQueued,
-		MaxRunning: man.MaxRunning,
-		Seed:       man.Seed,
-	})
-	if err != nil {
-		return err
+		os.Stdout.Write(buf)
+		return nil
 	}
 	fmt.Print(m.Report())
 	return nil

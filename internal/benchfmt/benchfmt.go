@@ -1,0 +1,62 @@
+// Package benchfmt defines the BENCH_<run>.json format shared by the
+// rocketbench harness (writer) and the benchgate CI gate (reader): one
+// record per experiment capturing wall time, allocations, event
+// throughput, and a SHA-256 fingerprint of the rendered output, so
+// performance and bit-exact determinism are tracked across commits.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ExpResult is one experiment's benchmark record.
+type ExpResult struct {
+	ID    string `json:"id"`
+	Paper string `json:"paper"`
+	// NsPerOp is the wall-clock nanoseconds of one full experiment run.
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp is the number of heap allocations during the run.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	// Events is the number of simulation events dispatched by the run
+	// (summed over all inner environments).
+	Events uint64 `json:"events"`
+	// EventsPerSec is the dispatch throughput: Events / wall seconds.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// OutputSHA256 fingerprints the rendered experiment output, so runs
+	// can be compared for bit-identical results across engine changes.
+	OutputSHA256 string `json:"output_sha256"`
+}
+
+// Report is the top-level BENCH_<run>.json document.
+type Report struct {
+	Run         string      `json:"run"`
+	Scale       int         `json:"scale"`
+	Seed        uint64      `json:"seed"`
+	GoVersion   string      `json:"go_version"`
+	UnixTime    int64       `json:"unix_time"`
+	Experiments []ExpResult `json:"experiments"`
+}
+
+// Read loads and decodes a BENCH_<run>.json file.
+func Read(path string) (Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Write encodes the report, indented with a trailing newline, to path.
+func (r Report) Write(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -1,0 +1,156 @@
+package benchfmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GateOptions tunes the regression gate.
+type GateOptions struct {
+	// MaxRegress is the tolerated fractional ns_per_op growth per
+	// experiment (e.g. 0.25 = 25%); beyond it the experiment regressed.
+	MaxRegress float64
+	// PerfIsFatal promotes perf regressions from warnings to failures.
+	// Determinism drift (output_sha256 mismatch) is always a failure:
+	// shared CI runners make wall time noisy, but output bytes never are.
+	PerfIsFatal bool
+}
+
+// GateRow is one experiment's comparison.
+type GateRow struct {
+	ID        string
+	Baseline  int64 // baseline ns_per_op
+	Candidate int64 // candidate ns_per_op
+	Ratio     float64
+	// Verdict is "ok", "faster", "slower" (beyond MaxRegress), "drift"
+	// (output_sha256 mismatch), "missing" (in baseline, not candidate),
+	// or "new" (no baseline to compare against).
+	Verdict string
+}
+
+// GateResult is the full gate outcome.
+type GateResult struct {
+	Rows     []GateRow
+	Failures []string
+	Warnings []string
+}
+
+// Failed reports whether the gate should fail the build.
+func (g GateResult) Failed() bool { return len(g.Failures) > 0 }
+
+// Gate compares a candidate run against the committed baseline:
+// determinism first (every shared experiment's output_sha256 must match,
+// and nothing from the baseline may disappear), then per-experiment
+// ns_per_op within opts.MaxRegress.
+func Gate(baseline, candidate Report, opts GateOptions) GateResult {
+	var g GateResult
+	base := make(map[string]ExpResult, len(baseline.Experiments))
+	for _, e := range baseline.Experiments {
+		base[e.ID] = e
+	}
+	if baseline.Scale != candidate.Scale || baseline.Seed != candidate.Seed {
+		g.Failures = append(g.Failures, fmt.Sprintf(
+			"incomparable runs: baseline scale/seed %d/%d vs candidate %d/%d",
+			baseline.Scale, baseline.Seed, candidate.Scale, candidate.Seed))
+		return g
+	}
+	seen := make(map[string]bool, len(candidate.Experiments))
+	for _, c := range candidate.Experiments {
+		seen[c.ID] = true
+		b, ok := base[c.ID]
+		if !ok {
+			g.Rows = append(g.Rows, GateRow{ID: c.ID, Candidate: c.NsPerOp, Verdict: "new"})
+			continue
+		}
+		row := GateRow{ID: c.ID, Baseline: b.NsPerOp, Candidate: c.NsPerOp}
+		if b.NsPerOp > 0 {
+			row.Ratio = float64(c.NsPerOp) / float64(b.NsPerOp)
+		}
+		switch {
+		case b.OutputSHA256 != c.OutputSHA256:
+			row.Verdict = "drift"
+			g.Failures = append(g.Failures, fmt.Sprintf(
+				"%s: output_sha256 drifted (%.12s… -> %.12s…): results are no longer bit-identical to the baseline",
+				c.ID, b.OutputSHA256, c.OutputSHA256))
+		case row.Ratio > 1+opts.MaxRegress:
+			row.Verdict = "slower"
+			msg := fmt.Sprintf("%s: ns_per_op regressed %.0f%% (%.2fms -> %.2fms, limit %.0f%%)",
+				c.ID, 100*(row.Ratio-1), float64(b.NsPerOp)/1e6, float64(c.NsPerOp)/1e6,
+				100*opts.MaxRegress)
+			if opts.PerfIsFatal {
+				g.Failures = append(g.Failures, msg)
+			} else {
+				g.Warnings = append(g.Warnings, msg)
+			}
+		case row.Ratio > 0 && row.Ratio < 1-opts.MaxRegress:
+			row.Verdict = "faster"
+		default:
+			row.Verdict = "ok"
+		}
+		g.Rows = append(g.Rows, row)
+	}
+	for _, b := range baseline.Experiments {
+		if !seen[b.ID] {
+			g.Rows = append(g.Rows, GateRow{ID: b.ID, Baseline: b.NsPerOp, Verdict: "missing"})
+			g.Failures = append(g.Failures, fmt.Sprintf(
+				"%s: present in baseline but missing from candidate run", b.ID))
+		}
+	}
+	return g
+}
+
+// Markdown renders the gate outcome as a GitHub job-summary table.
+func (g GateResult) Markdown() string {
+	var b strings.Builder
+	b.WriteString("## bench gate\n\n")
+	if g.Failed() {
+		b.WriteString("**FAILED**\n\n")
+	} else if len(g.Warnings) > 0 {
+		b.WriteString("passed with warnings\n\n")
+	} else {
+		b.WriteString("passed\n\n")
+	}
+	for _, f := range g.Failures {
+		fmt.Fprintf(&b, "- :x: %s\n", f)
+	}
+	for _, w := range g.Warnings {
+		fmt.Fprintf(&b, "- :warning: %s\n", w)
+	}
+	b.WriteString("\n| experiment | baseline ms | candidate ms | ratio | verdict |\n")
+	b.WriteString("|---|---:|---:|---:|---|\n")
+	for _, r := range g.Rows {
+		ratio := "-"
+		if r.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", r.Ratio)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+			r.ID, ms(r.Baseline), ms(r.Candidate), ratio, r.Verdict)
+	}
+	return b.String()
+}
+
+func ms(ns int64) string {
+	if ns == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(ns)/1e6)
+}
+
+// Text renders a terminal-friendly summary.
+func (g GateResult) Text() string {
+	var b strings.Builder
+	for _, r := range g.Rows {
+		ratio := "     -"
+		if r.Ratio > 0 {
+			ratio = fmt.Sprintf("%5.2fx", r.Ratio)
+		}
+		fmt.Fprintf(&b, "%-18s %12s -> %12s ms  %s  %s\n", r.ID, ms(r.Baseline), ms(r.Candidate), ratio, r.Verdict)
+	}
+	for _, w := range g.Warnings {
+		fmt.Fprintf(&b, "WARN: %s\n", w)
+	}
+	for _, f := range g.Failures {
+		fmt.Fprintf(&b, "FAIL: %s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(exps ...ExpResult) Report {
+	return Report{Run: "t", Scale: 50, Seed: 1, Experiments: exps}
+}
+
+func exp(id string, ns int64, sha string) ExpResult {
+	return ExpResult{ID: id, NsPerOp: ns, OutputSHA256: sha}
+}
+
+func TestGatePassesIdenticalRuns(t *testing.T) {
+	base := report(exp("fig6", 100, "aa"), exp("fig8", 200, "bb"))
+	g := Gate(base, base, GateOptions{MaxRegress: 0.25})
+	if g.Failed() || len(g.Warnings) != 0 {
+		t.Fatalf("identical runs gated: %+v", g)
+	}
+	for _, r := range g.Rows {
+		if r.Verdict != "ok" {
+			t.Fatalf("row %+v, want ok", r)
+		}
+	}
+}
+
+// The determinism gate: an injected output_sha256 mismatch must fail the
+// gate regardless of timing.
+func TestGateFailsOnInjectedShaDrift(t *testing.T) {
+	base := report(exp("fig6", 100, "aa"), exp("fig8", 200, "bb"))
+	cand := report(exp("fig6", 100, "aa"), exp("fig8", 200, "CORRUPTED"))
+	g := Gate(base, cand, GateOptions{MaxRegress: 0.25})
+	if !g.Failed() {
+		t.Fatal("sha drift did not fail the gate")
+	}
+	if len(g.Failures) != 1 || !strings.Contains(g.Failures[0], "fig8") ||
+		!strings.Contains(g.Failures[0], "output_sha256") {
+		t.Fatalf("failures: %v", g.Failures)
+	}
+	if !strings.Contains(g.Markdown(), "drift") {
+		t.Fatalf("markdown does not mention drift:\n%s", g.Markdown())
+	}
+}
+
+func TestGatePerfRegressionWarnsThenFails(t *testing.T) {
+	base := report(exp("fig6", 100, "aa"))
+	cand := report(exp("fig6", 130, "aa")) // +30% > 25% limit
+	g := Gate(base, cand, GateOptions{MaxRegress: 0.25})
+	if g.Failed() || len(g.Warnings) != 1 {
+		t.Fatalf("default gate: %+v", g)
+	}
+	if g.Rows[0].Verdict != "slower" {
+		t.Fatalf("verdict %q, want slower", g.Rows[0].Verdict)
+	}
+	strict := Gate(base, cand, GateOptions{MaxRegress: 0.25, PerfIsFatal: true})
+	if !strict.Failed() {
+		t.Fatal("strict gate did not fail on a 30% regression")
+	}
+	// Within the limit: no warning.
+	ok := Gate(base, report(exp("fig6", 120, "aa")), GateOptions{MaxRegress: 0.25})
+	if ok.Failed() || len(ok.Warnings) != 0 {
+		t.Fatalf("+20%% should pass a 25%% limit: %+v", ok)
+	}
+}
+
+func TestGateMissingAndNewExperiments(t *testing.T) {
+	base := report(exp("fig6", 100, "aa"), exp("fig8", 200, "bb"))
+	cand := report(exp("fig6", 100, "aa"), exp("resilience", 300, "cc"))
+	g := Gate(base, cand, GateOptions{MaxRegress: 0.25})
+	if !g.Failed() {
+		t.Fatal("dropping a baseline experiment must fail")
+	}
+	verdicts := map[string]string{}
+	for _, r := range g.Rows {
+		verdicts[r.ID] = r.Verdict
+	}
+	if verdicts["fig8"] != "missing" || verdicts["resilience"] != "new" || verdicts["fig6"] != "ok" {
+		t.Fatalf("verdicts: %v", verdicts)
+	}
+}
+
+func TestGateRejectsIncomparableRuns(t *testing.T) {
+	base := report(exp("fig6", 100, "aa"))
+	cand := base
+	cand.Scale = 10
+	if g := Gate(base, cand, GateOptions{}); !g.Failed() {
+		t.Fatal("scale mismatch must fail")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_t.json")
+	r := report(exp("fig6", 100, "aa"))
+	r.GoVersion = "go1.22"
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Experiments) != 1 || back.Experiments[0] != r.Experiments[0] || back.GoVersion != "go1.22" {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if _, err := Read(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("reading an absent file succeeded")
+	}
+}

@@ -1,0 +1,211 @@
+// Package jobspec is the shared wire schema for describing all-pairs jobs
+// and fleet manifests outside the process: the rocketqueue CLI's job
+// manifest, rocketd's HTTP job submissions, and the arrival logs rocketd
+// records for offline replay are all this one format, so a log served
+// online is literally a manifest the batch scheduler can re-run.
+package jobspec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"rocket/internal/apps/forensics"
+	"rocket/internal/apps/microscopy"
+	"rocket/internal/apps/phylo"
+	"rocket/internal/core"
+	"rocket/internal/fault"
+	"rocket/internal/sched"
+	"rocket/internal/sim"
+)
+
+// Fault is one scheduled fault event of a job's first attempt. Node and
+// GPU indices are relative to the job's leased partition.
+type Fault struct {
+	// Kind is "crash", "restart", "gpu-slow", "link-down", "link-up", or
+	// "link-degrade".
+	Kind string `json:"kind"`
+	// AtMS is the event time in virtual milliseconds from job start.
+	AtMS float64 `json:"at_ms"`
+	// Node targets crash/restart/gpu-slow.
+	Node int `json:"node,omitempty"`
+	// GPU is the device index within Node (gpu-slow).
+	GPU int `json:"gpu,omitempty"`
+	// Factor is the gpu-slow multiplier (>= 1; 1 restores).
+	Factor float64 `json:"factor,omitempty"`
+	// A and B are the link endpoints (link-down/up/degrade).
+	A int `json:"a,omitempty"`
+	B int `json:"b,omitempty"`
+	// LatencyFactor and BandwidthFactor are link-degrade multipliers.
+	LatencyFactor   float64 `json:"latency_factor,omitempty"`
+	BandwidthFactor float64 `json:"bandwidth_factor,omitempty"`
+}
+
+// apply appends the event to a fault schedule.
+func (f Fault) apply(s *fault.Schedule) error {
+	at := sim.Millis(f.AtMS)
+	switch f.Kind {
+	case "crash":
+		s.Crash(f.Node, at)
+	case "restart":
+		s.Restart(f.Node, at)
+	case "gpu-slow":
+		s.SlowGPU(f.Node, f.GPU, at, f.Factor)
+	case "link-down":
+		s.CutLink(f.A, f.B, at)
+	case "link-up":
+		s.RestoreLink(f.A, f.B, at)
+	case "link-degrade":
+		s.DegradeLink(f.A, f.B, at, f.LatencyFactor, f.BandwidthFactor)
+	default:
+		return fmt.Errorf("unknown fault kind %q", f.Kind)
+	}
+	return nil
+}
+
+// Spec describes one job. App seeds and job seeds are derived from the
+// manifest seed and submission index when left zero, exactly as the
+// scheduler does, so a spec round-trips through a served arrival log.
+type Spec struct {
+	ID     string `json:"id,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	// App is "forensics", "microscopy", or "bioinformatics"/"phylo".
+	App string `json:"app"`
+	// Items is the data-set size n (>= 2).
+	Items int `json:"items"`
+	// Nodes is the requested partition width; 0 = one node.
+	Nodes int `json:"nodes,omitempty"`
+	// ArrivalNS is the exact virtual arrival in nanoseconds; it wins over
+	// ArrivalMS. Arrival logs use it so replays are bit-exact.
+	ArrivalNS int64 `json:"arrival_ns,omitempty"`
+	// ArrivalMS is the human-friendly arrival in milliseconds.
+	ArrivalMS float64 `json:"arrival_ms,omitempty"`
+	// Seed seeds both the app's data and the job; 0 derives both.
+	Seed uint64 `json:"seed,omitempty"`
+	// Faults optionally injects a deterministic fault schedule into the
+	// job's first attempt.
+	Faults []Fault `json:"faults,omitempty"`
+}
+
+// Apps lists the known application names.
+func Apps() []string { return []string{"forensics", "microscopy", "bioinformatics"} }
+
+// BuildApp constructs the spec's application with the given seed.
+func (s Spec) BuildApp(seed uint64) (core.Application, error) {
+	if s.Items < 2 {
+		return nil, fmt.Errorf("job %q: items must be >= 2, got %d", s.ID, s.Items)
+	}
+	switch s.App {
+	case "forensics":
+		return forensics.New(forensics.Params{N: s.Items, Seed: seed}), nil
+	case "microscopy":
+		return microscopy.New(microscopy.Params{N: s.Items, Seed: seed}), nil
+	case "bioinformatics", "phylo":
+		return phylo.New(phylo.Params{N: s.Items, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("job %q: unknown app %q (known: forensics, microscopy, bioinformatics)", s.ID, s.App)
+	}
+}
+
+// Arrival returns the spec's virtual arrival time.
+func (s Spec) Arrival() sim.Time {
+	if s.ArrivalNS != 0 {
+		return sim.Time(s.ArrivalNS)
+	}
+	return sim.Millis(s.ArrivalMS)
+}
+
+// Job builds the scheduler job. index is the spec's position in its
+// manifest (or submission order), manifestSeed the fleet seed; both only
+// matter when the spec leaves Seed zero.
+func (s Spec) Job(index int, manifestSeed uint64) (sched.Job, error) {
+	appSeed := s.Seed
+	if appSeed == 0 {
+		appSeed = manifestSeed + uint64(index)
+	}
+	app, err := s.BuildApp(appSeed)
+	if err != nil {
+		return sched.Job{}, err
+	}
+	j := sched.Job{
+		ID:      s.ID,
+		Tenant:  s.Tenant,
+		App:     app,
+		Nodes:   s.Nodes,
+		Arrival: s.Arrival(),
+		Seed:    s.Seed,
+	}
+	if len(s.Faults) > 0 {
+		sch := new(fault.Schedule)
+		for _, f := range s.Faults {
+			if err := f.apply(sch); err != nil {
+				return sched.Job{}, fmt.Errorf("job %q: %w", s.ID, err)
+			}
+		}
+		j.Faults = sch
+	}
+	return j, nil
+}
+
+// Manifest is a fleet description: the shared cluster, the policy, and
+// the jobs. It doubles as rocketd's replayable arrival-log format
+// (KeepGoing is set there so a failed served job replays as a recorded
+// failure instead of aborting the batch run).
+type Manifest struct {
+	Nodes      int    `json:"nodes"`
+	Policy     string `json:"policy,omitempty"`
+	MaxQueued  int    `json:"max_queued,omitempty"`
+	MaxRunning int    `json:"max_running,omitempty"`
+	MaxRetries int    `json:"max_retries,omitempty"`
+	KeepGoing  bool   `json:"keep_going,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	Jobs       []Spec `json:"jobs"`
+}
+
+// Parse decodes a manifest from JSON.
+func Parse(raw []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// JSON encodes the manifest, indented, with a trailing newline.
+func (m Manifest) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Config builds the batch scheduler configuration: apps are constructed
+// and every job is materialized in manifest order.
+func (m Manifest) Config() (sched.Config, error) {
+	pol := sched.PolicyFIFO
+	if m.Policy != "" {
+		var err error
+		pol, err = sched.ParsePolicy(m.Policy)
+		if err != nil {
+			return sched.Config{}, err
+		}
+	}
+	jobs := make([]sched.Job, len(m.Jobs))
+	for i, s := range m.Jobs {
+		j, err := s.Job(i, m.Seed)
+		if err != nil {
+			return sched.Config{}, err
+		}
+		jobs[i] = j
+	}
+	return sched.Config{
+		Jobs:       jobs,
+		Nodes:      m.Nodes,
+		Policy:     pol,
+		MaxQueued:  m.MaxQueued,
+		MaxRunning: m.MaxRunning,
+		MaxRetries: m.MaxRetries,
+		KeepGoing:  m.KeepGoing,
+		Seed:       m.Seed,
+	}, nil
+}

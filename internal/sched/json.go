@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"encoding/json"
+
+	"rocket/internal/core"
+)
+
+// JobDoc is the stable wire form of one job's outcome. Virtual times are
+// integer nanoseconds so serialized documents are exact: two runs that
+// took identical scheduling decisions marshal to identical bytes, which
+// is how replay fidelity is asserted.
+type JobDoc struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
+	App      string `json:"app"`
+	Nodes    []int  `json:"nodes,omitempty"`
+	Rejected bool   `json:"rejected,omitempty"`
+	Failed   bool   `json:"failed,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Retries  int    `json:"retries,omitempty"`
+
+	ArrivalNS int64 `json:"arrival_ns"`
+	StartNS   int64 `json:"start_ns"`
+	EndNS     int64 `json:"end_ns"`
+	WaitNS    int64 `json:"wait_ns"`
+	RuntimeNS int64 `json:"runtime_ns"`
+
+	Inner *core.MetricsSummary `json:"inner,omitempty"`
+}
+
+// TenantDoc is the wire form of one tenant's aggregates.
+type TenantDoc struct {
+	Tenant      string  `json:"tenant"`
+	Jobs        int     `json:"jobs"`
+	Rejected    int     `json:"rejected,omitempty"`
+	Failed      int     `json:"failed,omitempty"`
+	NodeSeconds float64 `json:"node_seconds"`
+	MeanWaitNS  int64   `json:"mean_wait_ns"`
+}
+
+// MetricsDoc is the wire form of a fleet run's Metrics.
+type MetricsDoc struct {
+	Policy     string `json:"policy"`
+	TotalNodes int    `json:"total_nodes"`
+
+	Completed int `json:"completed"`
+	Rejected  int `json:"rejected"`
+	Failed    int `json:"failed"`
+	Retries   int `json:"retries"`
+
+	MakespanNS  int64   `json:"makespan_ns"`
+	MeanWaitNS  int64   `json:"mean_wait_ns"`
+	MaxWaitNS   int64   `json:"max_wait_ns"`
+	Utilization float64 `json:"utilization"`
+	JobsPerHour float64 `json:"jobs_per_hour"`
+
+	Pairs    uint64 `json:"pairs"`
+	NetBytes int64  `json:"net_bytes"`
+	IOBytes  int64  `json:"io_bytes"`
+
+	Jobs    []JobDoc    `json:"jobs"`
+	Tenants []TenantDoc `json:"tenants"`
+}
+
+// Doc converts one job's metrics to its wire form.
+func (jm *JobMetrics) Doc() JobDoc {
+	d := JobDoc{
+		ID:        jm.ID,
+		Tenant:    jm.Tenant,
+		App:       jm.App,
+		Nodes:     jm.Nodes,
+		Rejected:  jm.Rejected,
+		Failed:    jm.Failed,
+		Error:     jm.Error,
+		Retries:   jm.Retries,
+		ArrivalNS: int64(jm.Arrival),
+		StartNS:   int64(jm.Start),
+		EndNS:     int64(jm.End),
+		WaitNS:    int64(jm.Wait),
+		RuntimeNS: int64(jm.Runtime),
+	}
+	if jm.Inner != nil {
+		s := jm.Inner.Summary()
+		d.Inner = &s
+	}
+	return d
+}
+
+// Doc converts the fleet metrics to their wire form.
+func (m *Metrics) Doc() MetricsDoc {
+	d := MetricsDoc{
+		Policy:      m.Policy.String(),
+		TotalNodes:  m.TotalNodes,
+		Completed:   m.Completed,
+		Rejected:    m.Rejected,
+		Failed:      m.Failed,
+		Retries:     m.Retries,
+		MakespanNS:  int64(m.Makespan),
+		MeanWaitNS:  int64(m.MeanWait),
+		MaxWaitNS:   int64(m.MaxWait),
+		Utilization: m.Utilization,
+		JobsPerHour: m.JobsPerHour,
+		Pairs:       m.Pairs,
+		NetBytes:    m.NetBytes,
+		IOBytes:     m.IOBytes,
+	}
+	for i := range m.Jobs {
+		d.Jobs = append(d.Jobs, m.Jobs[i].Doc())
+	}
+	for _, t := range m.Tenants {
+		d.Tenants = append(d.Tenants, TenantDoc{
+			Tenant:      t.Tenant,
+			Jobs:        t.Jobs,
+			Rejected:    t.Rejected,
+			Failed:      t.Failed,
+			NodeSeconds: t.NodeSeconds,
+			MeanWaitNS:  int64(t.MeanWait),
+		})
+	}
+	return d
+}
+
+// JSON marshals the fleet metrics' wire form, indented, with a trailing
+// newline.
+func (m *Metrics) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(m.Doc(), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

@@ -21,6 +21,10 @@ type JobMetrics struct {
 	Nodes []int
 	// Rejected marks jobs refused admission by the MaxQueued limit.
 	Rejected bool
+	// Failed marks jobs whose inner runtime failed under Config.KeepGoing;
+	// Error holds the failure. The fleet run carried on without them.
+	Failed bool
+	Error  string
 	// Retries counts requeues after partition loss (fault injection);
 	// Start/End/Inner describe the final attempt.
 	Retries int
@@ -42,6 +46,7 @@ type TenantMetrics struct {
 	Tenant      string
 	Jobs        int
 	Rejected    int
+	Failed      int
 	NodeSeconds float64
 	MeanWait    sim.Time
 }
@@ -58,6 +63,8 @@ type Metrics struct {
 
 	Completed int
 	Rejected  int
+	// Failed counts jobs whose inner runtime failed under KeepGoing.
+	Failed int
 	// Retries totals partition-loss requeues across all jobs.
 	Retries int
 
@@ -104,6 +111,27 @@ func aggregate(cfg Config, states []*jobState) *Metrics {
 			jm.Rejected = true
 			m.Rejected++
 			t.Rejected++
+		} else if js.failed {
+			// A failed job held its lease from start to abort; charge the
+			// occupancy but keep it out of the completion statistics.
+			jm.Failed = true
+			if js.err != nil {
+				jm.Error = js.err.Error()
+			}
+			jm.Nodes = js.lease
+			jm.Start = js.start
+			jm.End = js.end
+			jm.Wait = js.start - js.job.Arrival
+			jm.Runtime = js.end - js.start
+			jm.Inner = js.inner
+			m.Failed++
+			t.Failed++
+			nodeSecs := float64(len(js.lease)) * jm.Runtime.Seconds()
+			t.NodeSeconds += nodeSecs
+			leasedSeconds += nodeSecs
+			if jm.End > m.Makespan {
+				m.Makespan = jm.End
+			}
 		} else {
 			jm.Nodes = js.lease
 			jm.Start = js.start
@@ -137,7 +165,7 @@ func aggregate(cfg Config, states []*jobState) *Metrics {
 		m.JobsPerHour = float64(m.Completed) / (m.Makespan.Seconds() / 3600)
 	}
 	for name, t := range tenants {
-		if done := t.Jobs - t.Rejected; done > 0 {
+		if done := t.Jobs - t.Rejected - t.Failed; done > 0 {
 			t.MeanWait = tenantWaits[name] / sim.Time(done)
 		}
 		m.Tenants = append(m.Tenants, *t)
@@ -158,6 +186,11 @@ func (m *Metrics) Report() string {
 			jobs.AddRow(j.ID, j.Tenant, j.App, "-", j.Arrival.String(), "rejected", "-", "-")
 			continue
 		}
+		if j.Failed {
+			jobs.AddRow(j.ID, j.Tenant, j.App, len(j.Nodes),
+				j.Arrival.String(), j.Wait.String(), "failed", j.End.String())
+			continue
+		}
 		jobs.AddRow(j.ID, j.Tenant, j.App, len(j.Nodes),
 			j.Arrival.String(), j.Wait.String(), j.Runtime.String(), j.End.String())
 	}
@@ -171,8 +204,12 @@ func (m *Metrics) Report() string {
 	b.WriteString(tenants.String())
 	b.WriteByte('\n')
 
-	fmt.Fprintf(&b, "completed %d/%d jobs (%d rejected) | makespan %v | mean wait %v | max wait %v\n",
-		m.Completed, len(m.Jobs), m.Rejected, m.Makespan, m.MeanWait, m.MaxWait)
+	failed := ""
+	if m.Failed > 0 {
+		failed = fmt.Sprintf(", %d failed", m.Failed)
+	}
+	fmt.Fprintf(&b, "completed %d/%d jobs (%d rejected%s) | makespan %v | mean wait %v | max wait %v\n",
+		m.Completed, len(m.Jobs), m.Rejected, failed, m.Makespan, m.MeanWait, m.MaxWait)
 	fmt.Fprintf(&b, "utilization %.1f%% | %.1f jobs/hour | %d pairs | %.2f GB net | %.2f GB I/O\n",
 		100*m.Utilization, m.JobsPerHour, m.Pairs,
 		float64(m.NetBytes)/1e9, float64(m.IOBytes)/1e9)

@@ -82,11 +82,23 @@ type Config struct {
 	// (core.ErrPartitionLost) is requeued before the failure aborts the
 	// whole run. 0 = partition loss is fatal.
 	MaxRetries int
+	// KeepGoing records an inner runtime failure in the job's metrics
+	// (JobMetrics.Failed) and releases its lease instead of aborting the
+	// whole run. Online schedulers always run with KeepGoing, so batch
+	// replays of a served arrival log must set it to reproduce the same
+	// fleet metrics.
+	KeepGoing bool
 	// Workers is the number of OS threads executing inner simulations in
 	// parallel; 0 defaults to GOMAXPROCS. It does not affect results.
 	Workers int
 	// Seed drives per-job seed derivation.
 	Seed uint64
+	// TimeScale is the online-mode bridge from wall-clock to virtual
+	// time: a job submitted w wall-seconds after Start is assigned a
+	// virtual arrival no earlier than TimeScale*w virtual seconds
+	// (see Online). 0 disables the bridge: arrivals latch onto the
+	// current virtual clock. Batch runs ignore it.
+	TimeScale float64
 }
 
 // jobState tracks one job through the scheduler.
@@ -105,6 +117,9 @@ type jobState struct {
 	done    chan struct{}
 	started bool
 	reject  bool
+	// failed marks a job whose inner runtime failed under KeepGoing; the
+	// fleet run continues and the failure is reported in JobMetrics.
+	failed bool
 	// attempt counts executions so far; retry marks a partition-lost
 	// attempt whose lease release doubles as a requeue.
 	attempt int
@@ -126,6 +141,10 @@ func (cfg Config) normalize() (Config, error) {
 	if len(cfg.Jobs) == 0 {
 		return cfg, fmt.Errorf("sched: Config.Jobs is empty")
 	}
+	return cfg.normalizeCommon()
+}
+
+func (cfg Config) normalizeCommon() (Config, error) {
 	if cfg.Nodes < 1 {
 		return cfg, fmt.Errorf("sched: Config.Nodes must be >= 1, got %d", cfg.Nodes)
 	}
@@ -151,10 +170,56 @@ func (cfg Config) normalize() (Config, error) {
 	if cfg.MaxRetries < 0 {
 		return cfg, fmt.Errorf("sched: negative MaxRetries")
 	}
+	if cfg.TimeScale < 0 {
+		return cfg, fmt.Errorf("sched: negative TimeScale")
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	return cfg, nil
+}
+
+// newState validates one job and builds its scheduler state. i is the
+// submission index (which drives ID and seed derivation) and seen maps
+// already-claimed IDs to their index.
+func newState(cfg Config, j Job, i int, seen map[string]int) (*jobState, error) {
+	if j.App == nil {
+		return nil, fmt.Errorf("sched: job %d has no App", i)
+	}
+	if j.Nodes == 0 {
+		j.Nodes = 1
+	}
+	if j.Nodes < 0 || j.Nodes > cfg.Nodes {
+		return nil, fmt.Errorf("sched: job %d requests %d nodes; cluster has %d", i, j.Nodes, cfg.Nodes)
+	}
+	if j.Arrival < 0 {
+		return nil, fmt.Errorf("sched: job %d has negative arrival %v", i, j.Arrival)
+	}
+	id := j.ID
+	if id == "" {
+		id = fmt.Sprintf("job%d", i)
+	}
+	if prev, dup := seen[id]; dup {
+		return nil, fmt.Errorf("sched: jobs %d and %d share ID %q", prev, i, id)
+	}
+	seen[id] = i
+	tenant := j.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	seed := j.Seed
+	if seed == 0 {
+		seed = cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1))
+	}
+	return &jobState{
+		job:    j,
+		index:  i,
+		id:     id,
+		tenant: tenant,
+		seed:   seed,
+		est:    estimate(j.App, j.Nodes, len(cfg.NodeSpec.GPUs)),
+		done:   make(chan struct{}),
+	}, nil
 }
 
 // newStates validates the jobs and builds their scheduler state, in input
@@ -163,43 +228,11 @@ func newStates(cfg Config) ([]*jobState, error) {
 	states := make([]*jobState, len(cfg.Jobs))
 	seen := make(map[string]int, len(cfg.Jobs))
 	for i, j := range cfg.Jobs {
-		if j.App == nil {
-			return nil, fmt.Errorf("sched: job %d has no App", i)
+		js, err := newState(cfg, j, i, seen)
+		if err != nil {
+			return nil, err
 		}
-		if j.Nodes == 0 {
-			j.Nodes = 1
-		}
-		if j.Nodes < 0 || j.Nodes > cfg.Nodes {
-			return nil, fmt.Errorf("sched: job %d requests %d nodes; cluster has %d", i, j.Nodes, cfg.Nodes)
-		}
-		if j.Arrival < 0 {
-			return nil, fmt.Errorf("sched: job %d has negative arrival %v", i, j.Arrival)
-		}
-		id := j.ID
-		if id == "" {
-			id = fmt.Sprintf("job%d", i)
-		}
-		if prev, dup := seen[id]; dup {
-			return nil, fmt.Errorf("sched: jobs %d and %d share ID %q", prev, i, id)
-		}
-		seen[id] = i
-		tenant := j.Tenant
-		if tenant == "" {
-			tenant = "default"
-		}
-		seed := j.Seed
-		if seed == 0 {
-			seed = cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1))
-		}
-		states[i] = &jobState{
-			job:    j,
-			index:  i,
-			id:     id,
-			tenant: tenant,
-			seed:   seed,
-			est:    estimate(j.App, j.Nodes, len(cfg.NodeSpec.GPUs)),
-			done:   make(chan struct{}),
-		}
+		states[i] = js
 	}
 	return states, nil
 }
@@ -227,10 +260,225 @@ func estimate(app core.Application, nodes, gpusPerNode int) sim.Time {
 	return sim.Time(float64(total) * mean / float64(nodes*gpusPerNode))
 }
 
+// frontier feeds the scheduler loop its arrival stream. The batch frontier
+// walks a pre-sorted job slice; the online frontier drains a submission
+// inbox, assigning virtual arrival times as jobs are observed. Arrival
+// times returned by due/next must be monotone non-decreasing, and due may
+// never hand out a job whose arrival exceeds the clock it was called with.
+type frontier interface {
+	// due removes and returns every job with arrival <= clock, in
+	// admission order.
+	due(clock sim.Time) []*jobState
+	// next reports the earliest known future arrival.
+	next() (sim.Time, bool)
+	// wait blocks until the frontier may have another arrival, reporting
+	// whether one may still come; it is only called when the cluster is
+	// idle and next() was empty. Batch frontiers never block.
+	wait() bool
+}
+
+// sliceFrontier is the batch frontier: a slice sorted by arrival time,
+// ties broken by submission order.
+type sliceFrontier struct {
+	arrivals []*jobState
+	i        int
+}
+
+func (f *sliceFrontier) due(clock sim.Time) []*jobState {
+	start := f.i
+	for f.i < len(f.arrivals) && f.arrivals[f.i].job.Arrival <= clock {
+		f.i++
+	}
+	return f.arrivals[start:f.i]
+}
+
+func (f *sliceFrontier) next() (sim.Time, bool) {
+	if f.i < len(f.arrivals) {
+		return f.arrivals[f.i].job.Arrival, true
+	}
+	return 0, false
+}
+
+func (f *sliceFrontier) wait() bool { return false }
+
+// observer receives scheduler lifecycle notifications, all from the loop
+// goroutine. The online scheduler uses it to publish job status and the
+// event stream; batch runs have no observer.
+type observer interface {
+	jobAdmitted(js *jobState)
+	jobRejected(js *jobState)
+	jobStarted(js *jobState)
+	jobRetrying(js *jobState)
+	jobFinished(js *jobState)
+	clockAdvanced(clock sim.Time)
+}
+
+// scheduler is one fleet run's mutable state; run drives it from a
+// frontier until the frontier is exhausted and the cluster drains.
+type scheduler struct {
+	cfg     Config
+	free    []int // free node IDs, ascending
+	pending []*jobState
+	running []*jobState
+	clock   sim.Time
+	usage   map[string]float64 // tenant -> completed node-seconds
+	sem     chan struct{}
+	obs     observer
+}
+
+func newScheduler(cfg Config, obs observer) *scheduler {
+	// The free pool holds node IDs in ascending order; leases take the
+	// lowest IDs so placements are deterministic and reported partitions
+	// are stable.
+	free := make([]int, cfg.Nodes)
+	for i := range free {
+		free[i] = i
+	}
+	return &scheduler{
+		cfg:   cfg,
+		free:  free,
+		usage: make(map[string]float64),
+		sem:   make(chan struct{}, cfg.Workers),
+		obs:   obs,
+	}
+}
+
+// run schedules every job the frontier yields over the shared cluster.
+// All scheduling decisions depend only on virtual time and the admission
+// order the frontier establishes, so a batch replay of an online run's
+// arrival log takes exactly the same decisions.
+func (s *scheduler) run(f frontier) error {
+	cfg := s.cfg
+	for {
+		// Admit arrivals due now, applying the admission limit.
+		for _, js := range f.due(s.clock) {
+			if cfg.MaxQueued > 0 && len(s.pending) >= cfg.MaxQueued {
+				js.reject = true
+				if s.obs != nil {
+					s.obs.jobRejected(js)
+				}
+				continue
+			}
+			s.pending = append(s.pending, js)
+			if s.obs != nil {
+				s.obs.jobAdmitted(js)
+			}
+		}
+
+		// Placement: let the policy pick jobs while nodes and the
+		// running-job budget allow. Jobs placed at the same instant
+		// execute their inner simulations in parallel.
+		for len(s.pending) > 0 {
+			if cfg.MaxRunning > 0 && len(s.running) >= cfg.MaxRunning {
+				break
+			}
+			i := pick(cfg.Policy, s.pending, s.running, len(s.free), s.clock, s.usage)
+			if i < 0 {
+				break
+			}
+			js := s.pending[i]
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			js.lease = append([]int(nil), s.free[:js.job.Nodes]...)
+			s.free = s.free[js.job.Nodes:]
+			js.start = s.clock
+			js.started = true
+			s.running = append(s.running, js)
+			if s.obs != nil {
+				s.obs.jobStarted(js)
+			}
+			go cfg.runInner(js, s.sem)
+		}
+
+		if len(s.running) == 0 {
+			if t, ok := f.next(); ok {
+				s.clock = t
+				continue
+			}
+			if f.wait() {
+				continue
+			}
+			if len(s.pending) > 0 {
+				return fmt.Errorf("sched: %d jobs stuck with an idle cluster", len(s.pending))
+			}
+			return nil
+		}
+
+		// Every running job's completion time is fixed once its inner
+		// simulation finishes; collect them before advancing the clock.
+		// A job whose partition died under it is requeued (up to
+		// MaxRetries) at its abort time instead of failing the run.
+		for _, js := range s.running {
+			<-js.done
+			if js.err != nil {
+				if errors.Is(js.err, core.ErrPartitionLost) && js.attempt < cfg.MaxRetries {
+					js.retry = true
+					js.end = js.start + js.inner.Runtime
+					continue
+				}
+				if cfg.KeepGoing {
+					js.failed = true
+					js.end = js.start
+					if js.inner != nil {
+						js.end += js.inner.Runtime
+					}
+					continue
+				}
+				return s.fail(js)
+			}
+			js.end = js.start + js.inner.Runtime
+		}
+
+		next := s.running[0].end
+		for _, js := range s.running[1:] {
+			if js.end < next {
+				next = js.end
+			}
+		}
+		if t, ok := f.next(); ok && t < next {
+			next = t
+		}
+		s.clock = next
+		if s.obs != nil {
+			s.obs.clockAdvanced(s.clock)
+		}
+
+		// Completions release their leases back to the pool; aborted
+		// attempts additionally rejoin the queue for another try.
+		keep := s.running[:0]
+		for _, js := range s.running {
+			if js.end <= s.clock {
+				s.usage[js.tenant] += float64(len(js.lease)) * (js.end - js.start).Seconds()
+				s.free = append(s.free, js.lease...)
+				if js.retry {
+					js.resetForRetry()
+					s.pending = append(s.pending, js)
+					if s.obs != nil {
+						s.obs.jobRetrying(js)
+					}
+				} else if s.obs != nil {
+					s.obs.jobFinished(js)
+				}
+			} else {
+				keep = append(keep, js)
+			}
+		}
+		s.running = keep
+		sort.Ints(s.free)
+	}
+}
+
+// fail joins the in-flight inner simulations and surfaces the first error.
+func (s *scheduler) fail(js *jobState) error {
+	for _, r := range s.running {
+		<-r.done
+	}
+	return fmt.Errorf("sched: job %s: %w", js.id, js.err)
+}
+
 // Run schedules every job of cfg over the shared cluster and returns the
 // fleet metrics. Jobs that cannot be admitted (MaxQueued backpressure) are
 // reported as rejected, not errors; an inner runtime failure aborts the
-// whole run.
+// whole run unless Config.KeepGoing records it per-job instead.
 func Run(cfg Config) (*Metrics, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
@@ -247,118 +495,9 @@ func Run(cfg Config) (*Metrics, error) {
 		return arrivals[i].job.Arrival < arrivals[j].job.Arrival
 	})
 
-	// The free pool holds node IDs in ascending order; leases take the
-	// lowest IDs so placements are deterministic and reported partitions
-	// are stable.
-	free := make([]int, cfg.Nodes)
-	for i := range free {
-		free[i] = i
+	if err := newScheduler(cfg, nil).run(&sliceFrontier{arrivals: arrivals}); err != nil {
+		return nil, err
 	}
-
-	sem := make(chan struct{}, cfg.Workers)
-	usage := make(map[string]float64) // tenant -> completed node-seconds
-	var pending, running []*jobState
-	var clock sim.Time
-	ai := 0
-
-	fail := func(js *jobState) (*Metrics, error) {
-		for _, r := range running {
-			<-r.done
-		}
-		return nil, fmt.Errorf("sched: job %s: %w", js.id, js.err)
-	}
-
-	for {
-		// Admit arrivals due now, applying the admission limit.
-		for ai < len(arrivals) && arrivals[ai].job.Arrival <= clock {
-			js := arrivals[ai]
-			ai++
-			if cfg.MaxQueued > 0 && len(pending) >= cfg.MaxQueued {
-				js.reject = true
-				continue
-			}
-			pending = append(pending, js)
-		}
-
-		// Placement: let the policy pick jobs while nodes and the
-		// running-job budget allow. Jobs placed at the same instant
-		// execute their inner simulations in parallel.
-		for len(pending) > 0 {
-			if cfg.MaxRunning > 0 && len(running) >= cfg.MaxRunning {
-				break
-			}
-			i := pick(cfg.Policy, pending, running, len(free), clock, usage)
-			if i < 0 {
-				break
-			}
-			js := pending[i]
-			pending = append(pending[:i], pending[i+1:]...)
-			js.lease = append([]int(nil), free[:js.job.Nodes]...)
-			free = free[js.job.Nodes:]
-			js.start = clock
-			js.started = true
-			running = append(running, js)
-			go cfg.runInner(js, sem)
-		}
-
-		if len(running) == 0 {
-			if ai >= len(arrivals) {
-				if len(pending) > 0 {
-					return nil, fmt.Errorf("sched: %d jobs stuck with an idle cluster", len(pending))
-				}
-				break
-			}
-			clock = arrivals[ai].job.Arrival
-			continue
-		}
-
-		// Every running job's completion time is fixed once its inner
-		// simulation finishes; collect them before advancing the clock.
-		// A job whose partition died under it is requeued (up to
-		// MaxRetries) at its abort time instead of failing the run.
-		for _, js := range running {
-			<-js.done
-			if js.err != nil {
-				if errors.Is(js.err, core.ErrPartitionLost) && js.attempt < cfg.MaxRetries {
-					js.retry = true
-					js.end = js.start + js.inner.Runtime
-					continue
-				}
-				return fail(js)
-			}
-			js.end = js.start + js.inner.Runtime
-		}
-
-		next := running[0].end
-		for _, js := range running[1:] {
-			if js.end < next {
-				next = js.end
-			}
-		}
-		if ai < len(arrivals) && arrivals[ai].job.Arrival < next {
-			next = arrivals[ai].job.Arrival
-		}
-		clock = next
-
-		// Completions release their leases back to the pool; aborted
-		// attempts additionally rejoin the queue for another try.
-		keep := running[:0]
-		for _, js := range running {
-			if js.end <= clock {
-				usage[js.tenant] += float64(len(js.lease)) * (js.end - js.start).Seconds()
-				free = append(free, js.lease...)
-				if js.retry {
-					js.resetForRetry()
-					pending = append(pending, js)
-				}
-			} else {
-				keep = append(keep, js)
-			}
-		}
-		running = keep
-		sort.Ints(free)
-	}
-
 	return aggregate(cfg, states), nil
 }
 

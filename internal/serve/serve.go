@@ -1,0 +1,368 @@
+// Package serve is rocketd's service layer: a long-running HTTP API over
+// the online scheduler (sched.Online) that admits all-pairs job
+// submissions while the fleet runs.
+//
+// Endpoints:
+//
+//	POST /v1/jobs             submit a job (jobspec.Spec JSON) -> 202 {id}
+//	GET  /v1/jobs             list job snapshots
+//	GET  /v1/jobs/{id}        one job's snapshot
+//	GET  /v1/jobs/{id}/result final metrics once the job is terminal
+//	GET  /v1/jobs/{id}/events SSE stream of the job's lifecycle
+//	GET  /v1/events           SSE stream of all scheduler events
+//	GET  /v1/log              the replayable arrival log (a manifest)
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness; 503 while draining
+//
+// Every submission is recorded as a jobspec.Spec; once the scheduler
+// assigns its virtual arrival, the submission becomes part of the arrival
+// log, an ordinary batch manifest with nanosecond-exact arrivals. Feeding
+// that log to `rocketqueue -replay` re-executes the served trace offline
+// and reproduces the server's fleet metrics byte-for-byte.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"rocket/internal/cluster"
+	"rocket/internal/jobspec"
+	"rocket/internal/sched"
+)
+
+// Config configures one rocketd server.
+type Config struct {
+	// Nodes is the size of the shared simulated cluster (required).
+	Nodes int
+	// NodeSpec is each node's hardware; the zero value is the scheduler's
+	// default (DAS-5 node, one TitanX Maxwell).
+	NodeSpec cluster.NodeSpec
+	// Policy selects the placement order; default FIFO.
+	Policy sched.Policy
+	// MaxQueued, MaxRunning, MaxRetries, Workers, Seed: see sched.Config.
+	MaxQueued  int
+	MaxRunning int
+	MaxRetries int
+	Workers    int
+	Seed       uint64
+	// TimeScale is the wall-clock to virtual-time bridge (virtual seconds
+	// per wall second); 0 means arrivals latch onto the virtual clock.
+	TimeScale float64
+}
+
+// Server owns the online scheduler and the recorded submission specs.
+type Server struct {
+	cfg   Config
+	queue *sched.Online
+	mux   *http.ServeMux
+
+	mu    sync.Mutex
+	specs []jobspec.Spec // submission order, IDs filled
+}
+
+// New starts the online scheduler and returns the server.
+func New(cfg Config) (*Server, error) {
+	q, err := sched.StartOnline(sched.Config{
+		Nodes:      cfg.Nodes,
+		NodeSpec:   cfg.NodeSpec,
+		Policy:     cfg.Policy,
+		MaxQueued:  cfg.MaxQueued,
+		MaxRunning: cfg.MaxRunning,
+		MaxRetries: cfg.MaxRetries,
+		Workers:    cfg.Workers,
+		Seed:       cfg.Seed,
+		TimeScale:  cfg.TimeScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, queue: q}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/events", s.handleAllEvents)
+	s.mux.HandleFunc("GET /v1/log", s.handleLog)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Queue exposes the underlying online scheduler.
+func (s *Server) Queue() *sched.Online { return s.queue }
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorDoc{Error: err.Error()})
+}
+
+// submitReply is the 202 body of a submission.
+type submitReply struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Job    string `json:"job"`
+	Result string `json:"result"`
+	Events string `json:"events"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobspec.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	if spec.ArrivalNS != 0 || spec.ArrivalMS != 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("online submissions cannot carry arrival times; the scheduler assigns them"))
+		return
+	}
+
+	// One lock spans spec->job conversion and Submit so the recorded spec
+	// order matches the scheduler's submission indices (both drive
+	// seed/ID derivation on replay).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	index := len(s.specs)
+	job, err := spec.Job(index, s.cfg.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.queue.Submit(job)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, sched.ErrShuttingDown) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	spec.ID = id
+	s.specs = append(s.specs, spec)
+	writeJSON(w, http.StatusAccepted, submitReply{
+		ID:     id,
+		Status: sched.StatusSubmitted.String(),
+		Job:    "/v1/jobs/" + id,
+		Result: "/v1/jobs/" + id + "/result",
+		Events: "/v1/jobs/" + id + "/events",
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []sched.JobInfo `json:"jobs"`
+	}{s.queue.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.queue.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, ok := s.queue.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	jm, ok := s.queue.JobMetrics(id)
+	if !ok {
+		// Not terminal yet: tell the client where the job stands.
+		writeJSON(w, http.StatusAccepted, info)
+		return
+	}
+	writeJSON(w, http.StatusOK, jm.Doc())
+}
+
+// Log returns the replayable arrival log as a manifest: the recorded
+// specs whose virtual arrivals have been assigned, with exact nanosecond
+// arrivals, over the server's fleet configuration. KeepGoing is set so
+// failed served jobs replay as recorded failures.
+//
+// Only jobs submitted through the HTTP API carry a recorded spec; a job
+// handed straight to Queue().Submit cannot be described in manifest form
+// and is omitted, which makes the log unreplayable in the strict
+// byte-identical sense. Keep all submissions on the HTTP path when the
+// log matters.
+func (s *Server) Log() jobspec.Manifest {
+	logged := s.queue.Log()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	man := jobspec.Manifest{
+		Nodes:      s.cfg.Nodes,
+		Policy:     s.cfg.Policy.String(),
+		MaxQueued:  s.cfg.MaxQueued,
+		MaxRunning: s.cfg.MaxRunning,
+		MaxRetries: s.cfg.MaxRetries,
+		KeepGoing:  true,
+		Seed:       s.cfg.Seed,
+	}
+	byID := make(map[string]jobspec.Spec, len(s.specs))
+	for _, spec := range s.specs {
+		byID[spec.ID] = spec
+	}
+	for _, j := range logged {
+		spec, ok := byID[j.ID]
+		if !ok {
+			continue // submitted around the HTTP layer; no spec to replay
+		}
+		spec.ArrivalNS = int64(j.Arrival)
+		man.Jobs = append(man.Jobs, spec)
+	}
+	return man
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	buf, err := s.Log().JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.queue.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the Prometheus text exposition format by hand;
+// the counters come from one consistent Counts snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.queue.Counts()
+	draining := 0
+	if s.queue.Draining() {
+		draining = 1
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP rocketd_jobs Jobs by lifecycle state.\n# TYPE rocketd_jobs gauge\n")
+	fmt.Fprintf(w, "rocketd_jobs{state=\"submitted\"} %d\n", c.Submitted)
+	fmt.Fprintf(w, "rocketd_jobs{state=\"queued\"} %d\n", c.Queued)
+	fmt.Fprintf(w, "rocketd_jobs{state=\"running\"} %d\n", c.Running)
+	fmt.Fprintf(w, "rocketd_jobs{state=\"done\"} %d\n", c.Done)
+	fmt.Fprintf(w, "rocketd_jobs{state=\"failed\"} %d\n", c.Failed)
+	fmt.Fprintf(w, "rocketd_jobs{state=\"rejected\"} %d\n", c.Rejected)
+	fmt.Fprintf(w, "# HELP rocketd_retries_total Partition-loss requeues.\n# TYPE rocketd_retries_total counter\n")
+	fmt.Fprintf(w, "rocketd_retries_total %d\n", c.Retries)
+	fmt.Fprintf(w, "# HELP rocketd_virtual_clock_seconds The fleet's virtual clock.\n# TYPE rocketd_virtual_clock_seconds gauge\n")
+	fmt.Fprintf(w, "rocketd_virtual_clock_seconds %g\n", s.queue.Clock().Seconds())
+	fmt.Fprintf(w, "# HELP rocketd_draining Whether shutdown has begun.\n# TYPE rocketd_draining gauge\n")
+	fmt.Fprintf(w, "rocketd_draining %d\n", draining)
+}
+
+// Shutdown stops admission and drains the fleet (see sched.Online.Shutdown);
+// the context bounds the wait, not the in-flight work.
+func (s *Server) Shutdown(ctx context.Context) (*sched.Metrics, error) {
+	return s.queue.Shutdown(ctx)
+}
+
+// sseWriter streams scheduler events in Server-Sent Events framing.
+func writeSSE(w http.ResponseWriter, e sched.Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+	return err
+}
+
+func (s *Server) handleAllEvents(w http.ResponseWriter, r *http.Request) {
+	s.streamEvents(w, r, "")
+}
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.queue.Job(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	s.streamEvents(w, r, id)
+}
+
+// streamEvents follows the scheduler's event stream. With a job filter,
+// the stream ends once the job reaches a terminal event; otherwise it
+// ends when the scheduler shuts down (after the final "shutdown" event)
+// or the client disconnects.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, jobID string) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	terminal := map[string]bool{
+		sched.EventRejected:  true,
+		sched.EventCompleted: true,
+		sched.EventFailed:    true,
+	}
+	emit := func(evs []sched.Event) (stop bool) {
+		for _, e := range evs {
+			if jobID != "" && e.Job != jobID {
+				continue
+			}
+			if writeSSE(w, e) != nil {
+				return true
+			}
+			if jobID != "" && terminal[e.Type] {
+				stop = true
+			}
+		}
+		fl.Flush()
+		return stop
+	}
+
+	i := 0
+	for {
+		evs, wake := s.queue.EventsSince(i)
+		i += len(evs)
+		if emit(evs) {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		case <-s.queue.Done():
+			// Drain whatever was appended up to the shutdown event.
+			evs, _ := s.queue.EventsSince(i)
+			emit(evs)
+			return
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"rocket/internal/core"
 	"rocket/internal/gpu"
 	"rocket/internal/sched"
+	"rocket/internal/serve"
 )
 
 // Re-exported core types: see package rocket/internal/core for full
@@ -113,6 +114,41 @@ func RunQueue(cfg QueueConfig) (*QueueMetrics, error) { return sched.Run(cfg) }
 // ParseQueuePolicy maps a manifest name ("fifo", "sjf", "fair") to a
 // policy.
 func ParseQueuePolicy(name string) (QueuePolicy, error) { return sched.ParsePolicy(name) }
+
+// Online-scheduling types: see package rocket/internal/sched (Online) and
+// rocket/internal/serve.
+type (
+	// QueueSubmitter is the online scheduler: jobs are submitted while
+	// the fleet runs, and every served trace is replayable offline.
+	QueueSubmitter = sched.Online
+	// QueueJobInfo is a point-in-time snapshot of one online submission.
+	QueueJobInfo = sched.JobInfo
+	// QueueJobStatus is an online submission's lifecycle position.
+	QueueJobStatus = sched.JobStatus
+	// QueueEvent is one entry of the online scheduler's event stream.
+	QueueEvent = sched.Event
+	// ServeConfig configures the rocketd HTTP service layer.
+	ServeConfig = serve.Config
+	// Server is the rocketd HTTP service: an online scheduler behind a
+	// REST + SSE API with a replayable arrival log.
+	Server = serve.Server
+)
+
+// ErrShuttingDown is returned by QueueSubmitter.Submit once Shutdown has
+// begun.
+var ErrShuttingDown = sched.ErrShuttingDown
+
+// StartQueue starts the scheduler in online mode: cfg.Jobs must be empty,
+// and jobs enter through Submit while the fleet runs. Wall-clock arrival
+// order is bridged onto the deterministic virtual-time axis; the recorded
+// arrival log (QueueSubmitter.Log) replays through RunQueue with
+// identical results.
+func StartQueue(cfg QueueConfig) (*QueueSubmitter, error) { return sched.StartOnline(cfg) }
+
+// Serve starts rocketd's HTTP service layer over an online scheduler.
+// The returned server exposes its http.Handler; pair it with an
+// http.Server and call Shutdown to drain.
+func Serve(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
 // DAS5Node returns the paper's DAS-5 node type: 16 cores and a 40 GiB host
 // cache, with the given GPUs installed.

@@ -1,6 +1,12 @@
 package rocket_test
 
 import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"rocket"
@@ -126,5 +132,67 @@ func TestRunQueueMixedPolicies(t *testing.T) {
 	if waits[rocket.PolicyFairShare] >= waits[rocket.PolicyFIFO] {
 		t.Fatalf("fair-share mean wait %v should beat FIFO %v on the skewed mix",
 			waits[rocket.PolicyFairShare], waits[rocket.PolicyFIFO])
+	}
+}
+
+// The online public API: StartQueue accepts submissions while the fleet
+// runs, drains on Shutdown, and its arrival log replays through RunQueue
+// with identical fleet metrics.
+func TestStartQueueOnlineThroughPublicAPI(t *testing.T) {
+	q, err := rocket.StartQueue(rocket.QueueConfig{Nodes: 2, Policy: rocket.PolicySJF, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		app := forensics.New(forensics.Params{N: 8, Seed: uint64(i + 1)})
+		if _, err := q.Submit(rocket.QueueJob{App: app}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := q.Shutdown(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 4 {
+		t.Fatalf("completed %d/4", m.Completed)
+	}
+	if _, err := q.Submit(rocket.QueueJob{App: forensics.New(forensics.Params{N: 8, Seed: 9})}); !errors.Is(err, rocket.ErrShuttingDown) {
+		t.Fatalf("submit after shutdown: %v, want ErrShuttingDown", err)
+	}
+	replay, err := rocket.RunQueue(q.ReplayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.JSON()
+	b, _ := replay.JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("replay differs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// rocket.Serve exposes the HTTP service layer end to end.
+func TestServeThroughPublicAPI(t *testing.T) {
+	srv, err := rocket.Serve(rocket.ServeConfig{Nodes: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"app":"forensics","items":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if _, err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var info rocket.QueueJobInfo
+	ok := false
+	if info, ok = srv.Queue().Job("job0"); !ok || info.Status.String() != "done" {
+		t.Fatalf("job0: %+v (ok=%v), want done", info, ok)
 	}
 }
