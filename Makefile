@@ -7,10 +7,10 @@
 GO ?= go
 ROCKET_SCALE ?= 50
 BENCH_RUN ?= local
-BENCH_BASELINE ?= BENCH_pr2.json
+BENCH_BASELINE ?= BENCH_pr5.json
 COVERAGE_FLOOR ?= 75.0
 
-.PHONY: build test race-stress bench bench-sim bench-json bench-gate coverage smoke lint ci fmt
+.PHONY: build test race-stress bench bench-sim bench-json bench-gate coverage smoke smoke-incremental fuzz-smoke lint ci fmt
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,42 @@ smoke:
 	$(GO) run ./cmd/rocketload -local -jobs 16 -clients 8 -items 8
 	$(GO) run ./cmd/rocketload -local -jobs 8 -mode open -rate 100 -items 8 -fault-rate 0.25
 
+# Mirrors the workflow's smoke-incremental step: the pair-store
+# warm-start flow end to end — create a dataset, run it, append, run the
+# delta, assert the base pairs were served from the store (66 = C(12,2)
+# hits on the delta job), then replay the served log offline and require
+# byte-identical fleet summaries. Store segment stats land in
+# /tmp/rocket-incr-store-stats.json (uploaded as a CI artifact).
+smoke-incremental:
+	$(GO) build -o /tmp/rocket-incr-rocketd ./cmd/rocketd
+	rm -f /tmp/rocket-incr-store.json /tmp/rocket-incr-store.json.datasets
+	/tmp/rocket-incr-rocketd -addr 127.0.0.1:18081 -nodes 4 -time-scale 0 \
+		-log /tmp/rocket-incr-served.json -store /tmp/rocket-incr-store.json \
+		-store-stats /tmp/rocket-incr-store-stats.json > /tmp/rocket-incr-report.txt & \
+	pid=$$!; \
+	sleep 1; \
+	curl -sf 127.0.0.1:18081/v1/datasets -d '{"id":"corpus","app":"forensics","items":12,"seed":7}' > /dev/null && \
+	curl -sf -X POST 127.0.0.1:18081/v1/datasets/corpus/jobs -d '{}' > /dev/null && \
+	sleep 2 && \
+	curl -sf -X POST 127.0.0.1:18081/v1/datasets/corpus/append -d '{"items":4}' > /dev/null && \
+	curl -sf -X POST 127.0.0.1:18081/v1/datasets/corpus/jobs -d '{}' > /dev/null && \
+	sleep 2 && \
+	curl -sf 127.0.0.1:18081/v1/jobs/job1/result | grep -q '"store_hits": 66' && \
+	curl -sf 127.0.0.1:18081/metrics | grep -q 'rocketd_store_served_pairs_total 66' && \
+	curl -sf 127.0.0.1:18081/v1/store > /dev/null && \
+	kill -TERM $$pid && wait $$pid || { kill $$pid 2>/dev/null; exit 1; }
+	$(GO) run ./cmd/rocketqueue -replay /tmp/rocket-incr-served.json > /tmp/rocket-incr-replay.txt
+	tail -3 /tmp/rocket-incr-report.txt > /tmp/rocket-incr-report-tail.txt
+	tail -3 /tmp/rocket-incr-replay.txt > /tmp/rocket-incr-replay-tail.txt
+	diff /tmp/rocket-incr-report-tail.txt /tmp/rocket-incr-replay-tail.txt
+	test -s /tmp/rocket-incr-store.json
+	test -s /tmp/rocket-incr-store-stats.json
+
+# Mirrors the workflow's fuzz step: a short go-native fuzz run over the
+# manifest codec (seed corpus committed under internal/jobspec/testdata).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzManifestRoundTrip -fuzztime=10s ./internal/jobspec/
+
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
@@ -102,4 +138,6 @@ ci: lint build test race-stress
 	ROCKET_SCALE=$(ROCKET_SCALE) $(GO) test -bench=. -benchtime=1x -run='^$$' .
 	ROCKET_SCALE=$(ROCKET_SCALE) $(MAKE) bench-gate
 	$(MAKE) coverage
+	$(MAKE) fuzz-smoke
 	$(MAKE) smoke
+	$(MAKE) smoke-incremental

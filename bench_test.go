@@ -84,3 +84,9 @@ func BenchmarkQueueScaling(b *testing.B) { benchExperiment(b, "queue-scaling") }
 // failure-free baseline.
 
 func BenchmarkResilience(b *testing.B) { benchExperiment(b, "resilience") }
+
+// Pair-store subsystem: append-ratio sweep measuring the warm-start
+// payoff of serving resident pairs from the persistent result store
+// (expected: ≥5x over full recompute at 10% growth).
+
+func BenchmarkIncremental(b *testing.B) { benchExperiment(b, "incremental") }

@@ -25,6 +25,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -50,12 +51,41 @@ func run() error {
 		timeScale  = flag.Float64("time-scale", 1, "virtual seconds per wall second for arrival mapping (0 = latch onto the virtual clock)")
 		drainTO    = flag.Duration("drain-timeout", 60*time.Second, "graceful-drain deadline on SIGTERM")
 		logPath    = flag.String("log", "", "write the replayable arrival log here on shutdown")
+		storePath  = flag.String("store", "", "persistent pair store: loaded at start when present, saved on shutdown")
+		statsPath  = flag.String("store-stats", "", "write pair-store stats JSON here on shutdown")
 	)
 	flag.Parse()
 
 	pol, err := rocket.ParseQueuePolicy(*policy)
 	if err != nil {
 		return err
+	}
+	var store *rocket.PairStore
+	var datasets []rocket.ServeDataset
+	if *storePath != "" {
+		var loaded bool
+		store, loaded, err = rocket.LoadOrNewPairStore(*storePath)
+		if err != nil {
+			return err
+		}
+		if loaded {
+			fmt.Fprintf(os.Stderr, "rocketd: warm pair store: %d resident results\n", store.Len())
+		} else {
+			fmt.Fprintf(os.Stderr, "rocketd: starting a fresh pair store at %s\n", *storePath)
+		}
+		// The dataset registry rides in a sidecar: a warm store is only
+		// reachable through the datasets API when the registry that
+		// produced it (IDs, seeds, computed versions) comes back too.
+		raw, err := os.ReadFile(datasetsPath(*storePath))
+		switch {
+		case err == nil:
+			if err := json.Unmarshal(raw, &datasets); err != nil {
+				return fmt.Errorf("restore datasets: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "rocketd: restored %d datasets\n", len(datasets))
+		case !os.IsNotExist(err):
+			return err
+		}
 	}
 	srv, err := rocket.Serve(rocket.ServeConfig{
 		Nodes:      *nodes,
@@ -66,6 +96,8 @@ func run() error {
 		Workers:    *workers,
 		Seed:       *seed,
 		TimeScale:  *timeScale,
+		Store:      store,
+		Datasets:   datasets,
 	})
 	if err != nil {
 		return err
@@ -110,10 +142,37 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "rocketd: wrote arrival log to %s (replay with: rocketqueue -replay %s)\n",
 			*logPath, *logPath)
 	}
+	if *storePath != "" {
+		if err := srv.Store().SealAndSave(*storePath); err != nil {
+			return fmt.Errorf("save store: %w", err)
+		}
+		buf, err := json.MarshalIndent(srv.Datasets(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(datasetsPath(*storePath), append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("save datasets: %w", err)
+		}
+		st := srv.Store().Stats()
+		fmt.Fprintf(os.Stderr, "rocketd: saved pair store to %s (%d entries, %d segments, %d bytes)\n",
+			*storePath, st.Entries, st.Segments, st.Bytes)
+	}
+	if *statsPath != "" {
+		buf, err := json.MarshalIndent(srv.Store().Stats(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*statsPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	hs.Shutdown(context.Background())
 	fmt.Print(m.Report())
 	return nil
 }
+
+// datasetsPath is the dataset-registry sidecar next to the store file.
+func datasetsPath(storePath string) string { return storePath + ".datasets" }
 
 func main() {
 	if err := run(); err != nil {

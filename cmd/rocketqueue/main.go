@@ -33,7 +33,15 @@
 // manifest whose arrivals are exact nanoseconds, so the batch run takes
 // the same admission and placement decisions the server took; with
 // -json, the output is byte-comparable against the server's final
-// metrics document.
+// metrics document. A log whose entries are out of arrival order (a
+// served log never is; hand-merged ones can be) is validated and
+// stably re-sorted with a warning, because submission indices drive
+// derived IDs and seeds and an unsorted replay would silently diverge.
+//
+// -store attaches a persistent pair store: it is loaded when the file
+// exists (warm start — jobs with store refs skip resident pairs) and
+// saved back after the run, so repeated batch runs over growing
+// datasets become incremental.
 package main
 
 import (
@@ -66,12 +74,13 @@ const exampleManifest = `{
 
 func run() error {
 	var (
-		path    = flag.String("manifest", "", "path to the job manifest (JSON)")
-		replay  = flag.String("replay", "", "path to a rocketd arrival log to replay (same schema)")
-		policy  = flag.String("policy", "", "override the manifest's policy: fifo, sjf, or fair")
-		seed    = flag.Uint64("seed", 0, "override the manifest's seed")
-		asJSON  = flag.Bool("json", false, "print fleet metrics as JSON instead of tables")
-		example = flag.Bool("example", false, "print an example manifest and exit")
+		path      = flag.String("manifest", "", "path to the job manifest (JSON)")
+		replay    = flag.String("replay", "", "path to a rocketd arrival log to replay (same schema)")
+		policy    = flag.String("policy", "", "override the manifest's policy: fifo, sjf, or fair")
+		seed      = flag.Uint64("seed", 0, "override the manifest's seed")
+		asJSON    = flag.Bool("json", false, "print fleet metrics as JSON instead of tables")
+		example   = flag.Bool("example", false, "print an example manifest and exit")
+		storePath = flag.String("store", "", "persistent pair store: loaded when present, saved back after the run")
 	)
 	flag.Parse()
 
@@ -97,6 +106,16 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", *path, err)
 	}
+	if *replay != "" {
+		// An arrival log must be in arrival order: submission indices
+		// drive derived IDs and seeds, so replaying an out-of-order log
+		// as-is would silently derive different jobs than the server
+		// ran. Normalize (stable sort) and say so instead.
+		if man.Normalize() {
+			fmt.Fprintf(os.Stderr,
+				"rocketqueue: %s: out-of-order arrival_ns entries; re-sorted into arrival order before replay\n", *path)
+		}
+	}
 	if *seed != 0 {
 		man.Seed = *seed
 	}
@@ -108,9 +127,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var store *rocket.PairStore
+	if *storePath != "" {
+		store, _, err = rocket.LoadOrNewPairStore(*storePath)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
+	}
 	m, err := rocket.RunQueue(cfg)
 	if err != nil {
 		return err
+	}
+	if store != nil {
+		if err := store.SealAndSave(*storePath); err != nil {
+			return fmt.Errorf("save store: %w", err)
+		}
 	}
 	if *asJSON {
 		buf, err := m.JSON()

@@ -5,6 +5,7 @@ import (
 
 	"rocket/internal/cluster"
 	"rocket/internal/fault"
+	"rocket/internal/pairstore"
 	"rocket/internal/sim"
 )
 
@@ -73,6 +74,32 @@ type Config struct {
 	// previous run (item i lands on node i mod p) — the paper's §7
 	// "persistent caches that reuse data from previous runs" extension.
 	PrewarmHost float64
+
+	// BaseItems declares the store-resident prefix of the data set: pairs
+	// with both items below BaseItems were computed by a previous run
+	// over the first BaseItems items and are served from the pair store
+	// instead of recomputed — the incremental (delta) mode. The run then
+	// computes only the new-vs-all pair set. With Store attached each
+	// planned pair is verified against the snapshot and absences are
+	// recomputed; without it the base region is trusted, which is the
+	// storeless-replay mode (bit-identical as long as the original store
+	// held at least the base pairs). 0 disables delta planning.
+	BaseItems int
+	// Store is an immutable pair-store snapshot consulted by the delta
+	// prefilter. Requires ItemDigest. A nil Store with BaseItems > 0
+	// trusts the base region (see BaseItems).
+	Store *pairstore.Snapshot
+	// StoreBatch, when non-nil, collects every computed pair result (in
+	// completion order) for a post-run merge into a pair store. Requires
+	// ItemDigest. The batch flush is charged as store write I/O.
+	StoreBatch *pairstore.Batch
+	// ItemDigest derives the content digest of one item for store keys;
+	// see pairstore.DigestFunc.
+	ItemDigest func(item int) pairstore.Digest
+	// OnResult, when non-nil, is invoked in scheduler context once per
+	// computed pair at completion (value is nil for cost-model runs).
+	// It must not block.
+	OnResult func(i, j int, value interface{})
 
 	// Seed drives all randomized behavior (durations, victim selection).
 	Seed uint64
@@ -150,6 +177,9 @@ func (cfg Config) normalize() (Config, error) {
 	}
 	if cfg.PrewarmHost < 0 || cfg.PrewarmHost > 1 {
 		return cfg, fmt.Errorf("core: PrewarmHost %v outside [0, 1]", cfg.PrewarmHost)
+	}
+	if cfg.BaseItems < 0 {
+		return cfg, fmt.Errorf("core: negative BaseItems %d", cfg.BaseItems)
 	}
 	if len(cfg.Cluster.Nodes) == 1 {
 		// The distributed cache needs peers.

@@ -29,6 +29,15 @@ type MetricsSummary struct {
 	Restarts         uint64 `json:"restarts,omitempty"`
 	DroppedMessages  uint64 `json:"dropped_messages,omitempty"`
 	RecoveredRegions uint64 `json:"recovered_regions,omitempty"`
+
+	// Pair-store provenance; omitted for runs without store
+	// participation, so their documents are unchanged.
+	StoreHits       uint64 `json:"store_hits,omitempty"`
+	StoreMisses     uint64 `json:"store_misses,omitempty"`
+	StorePuts       uint64 `json:"store_puts,omitempty"`
+	StoreReadBytes  int64  `json:"store_read_bytes,omitempty"`
+	StoreWriteBytes int64  `json:"store_write_bytes,omitempty"`
+	BaseItems       int    `json:"base_items,omitempty"`
 }
 
 // hitRate folds a slot cache's counters into hits over lookups; caches
@@ -60,5 +69,11 @@ func (m *Metrics) Summary() MetricsSummary {
 		Restarts:         m.Restarts,
 		DroppedMessages:  m.DroppedMessages,
 		RecoveredRegions: m.RecoveredRegions,
+		StoreHits:        m.StoreHits,
+		StoreMisses:      m.StoreMisses,
+		StorePuts:        m.StorePuts,
+		StoreReadBytes:   m.StoreReadBytes,
+		StoreWriteBytes:  m.StoreWriteBytes,
+		BaseItems:        m.BaseItems,
 	}
 }

@@ -23,7 +23,10 @@ type Metrics struct {
 	// R is the relative number of loads, the paper's data-reuse metric.
 	R float64
 
-	// IOBytes and IOReads account traffic to the storage server.
+	// IOBytes and IOReads account traffic to the storage server. IOBytes
+	// covers both directions (input-file and store reads, plus store
+	// segment-log writes — they contend on the same server); IOReads
+	// counts read requests only.
 	IOBytes int64
 	IOReads uint64
 	// NetBytes is total inter-node traffic (distributed cache + stealing).
@@ -55,6 +58,20 @@ type Metrics struct {
 	// stealing by crash recovery.
 	RecoveredRegions uint64
 	RecoveredPairs   int64
+
+	// Pair-store outcomes; all zero for runs without store participation.
+	// StoreHits is the number of pairs served from the store instead of
+	// computed (Pairs + StoreHits covers the full workload); StoreMisses
+	// counts planned-resident pairs the snapshot did not contain
+	// (recomputed); StorePuts counts results emitted for merge.
+	StoreHits   uint64
+	StoreMisses uint64
+	StorePuts   uint64
+	// StoreReadBytes and StoreWriteBytes are the charged store I/O.
+	StoreReadBytes  int64
+	StoreWriteBytes int64
+	// BaseItems echoes the delta plan's resident prefix (0 = full run).
+	BaseItems int
 
 	// Tracer holds per-class busy times (and task timelines when detailed
 	// tracing was enabled).
@@ -96,7 +113,7 @@ func (rt *runtime) aggregate() *Metrics {
 		Runtime:           rt.env.Now(),
 		Pairs:             uint64(rt.pairsDone),
 		Loads:             rt.loads,
-		IOBytes:           rt.cl.Storage.BytesRead(),
+		IOBytes:           rt.cl.Storage.BytesRead() + rt.cl.Storage.BytesWritten(),
 		IOReads:           rt.cl.Storage.Reads(),
 		NetBytes:          rt.cl.Net.BytesSent(),
 		Tracer:            rt.tracer,
@@ -113,6 +130,14 @@ func (rt *runtime) aggregate() *Metrics {
 		DeviceThroughput:  rt.throughput,
 		Events:            rt.env.EventsProcessed(),
 		JobLimit:          rt.nodes[0].devs[0].jobTokens.Cap(),
+	}
+	if p := rt.plan; p != nil {
+		m.StoreHits = uint64(p.hits)
+		m.StoreMisses = uint64(p.misses)
+		m.StorePuts = uint64(p.batch.Len())
+		m.StoreReadBytes = p.readBytes
+		m.StoreWriteBytes = p.writeBytes
+		m.BaseItems = p.base
 	}
 	if rt.inj != nil && rt.finished {
 		// Fault events armed beyond completion still drain through the

@@ -69,6 +69,10 @@ type runtime struct {
 	recoveredRegions  uint64
 	recoveredPairs    int64
 
+	// plan is the resolved incremental (pair-store) plan; nil when the
+	// run has no store participation, keeping every store path dormant.
+	plan *storePlan
+
 	results    []Result
 	throughput map[string]*stats.TimeSeries
 }
@@ -148,10 +152,17 @@ func Run(cfg Config) (*Metrics, error) {
 		totalPairs: pairs.TotalPairs(cfg.App.NumItems()),
 		done:       sim.NewSignal(),
 	}
-	if cfg.PairFilter != nil {
+	plan, err := buildStorePlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rt.plan = plan
+	// Recounting is O(n^2); skip it when nothing can be excluded (a plan
+	// that only emits — base 0, no filter — computes every pair).
+	if cfg.PairFilter != nil || (plan != nil && plan.base > 0) {
 		rt.totalPairs = 0
 		pairs.Root(cfg.App.NumItems()).Each(func(i, j int) {
-			if cfg.PairFilter(i, j) {
+			if rt.pairOK(i, j) {
 				rt.totalPairs++
 			}
 		})
@@ -181,6 +192,13 @@ func Run(cfg Config) (*Metrics, error) {
 
 	if err := rt.prewarm(); err != nil {
 		return nil, err
+	}
+
+	// Serving resident pairs reads them from the store's segment log;
+	// charge that scan first in line for node 0's I/O thread. With zero
+	// hits nothing is scheduled and the event stream is untouched.
+	if rt.plan != nil && rt.plan.readBytes > 0 {
+		rt.chargeStoreRead()
 	}
 
 	// The master node spawns the single root task (paper §4.2); everyone
@@ -481,6 +499,11 @@ func (wk *worker) step() {
 // will resume the loop itself).
 func (wk *worker) dispatch(region pairs.Region) bool {
 	rt := wk.n.rt
+	if rt.plan != nil && rt.plan.pruneRegion(region) {
+		// Every pair of the region is resident in the pair store: served,
+		// not computed — drop it before subdividing.
+		return true
+	}
 	if region.Count() <= rt.cfg.LeafPairs {
 		return wk.submitLeaf(region)
 	}
@@ -540,7 +563,7 @@ func (wk *worker) submitFrom(list []pairIJ, k int) bool {
 			continue
 		}
 		i, j := list[k].i, list[k].j
-		if rt.cfg.PairFilter != nil && !rt.cfg.PairFilter(i, j) {
+		if !rt.pairOK(i, j) {
 			continue
 		}
 		if tokens.TryAcquire(rt.env) {

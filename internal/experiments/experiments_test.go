@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -204,5 +205,49 @@ func TestResilienceDeterministic(t *testing.T) {
 	}
 	if a != b {
 		t.Fatalf("resilience output differs across runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+func TestIncrementalSweep(t *testing.T) {
+	out, err := Incremental(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"append", "delta pairs", "served", "speedup", "5%", "10%", "50%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("incremental output missing %q:\n%s", want, out)
+		}
+	}
+	// The acceptance bar: at 10% growth the warm-started delta job must
+	// be at least 5x faster than the full recompute.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || fields[0] != "10%" {
+			continue
+		}
+		sp := fields[len(fields)-1]
+		var x float64
+		if _, err := fmt.Sscanf(sp, "%fx", &x); err != nil {
+			t.Fatalf("cannot parse speedup %q: %v", sp, err)
+		}
+		if x < 5 {
+			t.Fatalf("10%% growth speedup %.2fx below the 5x bar:\n%s", x, out)
+		}
+		return
+	}
+	t.Fatalf("no 10%% row in output:\n%s", out)
+}
+
+func TestIncrementalDeterministic(t *testing.T) {
+	a, err := Incremental(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Incremental(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("incremental output differs across runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
 	}
 }

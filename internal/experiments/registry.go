@@ -41,6 +41,7 @@ func All() []Experiment {
 		{"ablation-backoff", "—", "steal backoff sweep", AblationBackoff},
 		{"queue-scaling", "—", "rocketd scheduler: job count x policy sweep", QueueScaling},
 		{"resilience", "—", "fault sweep: completion-time inflation vs failure-free", Resilience},
+		{"incremental", "—", "pairstore warm start: append-ratio sweep vs full recompute", Incremental},
 	}
 }
 

@@ -1,0 +1,52 @@
+package jobspec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzManifestRoundTrip asserts the manifest codec is stable: any
+// input that parses must serialize to a canonical form that re-parses
+// to the same bytes (parse → serialize → parse → serialize is a fixed
+// point after one round). A violation means served arrival logs could
+// drift through a save/load cycle, breaking the replay-fidelity
+// argument.
+func FuzzManifestRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"nodes":8,"policy":"fair","seed":1,"jobs":[` +
+		`{"id":"a","tenant":"t","app":"forensics","items":16,"nodes":2,"arrival_ms":1.5},` +
+		`{"id":"b","app":"microscopy","items":8,"arrival_ns":2500000}]}`))
+	f.Add([]byte(`{"nodes":4,"jobs":[{"app":"bioinformatics","items":6,` +
+		`"store":"corpus","dataset_version":6,"base_version":4,` +
+		`"faults":[{"kind":"crash","at_ms":5,"node":1}]}]}`))
+	f.Add([]byte(`{"jobs":[]}`))
+	f.Add([]byte(`{"nodes":-3,"max_queued":7,"keep_going":true,"jobs":null}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := Parse(raw)
+		if err != nil {
+			t.Skip() // not a manifest; nothing to assert
+		}
+		first, err := m.JSON()
+		if err != nil {
+			t.Fatalf("serialize parsed manifest: %v", err)
+		}
+		back, err := Parse(first)
+		if err != nil {
+			t.Fatalf("re-parse serialized manifest: %v\n%s", err, first)
+		}
+		second, err := back.JSON()
+		if err != nil {
+			t.Fatalf("re-serialize manifest: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("round trip unstable:\n%s\nvs\n%s", first, second)
+		}
+		// Normalization must be idempotent and preserve the job set.
+		back.Normalize()
+		if back.Normalize() {
+			t.Fatal("Normalize is not idempotent")
+		}
+		if len(back.Jobs) != len(m.Jobs) {
+			t.Fatalf("Normalize changed the job count: %d vs %d", len(back.Jobs), len(m.Jobs))
+		}
+	})
+}

@@ -8,12 +8,14 @@ package jobspec
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"rocket/internal/apps/forensics"
 	"rocket/internal/apps/microscopy"
 	"rocket/internal/apps/phylo"
 	"rocket/internal/core"
 	"rocket/internal/fault"
+	"rocket/internal/pairstore"
 	"rocket/internal/sched"
 	"rocket/internal/sim"
 )
@@ -84,6 +86,22 @@ type Spec struct {
 	// Faults optionally injects a deterministic fault schedule into the
 	// job's first attempt.
 	Faults []Fault `json:"faults,omitempty"`
+
+	// Store, when non-empty, makes the job participate in the fleet's
+	// shared pair store under this dataset namespace: results it
+	// computes are merged back, and pairs already resident are served
+	// instead of recomputed (see BaseVersion). Dataset versions are item
+	// counts — an append-only dataset's length is its version.
+	Store string `json:"store,omitempty"`
+	// DatasetVersion is the dataset version (item count) this job
+	// computes; provenance recorded in the job's metrics. Normally
+	// equals Items.
+	DatasetVersion int `json:"dataset_version,omitempty"`
+	// BaseVersion is the dataset version already covered by the store:
+	// the delta planner serves all pairs among the first BaseVersion
+	// items from the store and computes only the new-vs-all set.
+	// Requires Store. 0 means a full (cold) computation.
+	BaseVersion int `json:"base_version,omitempty"`
 }
 
 // Apps lists the known application names.
@@ -134,6 +152,29 @@ func (s Spec) Job(index int, manifestSeed uint64) (sched.Job, error) {
 		Arrival: s.Arrival(),
 		Seed:    s.Seed,
 	}
+	if s.BaseVersion < 0 {
+		return sched.Job{}, fmt.Errorf("job %q: negative base_version %d", s.ID, s.BaseVersion)
+	}
+	if s.BaseVersion > s.Items {
+		return sched.Job{}, fmt.Errorf("job %q: base_version %d exceeds items %d", s.ID, s.BaseVersion, s.Items)
+	}
+	if s.BaseVersion > 0 && s.Store == "" {
+		return sched.Job{}, fmt.Errorf("job %q: base_version requires a store", s.ID)
+	}
+	if s.Store != "" {
+		j.StoreRef = s.Store
+		j.BaseItems = s.BaseVersion
+		j.DatasetVersion = s.DatasetVersion
+		if j.DatasetVersion == 0 {
+			j.DatasetVersion = s.Items
+		}
+		// Digests address the dataset's content: the lineage is (store
+		// namespace, canonical app name, app seed), so two jobs over the
+		// same (possibly grown) dataset share keys while different
+		// datasets never collide. The app seed — not the sched-derived
+		// run seed — is what identifies the data.
+		j.Digest = pairstore.DigestFunc(s.Store, app.Name(), appSeed)
+	}
 	if len(s.Faults) > 0 {
 		sch := new(fault.Schedule)
 		for _, f := range s.Faults {
@@ -177,6 +218,37 @@ func (m Manifest) JSON() ([]byte, error) {
 		return nil, err
 	}
 	return append(buf, '\n'), nil
+}
+
+// ArrivalsOrdered reports whether the jobs are in non-decreasing
+// arrival order. Logs recorded by a rocketd server always are (the
+// online scheduler assigns monotone arrivals in submission order);
+// hand-edited or merged logs may not be.
+func (m Manifest) ArrivalsOrdered() bool {
+	for i := 1; i < len(m.Jobs); i++ {
+		if m.Jobs[i].Arrival() < m.Jobs[i-1].Arrival() {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize stable-sorts the jobs by arrival time (ties keep file
+// order) and reports whether anything moved. This matters for replay
+// fidelity: submission indices drive derived IDs and seeds, and the
+// batch scheduler admits in arrival order — so an out-of-order log
+// would silently derive different jobs than its sorted equivalent.
+// After Normalize, any permutation of the same entries replays
+// identically. rocketqueue -replay normalizes (with a warning) instead
+// of silently producing a divergent replay.
+func (m *Manifest) Normalize() bool {
+	if m.ArrivalsOrdered() {
+		return false
+	}
+	sort.SliceStable(m.Jobs, func(i, j int) bool {
+		return m.Jobs[i].Arrival() < m.Jobs[j].Arrival()
+	})
+	return true
 }
 
 // Config builds the batch scheduler configuration: apps are constructed

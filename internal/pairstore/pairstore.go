@@ -1,0 +1,544 @@
+// Package pairstore is the persistent all-pairs result store: a
+// content-addressed map from item-digest pairs to comparison results,
+// organized as an append-only segment log with an in-memory index.
+//
+// The store is what turns repeated all-pairs workloads into incremental
+// ones. The paper's domains — forensics corpora, sequence databases,
+// microscopy archives — grow append-only, so when a dataset goes from n
+// to n+k items, the k·n + k(k-1)/2 pairs touching new items are the only
+// genuinely new work; everything else is already in the store. The
+// runtime (rocket/internal/core) consults an immutable Snapshot to skip
+// resident pairs before region subdivision, charges the resulting store
+// reads and writes through the same virtual-time cost model as ordinary
+// I/O, and emits the pairs it did compute into a Batch that the
+// scheduler merges back at a deterministic point.
+//
+// Keying. An entry is addressed by the pair of item digests, where a
+// digest identifies one item's content within a dataset lineage: it is
+// derived from (store ref, application name, dataset seed, item index).
+// For the synthetic applications of this reproduction the (seed, index)
+// pair IS the item's content — every per-item cost and payload is a pure
+// hash of it, independent of the dataset size — so digests are stable
+// under append-only growth, which is exactly the property content
+// addressing needs. A real deployment would digest the input files
+// instead; nothing else would change. The dataset version that produced
+// an entry is recorded as provenance, not key material: growing the
+// dataset must not invalidate old results.
+//
+// Determinism. Store contents influence a run only through the Snapshot
+// handed to it, and Snapshots are immutable. The scheduler snapshots at
+// job placement and merges batches at job completion, both inside its
+// deterministic virtual-time loop, so a served fleet and its offline
+// replay observe identical store states at every decision point.
+package pairstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Digest identifies one item's content within a dataset lineage.
+type Digest uint64
+
+// Key addresses one pair result: the digests of the left (i) and right
+// (j) items, in pair order (i < j positionally; comparisons need not be
+// symmetric, so digests are not sorted).
+type Key struct {
+	A Digest `json:"a"`
+	B Digest `json:"b"`
+}
+
+// Entry is one stored comparison result.
+type Entry struct {
+	Key Key `json:"key"`
+	// Version is the dataset version (item count) of the run that
+	// produced the entry — provenance, not key material.
+	Version int `json:"version,omitempty"`
+	// Value is the JSON-encoded comparison result; empty for cost-model
+	// runs, which store only the fact of completion.
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+// EntryOverheadBytes is the modeled on-disk framing cost of one entry
+// (key, version, length prefix) used by the charged-I/O model: a store
+// entry costs the application's ResultSize plus this overhead.
+const EntryOverheadBytes = 24
+
+// DigestItem derives the content digest of one item. ref is the store
+// namespace (dataset lineage), app the application name, seed the
+// dataset seed; see the package comment for why (seed, item) addresses
+// content here.
+func DigestItem(ref, app string, seed uint64, item int) Digest {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211 // FNV-64 prime
+	}
+	for i := 0; i < len(ref); i++ {
+		mix(ref[i])
+	}
+	mix(0xff) // separator: ("ab","c") must not collide with ("a","bc")
+	for i := 0; i < len(app); i++ {
+		mix(app[i])
+	}
+	mix(0xfe)
+	// Seed and item are mixed at fixed 8-byte width: a variable-length
+	// encoding would be ambiguous (a data byte can mimic a separator),
+	// letting distinct (seed, item) lineages collide on every digest.
+	for i := 0; i < 8; i++ {
+		mix(byte(seed >> (8 * i)))
+	}
+	mix(0xfd)
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(item) >> (8 * i)))
+	}
+	// Final avalanche (splitmix64) so near-identical inputs spread.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return Digest(h)
+}
+
+// DigestFunc returns the per-item digest function of one dataset
+// lineage, the form the runtime consumes (core.Config.ItemDigest).
+func DigestFunc(ref, app string, seed uint64) func(item int) Digest {
+	return func(item int) Digest { return DigestItem(ref, app, seed, item) }
+}
+
+// PairKey builds the key for pair (i, j) under the given digest
+// function.
+func PairKey(digest func(int) Digest, i, j int) Key {
+	return Key{A: digest(i), B: digest(j)}
+}
+
+// Stats is a point-in-time summary of the store.
+type Stats struct {
+	// Entries is the number of distinct keys resident (index size).
+	Entries int `json:"entries"`
+	// Segments is the number of log segments (sealed + active).
+	Segments int `json:"segments"`
+	// LogEntries counts entries across all segments, including
+	// duplicates superseded in the index but not yet compacted away.
+	LogEntries int `json:"log_entries"`
+	// Bytes is the modeled log size (values + per-entry overhead).
+	Bytes int64 `json:"bytes"`
+	// Puts counts accepted appends; DupPuts appends ignored because the
+	// key was already resident.
+	Puts    uint64 `json:"puts"`
+	DupPuts uint64 `json:"dup_puts"`
+	// ServedPairs and MissedPairs aggregate runtime outcomes reported
+	// back by the scheduler: pairs skipped because they were resident,
+	// and planned-resident pairs that had to be recomputed.
+	ServedPairs uint64 `json:"served_pairs"`
+	MissedPairs uint64 `json:"missed_pairs"`
+	// ReadBytes and WriteBytes total the charged store I/O.
+	ReadBytes  int64 `json:"read_bytes"`
+	WriteBytes int64 `json:"write_bytes"`
+	// Compactions counts Compact calls; CompactedAway the duplicate
+	// entries they dropped.
+	Compactions   uint64 `json:"compactions"`
+	CompactedAway uint64 `json:"compacted_away"`
+}
+
+// segment is one run of the append-only log. Sealed segments are
+// immutable; only the last segment accepts appends.
+type segment struct {
+	ID      int     `json:"id"`
+	Sealed  bool    `json:"sealed"`
+	Entries []Entry `json:"entries"`
+	Bytes   int64   `json:"bytes"`
+}
+
+// idxEntry is one index slot: the entry plus its insertion sequence
+// number, which is what snapshots filter on.
+type idxEntry struct {
+	e   Entry
+	seq uint64
+}
+
+// Store is the mutable, lock-protected store. Runs never touch it
+// directly: they read an immutable Snapshot and write through a Batch.
+type Store struct {
+	mu       sync.Mutex
+	segments []*segment
+	index    map[Key]idxEntry
+	// seq counts successful appends; because the store is append-only
+	// and first-write-wins (no deletes, no overwrites), the first seq
+	// entries are exactly the state after the seq-th append — which is
+	// what makes an O(1) watermark Snapshot sound.
+	seq   uint64
+	stats Stats
+}
+
+// New returns an empty store with one open segment.
+func New() *Store {
+	s := &Store{index: make(map[Key]idxEntry)}
+	s.segments = []*segment{{ID: 0}}
+	return s
+}
+
+// entryBytes is the modeled log footprint of one entry.
+func entryBytes(e Entry) int64 {
+	return EntryOverheadBytes + int64(len(e.Value))
+}
+
+// active returns the open segment, under s.mu.
+func (s *Store) active() *segment {
+	return s.segments[len(s.segments)-1]
+}
+
+// Put appends one entry. The store is append-only: a key that is
+// already resident keeps its first value and Put reports false.
+func (s *Store) Put(e Entry) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(e)
+}
+
+func (s *Store) putLocked(e Entry) bool {
+	if _, dup := s.index[e.Key]; dup {
+		s.stats.DupPuts++
+		return false
+	}
+	seg := s.active()
+	seg.Entries = append(seg.Entries, e)
+	seg.Bytes += entryBytes(e)
+	s.seq++
+	s.index[e.Key] = idxEntry{e: e, seq: s.seq}
+	s.stats.Puts++
+	return true
+}
+
+// Merge appends every entry of the batch, in batch order, returning how
+// many were new. A nil batch is a no-op.
+func (s *Store) Merge(b *Batch) int {
+	if b == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added := 0
+	for _, e := range b.entries {
+		if s.putLocked(e) {
+			added++
+		}
+	}
+	return added
+}
+
+// Get returns the entry for k, if resident.
+func (s *Store) Get(k Key) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ie, ok := s.index[k]
+	return ie.e, ok
+}
+
+// Has reports whether k is resident.
+func (s *Store) Has(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[k]
+	return ok
+}
+
+// Len returns the number of distinct resident keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Seal closes the active segment and opens a fresh one, so subsequent
+// appends land in a new log run. Sealing an empty segment is a no-op.
+func (s *Store) Seal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealLocked()
+}
+
+func (s *Store) sealLocked() {
+	seg := s.active()
+	if len(seg.Entries) == 0 {
+		return
+	}
+	seg.Sealed = true
+	s.segments = append(s.segments, &segment{ID: seg.ID + 1})
+}
+
+// Compact merges the whole log into a single segment, dropping
+// duplicate appends (first write wins, matching the index), and returns
+// the number of entries dropped. Entry order is preserved.
+func (s *Store) Compact() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	merged := &segment{ID: s.active().ID + 1}
+	seen := make(map[Key]struct{}, len(s.index))
+	dropped := 0
+	for _, seg := range s.segments {
+		for _, e := range seg.Entries {
+			if _, dup := seen[e.Key]; dup {
+				dropped++
+				continue
+			}
+			seen[e.Key] = struct{}{}
+			merged.Entries = append(merged.Entries, e)
+			merged.Bytes += entryBytes(e)
+		}
+	}
+	s.segments = []*segment{merged}
+	s.stats.Compactions++
+	s.stats.CompactedAway += uint64(dropped)
+	return dropped
+}
+
+// RecordServe folds one run's store outcome into the stats: pairs
+// served from the store, planned-resident pairs that were absent and
+// recomputed, and the charged read/write bytes.
+func (s *Store) RecordServe(served, missed uint64, readBytes, writeBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.ServedPairs += served
+	s.stats.MissedPairs += missed
+	s.stats.ReadBytes += readBytes
+	s.stats.WriteBytes += writeBytes
+}
+
+// Stats returns a point-in-time summary.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.index)
+	st.Segments = len(s.segments)
+	for _, seg := range s.segments {
+		st.LogEntries += len(seg.Entries)
+		st.Bytes += seg.Bytes
+	}
+	return st
+}
+
+// Snapshot returns an immutable view of the current index. Runs consult
+// the snapshot only; concurrent appends to the store never change what
+// a snapshot reports. Taking a snapshot is O(1): because the store is
+// append-only with first-write-wins semantics, recording the current
+// append sequence number fully determines the visible entry set —
+// entries are never mutated or removed, so filtering lookups by that
+// watermark reproduces the exact state at snapshot time.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Snapshot{s: s, watermark: s.seq}
+}
+
+// Snapshot is an immutable point-in-time view of a store's index. The
+// zero value is an empty snapshot.
+type Snapshot struct {
+	s         *Store
+	watermark uint64
+}
+
+// Has reports whether k was resident when the snapshot was taken.
+func (sn *Snapshot) Has(k Key) bool {
+	if sn == nil || sn.s == nil {
+		return false
+	}
+	sn.s.mu.Lock()
+	defer sn.s.mu.Unlock()
+	ie, ok := sn.s.index[k]
+	return ok && ie.seq <= sn.watermark
+}
+
+// HasMany reports, for each key, whether it was resident at snapshot
+// time, writing into out (which must be at least len(keys) long). It
+// takes the store lock once for the whole batch — delta planners probe
+// O(base²) keys at job start, where per-key locking would dominate.
+func (sn *Snapshot) HasMany(keys []Key, out []bool) {
+	if sn == nil || sn.s == nil {
+		for i := range keys {
+			out[i] = false
+		}
+		return
+	}
+	sn.s.mu.Lock()
+	defer sn.s.mu.Unlock()
+	for i, k := range keys {
+		ie, ok := sn.s.index[k]
+		out[i] = ok && ie.seq <= sn.watermark
+	}
+}
+
+// Get returns the entry for k, if resident at snapshot time.
+func (sn *Snapshot) Get(k Key) (Entry, bool) {
+	if sn == nil || sn.s == nil {
+		return Entry{}, false
+	}
+	sn.s.mu.Lock()
+	defer sn.s.mu.Unlock()
+	ie, ok := sn.s.index[k]
+	if !ok || ie.seq > sn.watermark {
+		return Entry{}, false
+	}
+	return ie.e, true
+}
+
+// Len returns the number of resident keys at snapshot time: exactly
+// the watermark, since every successful append adds one entry and
+// entries are never removed.
+func (sn *Snapshot) Len() int {
+	if sn == nil {
+		return 0
+	}
+	return int(sn.watermark)
+}
+
+// Batch collects the entries one run emits, in completion order. It is
+// single-writer (the run's event loop) and merged into a Store once the
+// run's results are final.
+type Batch struct {
+	entries []Entry
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Add appends one entry to the batch.
+func (b *Batch) Add(e Entry) { b.entries = append(b.entries, e) }
+
+// Len returns the number of collected entries.
+func (b *Batch) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.entries)
+}
+
+// Bytes returns the modeled log footprint of the batch.
+func (b *Batch) Bytes() int64 {
+	if b == nil {
+		return 0
+	}
+	var total int64
+	for _, e := range b.entries {
+		total += entryBytes(e)
+	}
+	return total
+}
+
+// snapshotDoc is the persisted store form: the full segment log plus
+// the cumulative counters, so a reloaded store reports continuous
+// stats.
+type snapshotDoc struct {
+	Format   int       `json:"format"`
+	Segments []segment `json:"segments"`
+	Stats    Stats     `json:"stats"`
+}
+
+const snapshotFormat = 1
+
+// Save writes the store (segment log and counters) to path as JSON,
+// atomically via a temp file in the same directory.
+func (s *Store) Save(path string) error {
+	s.mu.Lock()
+	doc := snapshotDoc{Format: snapshotFormat, Stats: s.stats}
+	for _, seg := range s.segments {
+		doc.Segments = append(doc.Segments, *seg)
+	}
+	s.mu.Unlock()
+	// Compact marshaling keeps embedded raw values byte-identical across
+	// a Save/Load round trip (indentation would reformat them).
+	buf, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a store saved with Save and rebuilds the index. The log is
+// replayed in segment order, first write per key winning, exactly as
+// the live store built it.
+func Load(path string) (*Store, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc snapshotDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("pairstore: %s: %w", path, err)
+	}
+	if doc.Format != snapshotFormat {
+		return nil, fmt.Errorf("pairstore: %s: unknown format %d", path, doc.Format)
+	}
+	s := &Store{index: make(map[Key]idxEntry)}
+	sort.SliceStable(doc.Segments, func(i, j int) bool {
+		return doc.Segments[i].ID < doc.Segments[j].ID
+	})
+	for i := range doc.Segments {
+		seg := doc.Segments[i]
+		s.segments = append(s.segments, &seg)
+		for _, e := range seg.Entries {
+			if _, dup := s.index[e.Key]; !dup {
+				s.seq++
+				s.index[e.Key] = idxEntry{e: e, seq: s.seq}
+			}
+		}
+	}
+	if len(s.segments) == 0 {
+		s.segments = []*segment{{ID: 0}}
+	} else if last := s.active(); last.Sealed {
+		s.segments = append(s.segments, &segment{ID: last.ID + 1})
+	}
+	s.stats = doc.Stats
+	// Derived fields are recomputed by Stats(); persisted values of the
+	// derived fields are ignored.
+	s.stats.Entries = 0
+	s.stats.Segments = 0
+	s.stats.LogEntries = 0
+	s.stats.Bytes = 0
+	return s, nil
+}
+
+// LoadOrNew loads the store at path, or returns a fresh one (loaded =
+// false) when no file exists there yet — the start-of-session half of
+// the CLI persistence lifecycle.
+func LoadOrNew(path string) (s *Store, loaded bool, err error) {
+	s, err = Load(path)
+	if os.IsNotExist(err) {
+		return New(), false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return s, true, nil
+}
+
+// SealAndSave seals the active segment (so the next session appends
+// into a fresh log run) and persists the store — the end-of-session
+// half of the CLI persistence lifecycle.
+func (s *Store) SealAndSave(path string) error {
+	s.Seal()
+	return s.Save(path)
+}
+
+// DeltaPairs returns how many pairs a delta job over n items with base
+// resident items must compute: the new-vs-all set n·(n-1)/2 − b·(b-1)/2
+// (every pair touching at least one appended item).
+func DeltaPairs(n, base int) int64 {
+	if base > n {
+		base = n
+	}
+	if base < 0 {
+		base = 0
+	}
+	t := func(m int) int64 { return int64(m) * int64(m-1) / 2 }
+	return t(n) - t(base)
+}

@@ -1,0 +1,194 @@
+package pairstore
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+func keyOf(i, j int) Key {
+	d := DigestFunc("ref", "app", 7)
+	return PairKey(d, i, j)
+}
+
+func TestDigestDeterministicAndDistinct(t *testing.T) {
+	a := DigestItem("corpus", "forensics", 7, 3)
+	if b := DigestItem("corpus", "forensics", 7, 3); b != a {
+		t.Fatalf("digest not deterministic: %x vs %x", a, b)
+	}
+	variants := []Digest{
+		DigestItem("corpus", "forensics", 7, 4),
+		DigestItem("corpus", "forensics", 8, 3),
+		DigestItem("corpus", "microscopy", 7, 3),
+		DigestItem("other", "forensics", 7, 3),
+		DigestItem("corpusf", "orensics", 7, 3), // boundary shift
+	}
+	// Regression: with a variable-length seed/item encoding these two
+	// lineages collided (a data byte mimicking the separator).
+	if DigestItem("ref", "app", 0xFD, 0x1FD) == DigestItem("ref", "app", 0xFDFD, 1) {
+		t.Fatal("seed/item byte-boundary shift collides")
+	}
+	seen := map[Digest]bool{a: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Fatalf("variant %d collides: %x", i, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDigestStableUnderGrowth(t *testing.T) {
+	// The digest of item i must not depend on the dataset size: that is
+	// the property that makes append-only growth reusable.
+	d := DigestFunc("corpus", "forensics", 7)
+	before := make([]Digest, 10)
+	for i := range before {
+		before[i] = d(i)
+	}
+	// "Grow" the dataset: same lineage, more items — old digests fixed.
+	for i := range before {
+		if got := DigestItem("corpus", "forensics", 7, i); got != before[i] {
+			t.Fatalf("item %d digest changed under growth", i)
+		}
+	}
+}
+
+func TestPutGetAppendOnly(t *testing.T) {
+	s := New()
+	e1 := Entry{Key: keyOf(0, 1), Version: 4, Value: json.RawMessage(`1`)}
+	if !s.Put(e1) {
+		t.Fatal("first Put rejected")
+	}
+	if s.Put(Entry{Key: keyOf(0, 1), Version: 5, Value: json.RawMessage(`2`)}) {
+		t.Fatal("duplicate Put accepted")
+	}
+	got, ok := s.Get(keyOf(0, 1))
+	if !ok || string(got.Value) != "1" || got.Version != 4 {
+		t.Fatalf("Get = %+v, %v; want first write", got, ok)
+	}
+	if s.Has(keyOf(0, 2)) {
+		t.Fatal("Has reports an absent key")
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.DupPuts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSnapshotImmutable(t *testing.T) {
+	s := New()
+	s.Put(Entry{Key: keyOf(0, 1)})
+	snap := s.Snapshot()
+	s.Put(Entry{Key: keyOf(0, 2)})
+	if !snap.Has(keyOf(0, 1)) {
+		t.Fatal("snapshot lost a resident key")
+	}
+	if snap.Has(keyOf(0, 2)) {
+		t.Fatal("snapshot observed a later append")
+	}
+	if snap.Len() != 1 || s.Len() != 2 {
+		t.Fatalf("Len: snap %d store %d", snap.Len(), s.Len())
+	}
+	var nilSnap *Snapshot
+	if nilSnap.Has(keyOf(0, 1)) || nilSnap.Len() != 0 {
+		t.Fatal("nil snapshot must be empty")
+	}
+}
+
+func TestMergeBatch(t *testing.T) {
+	s := New()
+	s.Put(Entry{Key: keyOf(0, 1)})
+	b := NewBatch()
+	b.Add(Entry{Key: keyOf(0, 1)}) // dup
+	b.Add(Entry{Key: keyOf(0, 2), Value: json.RawMessage(`9`)})
+	if got := s.Merge(b); got != 1 {
+		t.Fatalf("Merge added %d, want 1", got)
+	}
+	if b.Len() != 2 || b.Bytes() != 2*EntryOverheadBytes+1 {
+		t.Fatalf("batch len %d bytes %d", b.Len(), b.Bytes())
+	}
+	if s.Merge(nil) != 0 {
+		t.Fatal("nil batch merged entries")
+	}
+}
+
+func TestSealAndCompact(t *testing.T) {
+	s := New()
+	s.Put(Entry{Key: keyOf(0, 1), Value: json.RawMessage(`1`)})
+	s.Seal()
+	s.Seal() // empty active segment: no-op
+	s.Put(Entry{Key: keyOf(0, 2)})
+	if st := s.Stats(); st.Segments != 2 || st.LogEntries != 2 {
+		t.Fatalf("after seal: %+v", st)
+	}
+	// Craft a duplicate in the log (possible across Load-merged logs):
+	// bypass the index check by merging two saved stores is overkill;
+	// Compact must simply preserve distinct keys and count drops.
+	dropped := s.Compact()
+	if dropped != 0 {
+		t.Fatalf("compact dropped %d from a dup-free log", dropped)
+	}
+	st := s.Stats()
+	if st.Segments != 1 || st.LogEntries != 2 || st.Compactions != 1 {
+		t.Fatalf("after compact: %+v", st)
+	}
+	if !s.Has(keyOf(0, 1)) || !s.Has(keyOf(0, 2)) {
+		t.Fatal("compact lost keys")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	s.Put(Entry{Key: keyOf(0, 1), Version: 8, Value: json.RawMessage(`{"r":1}`)})
+	s.Seal()
+	s.Put(Entry{Key: keyOf(1, 2), Version: 12})
+	s.RecordServe(5, 1, 160, 48)
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("reloaded %d entries, want 2", r.Len())
+	}
+	e, ok := r.Get(keyOf(0, 1))
+	if !ok || string(e.Value) != `{"r":1}` || e.Version != 8 {
+		t.Fatalf("reloaded entry = %+v, %v", e, ok)
+	}
+	st := r.Stats()
+	if st.ServedPairs != 5 || st.MissedPairs != 1 || st.ReadBytes != 160 {
+		t.Fatalf("counters not persisted: %+v", st)
+	}
+	// The reloaded store accepts appends (active segment reopened).
+	if !r.Put(Entry{Key: keyOf(2, 3)}) {
+		t.Fatal("reloaded store rejects appends")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+}
+
+func TestDeltaPairs(t *testing.T) {
+	cases := []struct {
+		n, base int
+		want    int64
+	}{
+		{10, 0, 45},
+		{10, 10, 0},
+		{11, 10, 10},     // one appended item pairs with all ten
+		{110, 100, 1045}, // 10% growth: 10·100 + 45
+		{10, 12, 0},      // base beyond n clamps
+		{10, -1, 45},     // negative base clamps
+	}
+	for _, c := range cases {
+		if got := DeltaPairs(c.n, c.base); got != c.want {
+			t.Fatalf("DeltaPairs(%d, %d) = %d, want %d", c.n, c.base, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"bytes"
+	"testing"
+
+	"rocket/internal/pairstore"
+	"rocket/internal/sim"
+)
+
+// deltaJobs builds the canonical incremental fleet: a base job over n0
+// items followed by a delta job over n items (base n0), both in the
+// "corpus" store namespace with an explicit dataset seed so their item
+// digests coincide.
+func deltaJobs(n0, n int) []Job {
+	const seed = 42
+	app := smallApp("forensics", n, sim.Millis(2))
+	base := Job{
+		ID:             "base",
+		App:            smallApp("forensics", n0, sim.Millis(2)),
+		Seed:           seed,
+		StoreRef:       "corpus",
+		DatasetVersion: n0,
+	}
+	delta := Job{
+		ID:             "delta",
+		App:            app,
+		Seed:           seed,
+		Arrival:        sim.Seconds(1e6), // well past the base job's completion
+		StoreRef:       "corpus",
+		BaseItems:      n0,
+		DatasetVersion: n,
+	}
+	return []Job{base, delta}
+}
+
+func TestDeltaPlannerServesBasePairs(t *testing.T) {
+	const n0, n = 10, 12
+	m, err := Run(Config{Jobs: deltaJobs(n0, n), Nodes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePairs := uint64(n0 * (n0 - 1) / 2)
+	deltaPairs := uint64(pairstore.DeltaPairs(n, n0))
+	base, delta := m.Jobs[0], m.Jobs[1]
+	if base.Inner.Pairs != basePairs || base.Inner.StorePuts != basePairs {
+		t.Fatalf("base computed %d emitted %d, want %d", base.Inner.Pairs, base.Inner.StorePuts, basePairs)
+	}
+	if delta.Inner.Pairs != deltaPairs {
+		t.Fatalf("delta computed %d pairs, want %d", delta.Inner.Pairs, deltaPairs)
+	}
+	if delta.Inner.StoreHits != basePairs || delta.Inner.StoreMisses != 0 {
+		t.Fatalf("delta hits %d misses %d, want %d/0", delta.Inner.StoreHits, delta.Inner.StoreMisses, basePairs)
+	}
+	if delta.BaseItems != n0 || delta.StoreRef != "corpus" || delta.DatasetVersion != n {
+		t.Fatalf("provenance not recorded: %+v", delta)
+	}
+	if m.StoreHits != basePairs || m.StorePuts != basePairs+deltaPairs {
+		t.Fatalf("fleet store totals hits %d puts %d", m.StoreHits, m.StorePuts)
+	}
+}
+
+func TestDeltaFleetDeterministicJSON(t *testing.T) {
+	run := func() []byte {
+		m, err := Run(Config{Jobs: deltaJobs(12, 15), Nodes: 2, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := m.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatalf("delta fleet runs serialize differently:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestWarmStartFromLoadedStore(t *testing.T) {
+	// A fleet handed a pre-populated store serves base pairs without
+	// ever running the base job — the cross-run (persistent) flow.
+	const n0, n = 10, 12
+	store := pairstore.New()
+	prior, err := Run(Config{Jobs: deltaJobs(n0, n)[:1], Nodes: 1, Seed: 1, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prior.StorePuts == 0 || store.Len() == 0 {
+		t.Fatalf("base fleet did not populate the store (%d entries)", store.Len())
+	}
+	m, err := Run(Config{Jobs: deltaJobs(n0, n)[1:], Nodes: 1, Seed: 1, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs[0].Inner.StoreHits != uint64(n0*(n0-1)/2) {
+		t.Fatalf("warm-started delta hit %d pairs", m.Jobs[0].Inner.StoreHits)
+	}
+}
+
+func TestBaseItemsRequireStoreRef(t *testing.T) {
+	_, err := Run(Config{
+		Jobs:  []Job{{App: smallApp("a", 8, sim.Millis(1)), BaseItems: 4}},
+		Nodes: 1,
+	})
+	if err == nil {
+		t.Fatal("BaseItems without StoreRef accepted")
+	}
+}
+
+func TestDerivedSeedsDoNotFalselyShareDigests(t *testing.T) {
+	// Two jobs in the same namespace with derived (zero) seeds describe
+	// different datasets; the default digest must not let the second job
+	// hit the first job's results.
+	app := smallApp("forensics", 8, sim.Millis(1))
+	jobs := []Job{
+		{ID: "a", App: app, StoreRef: "corpus"},
+		{ID: "b", App: app, Arrival: sim.Seconds(1e6), StoreRef: "corpus", BaseItems: 8},
+	}
+	m, err := Run(Config{Jobs: jobs, Nodes: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job b plans all its pairs resident but its digests miss job a's
+	// entries, so every planned pair is recomputed as a store miss.
+	if m.Jobs[1].Inner.StoreMisses != uint64(8*7/2) || m.Jobs[1].Inner.StoreHits != 0 {
+		t.Fatalf("derived-seed job hit foreign digests: hits %d misses %d",
+			m.Jobs[1].Inner.StoreHits, m.Jobs[1].Inner.StoreMisses)
+	}
+}

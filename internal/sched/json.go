@@ -26,6 +26,12 @@ type JobDoc struct {
 	WaitNS    int64 `json:"wait_ns"`
 	RuntimeNS int64 `json:"runtime_ns"`
 
+	// Pair-store provenance; omitted for storeless jobs so their
+	// documents are unchanged.
+	Store          string `json:"store,omitempty"`
+	DatasetVersion int    `json:"dataset_version,omitempty"`
+	BaseVersion    int    `json:"base_version,omitempty"`
+
 	Inner *core.MetricsSummary `json:"inner,omitempty"`
 }
 
@@ -59,6 +65,10 @@ type MetricsDoc struct {
 	NetBytes int64  `json:"net_bytes"`
 	IOBytes  int64  `json:"io_bytes"`
 
+	StoreHits   uint64 `json:"store_hits,omitempty"`
+	StoreMisses uint64 `json:"store_misses,omitempty"`
+	StorePuts   uint64 `json:"store_puts,omitempty"`
+
 	Jobs    []JobDoc    `json:"jobs"`
 	Tenants []TenantDoc `json:"tenants"`
 }
@@ -66,19 +76,22 @@ type MetricsDoc struct {
 // Doc converts one job's metrics to its wire form.
 func (jm *JobMetrics) Doc() JobDoc {
 	d := JobDoc{
-		ID:        jm.ID,
-		Tenant:    jm.Tenant,
-		App:       jm.App,
-		Nodes:     jm.Nodes,
-		Rejected:  jm.Rejected,
-		Failed:    jm.Failed,
-		Error:     jm.Error,
-		Retries:   jm.Retries,
-		ArrivalNS: int64(jm.Arrival),
-		StartNS:   int64(jm.Start),
-		EndNS:     int64(jm.End),
-		WaitNS:    int64(jm.Wait),
-		RuntimeNS: int64(jm.Runtime),
+		ID:             jm.ID,
+		Tenant:         jm.Tenant,
+		App:            jm.App,
+		Nodes:          jm.Nodes,
+		Rejected:       jm.Rejected,
+		Failed:         jm.Failed,
+		Error:          jm.Error,
+		Retries:        jm.Retries,
+		ArrivalNS:      int64(jm.Arrival),
+		StartNS:        int64(jm.Start),
+		EndNS:          int64(jm.End),
+		WaitNS:         int64(jm.Wait),
+		RuntimeNS:      int64(jm.Runtime),
+		Store:          jm.StoreRef,
+		DatasetVersion: jm.DatasetVersion,
+		BaseVersion:    jm.BaseItems,
 	}
 	if jm.Inner != nil {
 		s := jm.Inner.Summary()
@@ -104,6 +117,9 @@ func (m *Metrics) Doc() MetricsDoc {
 		Pairs:       m.Pairs,
 		NetBytes:    m.NetBytes,
 		IOBytes:     m.IOBytes,
+		StoreHits:   m.StoreHits,
+		StoreMisses: m.StoreMisses,
+		StorePuts:   m.StorePuts,
 	}
 	for i := range m.Jobs {
 		d.Jobs = append(d.Jobs, m.Jobs[i].Doc())

@@ -39,6 +39,14 @@ type JobMetrics struct {
 
 	// Inner is the job's full Rocket runtime metrics.
 	Inner *core.Metrics
+
+	// Pair-store provenance: the dataset namespace the job ran under,
+	// the version it computed, and the resident prefix it was planned
+	// against (all zero for jobs without store participation). Hit, miss
+	// and put counts are in Inner.
+	StoreRef       string
+	DatasetVersion int
+	BaseItems      int
 }
 
 // TenantMetrics aggregates one tenant's jobs.
@@ -83,6 +91,13 @@ type Metrics struct {
 	Pairs    uint64
 	NetBytes int64
 	IOBytes  int64
+
+	// StoreHits, StoreMisses, and StorePuts aggregate pair-store
+	// outcomes over completed jobs: pairs served instead of computed,
+	// planned-resident pairs recomputed, and results emitted.
+	StoreHits   uint64
+	StoreMisses uint64
+	StorePuts   uint64
 }
 
 // aggregate folds per-job state into the fleet metrics.
@@ -94,11 +109,14 @@ func aggregate(cfg Config, states []*jobState) *Metrics {
 	var leasedSeconds float64
 	for _, js := range states {
 		jm := JobMetrics{
-			ID:      js.id,
-			Tenant:  js.tenant,
-			App:     js.job.App.Name(),
-			Arrival: js.job.Arrival,
-			Retries: js.attempt,
+			ID:             js.id,
+			Tenant:         js.tenant,
+			App:            js.job.App.Name(),
+			Arrival:        js.job.Arrival,
+			Retries:        js.attempt,
+			StoreRef:       js.job.StoreRef,
+			DatasetVersion: js.job.DatasetVersion,
+			BaseItems:      js.job.BaseItems,
 		}
 		m.Retries += js.attempt
 		t := tenants[js.tenant]
@@ -143,6 +161,9 @@ func aggregate(cfg Config, states []*jobState) *Metrics {
 			m.Pairs += js.inner.Pairs
 			m.NetBytes += js.inner.NetBytes
 			m.IOBytes += js.inner.IOBytes
+			m.StoreHits += js.inner.StoreHits
+			m.StoreMisses += js.inner.StoreMisses
+			m.StorePuts += js.inner.StorePuts
 			waitSum += jm.Wait
 			tenantWaits[js.tenant] += jm.Wait
 			nodeSecs := float64(len(js.lease)) * jm.Runtime.Seconds()
@@ -213,5 +234,11 @@ func (m *Metrics) Report() string {
 	fmt.Fprintf(&b, "utilization %.1f%% | %.1f jobs/hour | %d pairs | %.2f GB net | %.2f GB I/O\n",
 		100*m.Utilization, m.JobsPerHour, m.Pairs,
 		float64(m.NetBytes)/1e9, float64(m.IOBytes)/1e9)
+	// Store provenance only for fleets that touched the pair store, so
+	// storeless reports (and their goldens) are unchanged.
+	if m.StoreHits > 0 || m.StoreMisses > 0 || m.StorePuts > 0 {
+		fmt.Fprintf(&b, "pairstore: %d pairs served, %d recomputed, %d emitted\n",
+			m.StoreHits, m.StoreMisses, m.StorePuts)
+	}
 	return b.String()
 }

@@ -94,6 +94,10 @@ type JobInfo struct {
 	ArrivalNS int64     `json:"arrival_ns"`
 	StartNS   int64     `json:"start_ns"`
 	EndNS     int64     `json:"end_ns"`
+	// Pair-store provenance (omitted for storeless jobs).
+	Store          string `json:"store,omitempty"`
+	DatasetVersion int    `json:"dataset_version,omitempty"`
+	BaseVersion    int    `json:"base_version,omitempty"`
 }
 
 // Event is one entry of the online scheduler's append-only event stream.
@@ -247,11 +251,14 @@ func (o *Online) Submit(j Job) (string, error) {
 	oj := &onlineJob{
 		js: js,
 		info: JobInfo{
-			ID:        js.id,
-			Tenant:    js.tenant,
-			App:       j.App.Name(),
-			Status:    StatusSubmitted,
-			WantNodes: js.job.Nodes,
+			ID:             js.id,
+			Tenant:         js.tenant,
+			App:            j.App.Name(),
+			Status:         StatusSubmitted,
+			WantNodes:      js.job.Nodes,
+			Store:          j.StoreRef,
+			DatasetVersion: j.DatasetVersion,
+			BaseVersion:    j.BaseItems,
 		},
 	}
 	o.all = append(o.all, oj)
@@ -334,10 +341,13 @@ func (o *Online) JobMetrics(id string) (JobMetrics, bool) {
 	}
 	in := oj.info
 	jm := JobMetrics{
-		ID:      in.ID,
-		Tenant:  in.Tenant,
-		App:     in.App,
-		Arrival: sim.Time(in.ArrivalNS),
+		ID:             in.ID,
+		Tenant:         in.Tenant,
+		App:            in.App,
+		Arrival:        sim.Time(in.ArrivalNS),
+		StoreRef:       in.Store,
+		DatasetVersion: in.DatasetVersion,
+		BaseItems:      in.BaseVersion,
 	}
 	if in.Status == StatusRejected {
 		// Mirror the batch aggregate exactly: a rejected job carries only

@@ -29,6 +29,7 @@ import (
 	"rocket/internal/fault"
 	"rocket/internal/gpu"
 	"rocket/internal/pairs"
+	"rocket/internal/pairstore"
 	"rocket/internal/sim"
 )
 
@@ -56,6 +57,28 @@ type Job struct {
 	// Mutate, when non-nil, adjusts the job's runtime configuration
 	// (cache sizes, steal policy, ...) before execution.
 	Mutate func(*core.Config)
+
+	// StoreRef, when non-empty, makes the job participate in the fleet's
+	// shared pair store under this dataset namespace: results it
+	// computes are merged back at completion, and with BaseItems > 0 the
+	// delta planner serves the base region from the store instead of
+	// recomputing it. The store snapshot a job consults is captured at
+	// its placement and batches are merged at its completion — both
+	// inside the deterministic virtual-time loop, so a served fleet and
+	// its offline replay observe identical store states.
+	StoreRef string
+	// BaseItems is the delta plan's resident prefix: pairs with both
+	// items below it are served from the store (see core.Config.BaseItems).
+	BaseItems int
+	// DatasetVersion is provenance recorded in the job's metrics: the
+	// dataset version (item count) this job computes. 0 = unversioned.
+	DatasetVersion int
+	// Digest derives item content digests for store keys. When nil it
+	// defaults to pairstore.DigestFunc(StoreRef, App.Name(), seed) with
+	// the job's effective seed — correct whenever Seed is set explicitly
+	// (dataset identity); jobs with derived seeds get non-colliding
+	// digests and therefore no cross-job reuse unless Digest is given.
+	Digest func(item int) pairstore.Digest
 }
 
 // Config configures one scheduler run.
@@ -99,6 +122,12 @@ type Config struct {
 	// (see Online). 0 disables the bridge: arrivals latch onto the
 	// current virtual clock. Batch runs ignore it.
 	TimeScale float64
+	// Store is the fleet's shared pair store. Nil is fine even when jobs
+	// carry StoreRefs: a fresh store is created at the first placement
+	// that needs one (which is exactly what an offline replay of a
+	// served log wants — the server also started empty). Pass a loaded
+	// store to warm-start the fleet.
+	Store *pairstore.Store
 }
 
 // jobState tracks one job through the scheduler.
@@ -124,6 +153,11 @@ type jobState struct {
 	// attempt whose lease release doubles as a requeue.
 	attempt int
 	retry   bool
+	// storeSnap/storeBatch are the pair-store views of the current
+	// attempt, captured at placement and merged at completion (both in
+	// the scheduler loop, never from inner-sim goroutines).
+	storeSnap  *pairstore.Snapshot
+	storeBatch *pairstore.Batch
 }
 
 // resetForRetry returns the state to the queue for another attempt.
@@ -134,6 +168,8 @@ func (js *jobState) resetForRetry() {
 	js.inner = nil
 	js.err = nil
 	js.started = false
+	js.storeSnap = nil
+	js.storeBatch = nil
 	js.done = make(chan struct{})
 }
 
@@ -194,6 +230,12 @@ func newState(cfg Config, j Job, i int, seen map[string]int) (*jobState, error) 
 	}
 	if j.Arrival < 0 {
 		return nil, fmt.Errorf("sched: job %d has negative arrival %v", i, j.Arrival)
+	}
+	if j.BaseItems < 0 {
+		return nil, fmt.Errorf("sched: job %d has negative BaseItems %d", i, j.BaseItems)
+	}
+	if j.BaseItems > 0 && j.StoreRef == "" {
+		return nil, fmt.Errorf("sched: job %d has BaseItems without a StoreRef", i)
 	}
 	id := j.ID
 	if id == "" {
@@ -324,6 +366,9 @@ type scheduler struct {
 	usage   map[string]float64 // tenant -> completed node-seconds
 	sem     chan struct{}
 	obs     observer
+	// store is the fleet's shared pair store, touched only from the loop
+	// goroutine (snapshots at placement, merges at completion).
+	store *pairstore.Store
 }
 
 func newScheduler(cfg Config, obs observer) *scheduler {
@@ -340,6 +385,7 @@ func newScheduler(cfg Config, obs observer) *scheduler {
 		usage: make(map[string]float64),
 		sem:   make(chan struct{}, cfg.Workers),
 		obs:   obs,
+		store: cfg.Store,
 	}
 }
 
@@ -382,6 +428,16 @@ func (s *scheduler) run(f frontier) error {
 			s.free = s.free[js.job.Nodes:]
 			js.start = s.clock
 			js.started = true
+			if js.job.StoreRef != "" {
+				// The store view is pinned here, at the deterministic
+				// placement point: merges of jobs completing at or before
+				// this clock already happened, later merges are invisible.
+				if s.store == nil {
+					s.store = pairstore.New()
+				}
+				js.storeSnap = s.store.Snapshot()
+				js.storeBatch = pairstore.NewBatch()
+			}
 			s.running = append(s.running, js)
 			if s.obs != nil {
 				s.obs.jobStarted(js)
@@ -449,6 +505,16 @@ func (s *scheduler) run(f frontier) error {
 			if js.end <= s.clock {
 				s.usage[js.tenant] += float64(len(js.lease)) * (js.end - js.start).Seconds()
 				s.free = append(s.free, js.lease...)
+				if js.storeBatch != nil && !js.retry && !js.failed {
+					// Completion is the deterministic merge point: the
+					// job's emitted results become visible to every job
+					// placed from this clock on.
+					s.store.Merge(js.storeBatch)
+					if js.inner != nil {
+						s.store.RecordServe(js.inner.StoreHits, js.inner.StoreMisses,
+							js.inner.StoreReadBytes, js.inner.StoreWriteBytes)
+					}
+				}
 				if js.retry {
 					js.resetForRetry()
 					s.pending = append(s.pending, js)
@@ -523,6 +589,15 @@ func (cfg Config) runInner(js *jobState, sem chan struct{}) {
 		Cluster:   cl,
 		Seed:      js.seed,
 		DistCache: len(js.lease) > 1,
+	}
+	if js.job.StoreRef != "" {
+		ccfg.BaseItems = js.job.BaseItems
+		ccfg.Store = js.storeSnap
+		ccfg.StoreBatch = js.storeBatch
+		ccfg.ItemDigest = js.job.Digest
+		if ccfg.ItemDigest == nil {
+			ccfg.ItemDigest = pairstore.DigestFunc(js.job.StoreRef, js.job.App.Name(), js.seed)
+		}
 	}
 	if js.attempt == 0 {
 		// Retries model placement on fresh nodes and run fault-free.

@@ -31,6 +31,7 @@ import (
 
 	"rocket/internal/cluster"
 	"rocket/internal/jobspec"
+	"rocket/internal/pairstore"
 	"rocket/internal/sched"
 )
 
@@ -52,20 +53,37 @@ type Config struct {
 	// TimeScale is the wall-clock to virtual-time bridge (virtual seconds
 	// per wall second); 0 means arrivals latch onto the virtual clock.
 	TimeScale float64
+	// Store is the fleet's shared pair store; nil starts an empty one.
+	// Pass a store reloaded from disk (pairstore.Load) to warm-start the
+	// service across restarts.
+	Store *pairstore.Store
+	// Datasets restores the dataset registry (Server.Datasets of a
+	// previous session). A warm Store is only consulted through the
+	// datasets API when the registry that produced it is restored too —
+	// a re-created dataset would start at Computed = 0 and recompute
+	// everything.
+	Datasets []Dataset
 }
 
 // Server owns the online scheduler and the recorded submission specs.
 type Server struct {
 	cfg   Config
 	queue *sched.Online
+	store *pairstore.Store
 	mux   *http.ServeMux
 
-	mu    sync.Mutex
-	specs []jobspec.Spec // submission order, IDs filled
+	mu       sync.Mutex
+	specs    []jobspec.Spec // submission order, IDs filled
+	datasets map[string]*Dataset
+	dsOrder  []string // dataset creation order, for stable listings
 }
 
 // New starts the online scheduler and returns the server.
 func New(cfg Config) (*Server, error) {
+	store := cfg.Store
+	if store == nil {
+		store = pairstore.New()
+	}
 	q, err := sched.StartOnline(sched.Config{
 		Nodes:      cfg.Nodes,
 		NodeSpec:   cfg.NodeSpec,
@@ -76,11 +94,20 @@ func New(cfg Config) (*Server, error) {
 		Workers:    cfg.Workers,
 		Seed:       cfg.Seed,
 		TimeScale:  cfg.TimeScale,
+		Store:      store,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, queue: q}
+	s := &Server{cfg: cfg, queue: q, store: store, datasets: make(map[string]*Dataset)}
+	for i := range cfg.Datasets {
+		ds := cfg.Datasets[i]
+		if _, dup := s.datasets[ds.ID]; dup {
+			return nil, fmt.Errorf("serve: duplicate restored dataset %q", ds.ID)
+		}
+		s.datasets[ds.ID] = &ds
+		s.dsOrder = append(s.dsOrder, ds.ID)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -89,10 +116,20 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/events", s.handleAllEvents)
 	s.mux.HandleFunc("GET /v1/log", s.handleLog)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetCreate)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleDataset)
+	s.mux.HandleFunc("POST /v1/datasets/{id}/append", s.handleDatasetAppend)
+	s.mux.HandleFunc("POST /v1/datasets/{id}/jobs", s.handleDatasetJob)
+	s.mux.HandleFunc("GET /v1/store", s.handleStore)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s, nil
 }
+
+// Store exposes the fleet's shared pair store (for persistence by the
+// daemon on shutdown).
+func (s *Server) Store() *pairstore.Store { return s.store }
 
 // Queue exposes the underlying online scheduler.
 func (s *Server) Queue() *sched.Online { return s.queue }
@@ -140,16 +177,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// One lock spans spec->job conversion and Submit so the recorded spec
-	// order matches the scheduler's submission indices (both drive
-	// seed/ID derivation on replay).
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.submitSpecLocked(w, spec)
+}
+
+// submitSpecLocked converts the spec to a job, submits it, and records
+// the spec in the arrival log. One lock spans spec->job conversion and
+// Submit so the recorded spec order matches the scheduler's submission
+// indices (both drive seed/ID derivation on replay); callers hold s.mu.
+func (s *Server) submitSpecLocked(w http.ResponseWriter, spec jobspec.Spec) (string, bool) {
 	index := len(s.specs)
 	job, err := spec.Job(index, s.cfg.Seed)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return
+		return "", false
 	}
 	id, err := s.queue.Submit(job)
 	if err != nil {
@@ -158,7 +200,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err)
-		return
+		return "", false
 	}
 	spec.ID = id
 	s.specs = append(s.specs, spec)
@@ -169,6 +211,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Result: "/v1/jobs/" + id + "/result",
 		Events: "/v1/jobs/" + id + "/events",
 	})
+	return id, true
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -280,6 +323,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "rocketd_virtual_clock_seconds %g\n", s.queue.Clock().Seconds())
 	fmt.Fprintf(w, "# HELP rocketd_draining Whether shutdown has begun.\n# TYPE rocketd_draining gauge\n")
 	fmt.Fprintf(w, "rocketd_draining %d\n", draining)
+
+	st := s.store.Stats()
+	s.mu.Lock()
+	datasets := len(s.datasets)
+	s.mu.Unlock()
+	fmt.Fprintf(w, "# HELP rocketd_datasets Registered datasets.\n# TYPE rocketd_datasets gauge\n")
+	fmt.Fprintf(w, "rocketd_datasets %d\n", datasets)
+	fmt.Fprintf(w, "# HELP rocketd_store_entries Distinct pair results resident in the store.\n# TYPE rocketd_store_entries gauge\n")
+	fmt.Fprintf(w, "rocketd_store_entries %d\n", st.Entries)
+	fmt.Fprintf(w, "# HELP rocketd_store_segments Segments of the store's append-only log.\n# TYPE rocketd_store_segments gauge\n")
+	fmt.Fprintf(w, "rocketd_store_segments %d\n", st.Segments)
+	fmt.Fprintf(w, "# HELP rocketd_store_log_bytes Modeled size of the segment log.\n# TYPE rocketd_store_log_bytes gauge\n")
+	fmt.Fprintf(w, "rocketd_store_log_bytes %d\n", st.Bytes)
+	fmt.Fprintf(w, "# HELP rocketd_store_served_pairs_total Pairs served from the store instead of computed.\n# TYPE rocketd_store_served_pairs_total counter\n")
+	fmt.Fprintf(w, "rocketd_store_served_pairs_total %d\n", st.ServedPairs)
+	fmt.Fprintf(w, "# HELP rocketd_store_missed_pairs_total Planned-resident pairs recomputed because they were absent.\n# TYPE rocketd_store_missed_pairs_total counter\n")
+	fmt.Fprintf(w, "rocketd_store_missed_pairs_total %d\n", st.MissedPairs)
+	fmt.Fprintf(w, "# HELP rocketd_store_puts_total Pair results appended to the store.\n# TYPE rocketd_store_puts_total counter\n")
+	fmt.Fprintf(w, "rocketd_store_puts_total %d\n", st.Puts)
+	fmt.Fprintf(w, "# HELP rocketd_store_read_bytes_total Charged store read I/O.\n# TYPE rocketd_store_read_bytes_total counter\n")
+	fmt.Fprintf(w, "rocketd_store_read_bytes_total %d\n", st.ReadBytes)
+	fmt.Fprintf(w, "# HELP rocketd_store_write_bytes_total Charged store write I/O.\n# TYPE rocketd_store_write_bytes_total counter\n")
+	fmt.Fprintf(w, "rocketd_store_write_bytes_total %d\n", st.WriteBytes)
 }
 
 // Shutdown stops admission and drains the fleet (see sched.Online.Shutdown);

@@ -28,6 +28,8 @@ const (
 	KindPost                   // post-processing on the CPU
 	KindFetch                  // distributed-cache fetch from a peer node
 	KindSteal                  // work-stealing protocol activity
+	KindStoreRead              // pairstore read: resident results served
+	KindStoreWrite             // pairstore write: segment-log append flush
 	numKinds
 )
 
@@ -52,6 +54,10 @@ func (k Kind) String() string {
 		return "fetch"
 	case KindSteal:
 		return "steal"
+	case KindStoreRead:
+		return "store-read"
+	case KindStoreWrite:
+		return "store-write"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -32,6 +32,7 @@ import (
 	"rocket/internal/cluster"
 	"rocket/internal/core"
 	"rocket/internal/gpu"
+	"rocket/internal/pairstore"
 	"rocket/internal/sched"
 	"rocket/internal/serve"
 )
@@ -129,6 +130,10 @@ type (
 	QueueEvent = sched.Event
 	// ServeConfig configures the rocketd HTTP service layer.
 	ServeConfig = serve.Config
+	// ServeDataset is one registered append-only dataset (the unit of
+	// incremental serving); persisted across daemon restarts alongside
+	// the pair store.
+	ServeDataset = serve.Dataset
 	// Server is the rocketd HTTP service: an online scheduler behind a
 	// REST + SSE API with a replayable arrival log.
 	Server = serve.Server
@@ -149,6 +154,51 @@ func StartQueue(cfg QueueConfig) (*QueueSubmitter, error) { return sched.StartOn
 // The returned server exposes its http.Handler; pair it with an
 // http.Server and call Shutdown to drain.
 func Serve(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// Pair-store types: see package rocket/internal/pairstore for full
+// documentation. The store is what makes repeated all-pairs workloads
+// incremental: results are keyed by content (item digests), runs skip
+// pairs that are already resident, and a dataset that grows from n to
+// n+k items costs only the k·n + k(k-1)/2 new pairs.
+type (
+	// PairStore is the persistent all-pairs result store: an append-only
+	// segment log with an in-memory content-addressed index.
+	PairStore = pairstore.Store
+	// PairStoreSnapshot is an immutable view a run consults (Config.Store).
+	PairStoreSnapshot = pairstore.Snapshot
+	// PairBatch collects one run's emitted results (Config.StoreBatch)
+	// for a post-run merge.
+	PairBatch = pairstore.Batch
+	// PairDigest identifies one item's content within a dataset lineage.
+	PairDigest = pairstore.Digest
+)
+
+// NewPairStore returns an empty pair store.
+func NewPairStore() *PairStore { return pairstore.New() }
+
+// NewPairBatch returns an empty emission batch.
+func NewPairBatch() *PairBatch { return pairstore.NewBatch() }
+
+// LoadPairStore reloads a store saved with PairStore.Save.
+func LoadPairStore(path string) (*PairStore, error) { return pairstore.Load(path) }
+
+// LoadOrNewPairStore reloads the store at path, or returns a fresh one
+// (loaded = false) when no file exists there yet. Pair it with
+// PairStore.SealAndSave for the CLI persistence lifecycle.
+func LoadOrNewPairStore(path string) (s *PairStore, loaded bool, err error) {
+	return pairstore.LoadOrNew(path)
+}
+
+// PairDigestFunc returns the per-item digest function of a dataset
+// lineage (store namespace, application name, dataset seed); wire it to
+// Config.ItemDigest.
+func PairDigestFunc(ref, app string, seed uint64) func(item int) PairDigest {
+	return pairstore.DigestFunc(ref, app, seed)
+}
+
+// DeltaPairs returns the size of the minimal new-vs-all pair set when a
+// dataset grows from base to n items.
+func DeltaPairs(n, base int) int64 { return pairstore.DeltaPairs(n, base) }
 
 // DAS5Node returns the paper's DAS-5 node type: 16 cores and a 40 GiB host
 // cache, with the given GPUs installed.
