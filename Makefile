@@ -7,10 +7,10 @@
 GO ?= go
 ROCKET_SCALE ?= 50
 BENCH_RUN ?= local
-BENCH_BASELINE ?= BENCH_pr5.json
+BENCH_BASELINE ?= BENCH_pr6.json
 COVERAGE_FLOOR ?= 75.0
 
-.PHONY: build test race-stress bench bench-sim bench-json bench-gate coverage smoke smoke-incremental fuzz-smoke lint ci fmt
+.PHONY: build test race-stress bench bench-sim bench-shards bench-json bench-gate coverage smoke smoke-incremental fuzz-smoke lint ci fmt
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,12 @@ build:
 test:
 	$(GO) test -race ./...
 
-# Mirrors the workflow's race-stress step: exercise the parallel
-# inner-sim workers, the online submission paths, and fault recovery
-# repeatedly under -race with different worker-pool widths.
+# Mirrors the workflow's race-stress step: exercise the sharded engine's
+# OS threads, the parallel sweep workers, the online submission paths,
+# and fault recovery repeatedly under -race at two GOMAXPROCS widths.
 race-stress:
-	GOMAXPROCS=2 $(GO) test -race -count=2 ./internal/sched/ ./internal/core/ ./internal/serve/
-	GOMAXPROCS=8 $(GO) test -race -count=2 ./internal/sched/ ./internal/core/ ./internal/serve/
+	GOMAXPROCS=2 $(GO) test -race -count=2 ./internal/sim/ ./internal/fleet/ ./internal/sched/ ./internal/core/ ./internal/serve/
+	GOMAXPROCS=8 $(GO) test -race -count=2 ./internal/sim/ ./internal/fleet/ ./internal/sched/ ./internal/core/ ./internal/serve/
 
 # Full evaluation at reporting scale (minutes). CI runs the smoke variant.
 # Output is benchstat-friendly: run twice (before/after a change) with
@@ -35,6 +35,12 @@ bench: bench-sim
 # contention (callback vs process), mailbox throughput.
 bench-sim:
 	$(GO) test -bench=. -benchmem -count=1 -run='^$$' ./internal/sim/
+
+# Shard-scaling benchmark: the fixed 1024-node fleet at engine widths
+# 1, 2, 4, 8, hash-checked for shard invariance. Wall-clock speedup
+# depends on GOMAXPROCS; the state hashes never do.
+bench-shards:
+	$(GO) test -bench=BenchmarkShardScaling -benchtime=3x -count=1 -run='^$$' ./internal/fleet/
 
 # Machine-readable perf trajectory: per-experiment ns/op, allocs/op, and
 # events/sec written to BENCH_$(BENCH_RUN).json.

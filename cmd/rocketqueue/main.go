@@ -135,7 +135,7 @@ func run() error {
 		}
 		cfg.Store = store
 	}
-	m, err := rocket.RunQueue(cfg)
+	m, err := rocket.New(rocket.WithQueueConfig(cfg)).RunQueue()
 	if err != nil {
 		return err
 	}

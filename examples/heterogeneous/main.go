@@ -21,17 +21,13 @@ import (
 func main() {
 	app := microscopy.New(microscopy.Params{N: 96, Seed: 3})
 
-	platform, err := rocket.PaperHeterogeneous()
-	if err != nil {
-		log.Fatal(err)
-	}
-	m, err := rocket.Run(rocket.Config{
-		App:              app,
-		Cluster:          platform,
-		DistCache:        true,
-		Seed:             1,
-		ThroughputWindow: sim.Minute,
-	})
+	r := rocket.New(
+		rocket.WithTopology(rocket.PaperTopology()...),
+		rocket.WithDistCache(true),
+		rocket.WithSeed(1),
+		rocket.WithThroughputWindow(sim.Minute),
+	)
+	m, err := r.Run(app)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,14 +33,12 @@ func corpus(n int) rocket.Application {
 	return forensics.New(forensics.Params{N: n, Seed: seed})
 }
 
-func run(cfg rocket.Config) *rocket.Metrics {
-	platform, err := rocket.Homogeneous(2, rocket.DAS5Node(rocket.TitanXMaxwell))
-	if err != nil {
-		log.Fatal(err)
+func run(app rocket.Application, opts ...rocket.Option) *rocket.Metrics {
+	base := []rocket.Option{
+		rocket.WithHomogeneous(2, rocket.DAS5Node(rocket.TitanXMaxwell)),
+		rocket.WithSeed(1),
 	}
-	cfg.Cluster = platform
-	cfg.Seed = 1
-	m, err := rocket.Run(cfg)
+	m, err := rocket.New(append(base, opts...)...).Run(app)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,11 +52,10 @@ func main() {
 	// store, then persist it.
 	store := rocket.NewPairStore()
 	batch := rocket.NewPairBatch()
-	cold := run(rocket.Config{
-		App:        corpus(baseItems),
-		StoreBatch: batch,
-		ItemDigest: digest,
-	})
+	cold := run(corpus(baseItems),
+		rocket.WithStoreBatch(batch),
+		rocket.WithItemDigest(digest),
+	)
 	store.Merge(batch)
 	path := filepath.Join(os.TempDir(), "rocket-incremental-store.json")
 	if err := store.Save(path); err != nil {
@@ -75,13 +72,12 @@ func main() {
 		log.Fatal(err)
 	}
 	batch = rocket.NewPairBatch()
-	warm := run(rocket.Config{
-		App:        corpus(totalItems),
-		BaseItems:  baseItems,
-		Store:      reloaded.Snapshot(),
-		StoreBatch: batch,
-		ItemDigest: digest,
-	})
+	warm := run(corpus(totalItems),
+		rocket.WithBaseItems(baseItems),
+		rocket.WithStoreSnapshot(reloaded.Snapshot()),
+		rocket.WithStoreBatch(batch),
+		rocket.WithItemDigest(digest),
+	)
 	reloaded.Merge(batch)
 
 	fmt.Printf("day 2: +%d items -> computed %d new pairs (%d served from the store) in %v\n",
@@ -91,7 +87,7 @@ func main() {
 	}
 
 	// What a store-less deployment would have paid: the full recompute.
-	full := run(rocket.Config{App: corpus(totalItems)})
+	full := run(corpus(totalItems))
 	fmt.Printf("full recompute of %d items: %d pairs in %v -> warm start is %.1fx faster\n",
 		totalItems, full.Pairs, full.Runtime, float64(full.Runtime)/float64(warm.Runtime))
 	fmt.Printf("store now holds %d results (%d new appended)\n", reloaded.Len(), warm.StorePuts)

@@ -57,17 +57,13 @@ func main() {
 		"rocket", "cache", "steal", "pairs", "gpu", "cluster", "async", "reuse",
 	}}
 
-	platform, err := rocket.Homogeneous(2, rocket.DAS5Node(rocket.TitanXMaxwell))
-	if err != nil {
-		log.Fatal(err)
-	}
-	m, err := rocket.Run(rocket.Config{
-		App:            app,
-		Cluster:        platform,
-		DistCache:      true,
-		CollectResults: true,
-		Seed:           1,
-	})
+	r := rocket.New(
+		rocket.WithHomogeneous(2, rocket.DAS5Node(rocket.TitanXMaxwell)),
+		rocket.WithDistCache(true),
+		rocket.WithCollectResults(true),
+		rocket.WithSeed(1),
+	)
+	m, err := r.Run(app)
 	if err != nil {
 		log.Fatal(err)
 	}

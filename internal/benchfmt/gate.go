@@ -33,6 +33,9 @@ type GateResult struct {
 	Rows     []GateRow
 	Failures []string
 	Warnings []string
+	// ShardNote summarizes the shard-scaling trajectory comparison (empty
+	// when the candidate has no trajectory).
+	ShardNote string
 }
 
 // Failed reports whether the gate should fail the build.
@@ -96,7 +99,50 @@ func Gate(baseline, candidate Report, opts GateOptions) GateResult {
 				"%s: present in baseline but missing from candidate run", b.ID))
 		}
 	}
+	gateShards(baseline, candidate, opts, &g)
 	return g
+}
+
+// gateShards checks the shard-scaling trajectory. Two properties:
+//
+//  1. Determinism (always fatal): every width in the candidate trajectory
+//     must report the same state hash — a divergence means the engine's
+//     shard invariance broke, the exact regression this PR's acceptance
+//     bar forbids. A trajectory present in the baseline must not vanish.
+//  2. Speedup (tracked): the widest-point events/sec relative to width 1
+//     is compared against the baseline's and reported, so scaling is
+//     recorded run over run instead of claimed once. Wall-clock speedup
+//     depends on the runner's GOMAXPROCS, so a drop is a warning (or a
+//     failure under PerfIsFatal), never silently ignored.
+func gateShards(baseline, candidate Report, opts GateOptions, g *GateResult) {
+	if len(candidate.ShardTrajectory) == 0 {
+		if len(baseline.ShardTrajectory) > 0 {
+			g.Failures = append(g.Failures,
+				"shard trajectory present in baseline but missing from candidate run")
+		}
+		return
+	}
+	base := candidate.ShardTrajectory[0]
+	for _, p := range candidate.ShardTrajectory[1:] {
+		if p.StateHash != base.StateHash {
+			g.Failures = append(g.Failures, fmt.Sprintf(
+				"shard trajectory: state hash at shards=%d (%.12s…) differs from shards=%d (%.12s…): engine lost shard invariance",
+				p.Shards, p.StateHash, base.Shards, base.StateHash))
+		}
+	}
+	cand := candidate.ShardSpeedup()
+	prev := baseline.ShardSpeedup()
+	g.ShardNote = fmt.Sprintf("shard speedup %.2fx at GOMAXPROCS=%d (baseline %.2fx at GOMAXPROCS=%d)",
+		cand, candidate.GoMaxProcs, prev, baseline.GoMaxProcs)
+	if prev > 0 && cand < prev*(1-opts.MaxRegress) {
+		msg := fmt.Sprintf("shard speedup regressed: %.2fx -> %.2fx (limit -%.0f%%)",
+			prev, cand, 100*opts.MaxRegress)
+		if opts.PerfIsFatal {
+			g.Failures = append(g.Failures, msg)
+		} else {
+			g.Warnings = append(g.Warnings, msg)
+		}
+	}
 }
 
 // Markdown renders the gate outcome as a GitHub job-summary table.
@@ -126,6 +172,9 @@ func (g GateResult) Markdown() string {
 		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
 			r.ID, ms(r.Baseline), ms(r.Candidate), ratio, r.Verdict)
 	}
+	if g.ShardNote != "" {
+		fmt.Fprintf(&b, "\n%s\n", g.ShardNote)
+	}
 	return b.String()
 }
 
@@ -145,6 +194,9 @@ func (g GateResult) Text() string {
 			ratio = fmt.Sprintf("%5.2fx", r.Ratio)
 		}
 		fmt.Fprintf(&b, "%-18s %12s -> %12s ms  %s  %s\n", r.ID, ms(r.Baseline), ms(r.Candidate), ratio, r.Verdict)
+	}
+	if g.ShardNote != "" {
+		fmt.Fprintf(&b, "%s\n", g.ShardNote)
 	}
 	for _, w := range g.Warnings {
 		fmt.Fprintf(&b, "WARN: %s\n", w)

@@ -109,3 +109,68 @@ func TestReadWriteRoundTrip(t *testing.T) {
 		t.Fatal("reading an absent file succeeded")
 	}
 }
+
+func trajectory(hashes []string, eps ...float64) []ShardPoint {
+	pts := make([]ShardPoint, len(eps))
+	widths := []int{1, 2, 4, 8}
+	for i := range eps {
+		pts[i] = ShardPoint{Shards: widths[i], EventsPerSec: eps[i], StateHash: hashes[i]}
+	}
+	return pts
+}
+
+func TestGateShardHashDivergenceFails(t *testing.T) {
+	base := report(exp("fig6", 100, "aa"))
+	cand := report(exp("fig6", 100, "aa"))
+	cand.ShardTrajectory = trajectory([]string{"h1", "h1", "BAD", "h1"}, 1e6, 2e6, 3e6, 4e6)
+	g := Gate(base, cand, GateOptions{MaxRegress: 0.25})
+	if !g.Failed() {
+		t.Fatal("state-hash divergence did not fail the gate")
+	}
+	if !strings.Contains(strings.Join(g.Failures, "\n"), "shard invariance") {
+		t.Fatalf("failures: %v", g.Failures)
+	}
+}
+
+func TestGateShardTrajectoryMustNotVanish(t *testing.T) {
+	base := report(exp("fig6", 100, "aa"))
+	base.ShardTrajectory = trajectory([]string{"h", "h", "h", "h"}, 1e6, 2e6, 3e6, 4e6)
+	cand := report(exp("fig6", 100, "aa"))
+	g := Gate(base, cand, GateOptions{MaxRegress: 0.25})
+	if !g.Failed() {
+		t.Fatal("vanished trajectory did not fail the gate")
+	}
+}
+
+func TestGateShardSpeedupTracked(t *testing.T) {
+	h := []string{"h", "h", "h", "h"}
+	base := report(exp("fig6", 100, "aa"))
+	base.ShardTrajectory = trajectory(h, 1e6, 2e6, 3e6, 4e6) // 4x speedup
+	cand := report(exp("fig6", 100, "aa"))
+	cand.ShardTrajectory = trajectory(h, 1e6, 1e6, 1e6, 1e6) // flat
+	g := Gate(base, cand, GateOptions{MaxRegress: 0.25})
+	if g.Failed() {
+		t.Fatalf("speedup drop must warn, not fail: %v", g.Failures)
+	}
+	if len(g.Warnings) != 1 || !strings.Contains(g.Warnings[0], "shard speedup regressed") {
+		t.Fatalf("warnings: %v", g.Warnings)
+	}
+	if g.ShardNote == "" || !strings.Contains(g.Text(), "shard speedup") {
+		t.Fatalf("trajectory not surfaced: note=%q", g.ShardNote)
+	}
+	g = Gate(base, cand, GateOptions{MaxRegress: 0.25, PerfIsFatal: true})
+	if !g.Failed() {
+		t.Fatal("PerfIsFatal did not promote the speedup regression")
+	}
+	// Matching trajectories pass clean.
+	g = Gate(base, base, GateOptions{MaxRegress: 0.25})
+	if g.Failed() || len(g.Warnings) != 0 {
+		t.Fatalf("identical trajectories gated: %+v", g)
+	}
+	if (Report{}).ShardSpeedup() != 0 {
+		t.Fatal("empty report has nonzero speedup")
+	}
+	if got := base.ShardSpeedup(); got != 4 {
+		t.Fatalf("ShardSpeedup = %v, want 4", got)
+	}
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rocket/internal/sim"
+)
+
+// ShardMap is a contiguous node→shard assignment: nodes [0, n) are split
+// into k blocks of near-equal size, node i belonging to shard i*k/n.
+// Contiguity keeps a node's neighbors (ring protocols, rack locality) on
+// the same shard where possible, and makes the mapping a pure function of
+// (n, k) — no layout state to persist or ship.
+type ShardMap struct {
+	nodes  int
+	shards int
+}
+
+// NewShardMap builds the mapping. shards is clamped to [1, nodes].
+func NewShardMap(nodes, shards int) ShardMap {
+	if nodes < 1 {
+		panic(fmt.Sprintf("cluster: ShardMap over %d nodes", nodes))
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > nodes {
+		shards = nodes
+	}
+	return ShardMap{nodes: nodes, shards: shards}
+}
+
+// Nodes returns the node count.
+func (m ShardMap) Nodes() int { return m.nodes }
+
+// NumShards returns the shard count.
+func (m ShardMap) NumShards() int { return m.shards }
+
+// ShardOf returns the shard owning node i.
+func (m ShardMap) ShardOf(i int) int {
+	return i * m.shards / m.nodes
+}
+
+// Range returns the half-open node interval [lo, hi) owned by shard s.
+func (m ShardMap) Range(s int) (lo, hi int) {
+	lo = (s*m.nodes + m.shards - 1) / m.shards
+	hi = ((s+1)*m.nodes + m.shards - 1) / m.shards
+	return lo, hi
+}
+
+// shardNetStats is one shard's private slice of the fabric counters,
+// padded to a cache line so neighboring shards don't false-share.
+type shardNetStats struct {
+	messages  uint64
+	bytesSent int64
+	dropped   uint64
+	_         [5]uint64
+}
+
+// ShardedNet is the cross-shard send path of a sharded fleet: the same
+// latency/bandwidth fabric model as Network, re-expressed on sim.Sender so
+// nodes on different shards exchange messages through the deterministic
+// merge path instead of a shared Mailbox.
+//
+// Model: a message from node a to node b first serializes on a's NIC —
+// modeled as a per-node departure clock, so back-to-back sends queue
+// behind each other exactly like Network's NIC resource — and is then
+// delivered Latency after departure by a closure running on b's shard.
+// Latency must be >= the ShardSet's lookahead (the conservative contract);
+// with the default fabric both are 5us, so this holds by construction.
+//
+// Liveness is split by ownership so no shard ever reads another shard's
+// health state: the sender checks only its own node at send time, and the
+// receiver's shard checks the destination at delivery time. Counters are
+// kept per shard and summed on demand; call the accessors only while the
+// simulation is stopped.
+type ShardedNet struct {
+	Latency   sim.Time
+	Bandwidth float64
+
+	m       ShardMap
+	senders []*sim.Sender // per node, owned by the node's shard
+	nicFree []sim.Time    // per node: earliest time the NIC is idle
+	stats   []shardNetStats
+
+	// aliveFn reports node liveness; it is called only from the queried
+	// node's owning shard (sender side for From, receiver side for To), so
+	// implementations may read shard-local state without synchronization.
+	aliveFn func(node int) bool
+}
+
+// NewShardedNet wires a fabric over the shard set. Every node gets a
+// sim.Sender on its owning shard keyed by its node ID, which is what makes
+// the merge order — and therefore the simulation — independent of the
+// shard count.
+func NewShardedNet(ss *sim.ShardSet, m ShardMap, latency sim.Time, bandwidth float64) *ShardedNet {
+	if bandwidth <= 0 {
+		panic("cluster: network bandwidth must be positive")
+	}
+	if latency < ss.Lookahead() {
+		panic(fmt.Sprintf("cluster: net latency %v below shard lookahead %v", latency, ss.Lookahead()))
+	}
+	sn := &ShardedNet{
+		Latency:   latency,
+		Bandwidth: bandwidth,
+		m:         m,
+		senders:   make([]*sim.Sender, m.Nodes()),
+		nicFree:   make([]sim.Time, m.Nodes()),
+		stats:     make([]shardNetStats, ss.NumShards()),
+	}
+	for i := range sn.senders {
+		sn.senders[i] = ss.Shard(m.ShardOf(i)).NewSender(uint32(i))
+	}
+	return sn
+}
+
+// Map returns the node→shard assignment the fabric was built over.
+func (sn *ShardedNet) Map() ShardMap { return sn.m }
+
+// SetAliveFunc installs the liveness hook. It is consulted for the sender
+// at send time and for the receiver at delivery time, each on the node's
+// owning shard. Passing nil restores the always-alive default.
+func (sn *ShardedNet) SetAliveFunc(fn func(node int) bool) { sn.aliveFn = fn }
+
+// TransferTime returns the serialization time for size bytes on one NIC.
+func (sn *ShardedNet) TransferTime(size int64) sim.Time {
+	return sim.Seconds(float64(size) / sn.Bandwidth)
+}
+
+// Send transmits size bytes from node from to node to and runs fn on to's
+// shard at the delivery time. It must be called from from's owning shard
+// (its Env is the one executing the caller). Serialization queues on
+// from's departure clock; delivery happens Latency after departure. fn
+// must touch only state owned by to's shard.
+//
+// Drop semantics mirror Network: a send from a dead node is refused and
+// counted on the sender's shard; a message to a node that is dead at
+// delivery time was transmitted, so it counts as a message and as a drop
+// (on the receiver's shard). fn does not run for dropped messages.
+func (sn *ShardedNet) Send(e *sim.Env, from, to int, size int64, fn func(*sim.Env)) {
+	fromShard := sn.m.ShardOf(from)
+	st := &sn.stats[fromShard]
+	if sn.aliveFn != nil && !sn.aliveFn(from) {
+		st.dropped++
+		return
+	}
+	now := e.Now()
+	depart := now
+	if sn.nicFree[from] > depart {
+		depart = sn.nicFree[from]
+	}
+	depart += sn.TransferTime(size)
+	sn.nicFree[from] = depart
+	st.messages++
+	st.bytesSent += size
+	toShard := sn.m.ShardOf(to)
+	toNode := to
+	sn.senders[from].Send(toShard, depart+sn.Latency-now, func(de *sim.Env) {
+		if sn.aliveFn != nil && !sn.aliveFn(toNode) {
+			sn.stats[toShard].dropped++
+			return
+		}
+		fn(de)
+	})
+}
+
+// Messages returns the number of fabric messages admitted for transmission,
+// summed over shards. Stopped-simulation accessor.
+func (sn *ShardedNet) Messages() uint64 {
+	var n uint64
+	for i := range sn.stats {
+		n += sn.stats[i].messages
+	}
+	return n
+}
+
+// BytesSent returns cumulative payload bytes, summed over shards.
+// Stopped-simulation accessor.
+func (sn *ShardedNet) BytesSent() int64 {
+	var n int64
+	for i := range sn.stats {
+		n += sn.stats[i].bytesSent
+	}
+	return n
+}
+
+// Dropped returns messages refused at send time plus messages lost at
+// delivery time, summed over shards. Stopped-simulation accessor.
+func (sn *ShardedNet) Dropped() uint64 {
+	var n uint64
+	for i := range sn.stats {
+		n += sn.stats[i].dropped
+	}
+	return n
+}

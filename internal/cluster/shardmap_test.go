@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+
+	"rocket/internal/sim"
+)
+
+func TestShardMapContiguousAndComplete(t *testing.T) {
+	for _, tc := range []struct{ nodes, shards int }{
+		{10, 1}, {10, 3}, {10, 4}, {10, 10}, {1024, 8}, {7, 16},
+	} {
+		m := NewShardMap(tc.nodes, tc.shards)
+		prev := -1
+		covered := 0
+		for s := 0; s < m.NumShards(); s++ {
+			lo, hi := m.Range(s)
+			if lo != prev+1 && lo != hi {
+				// empty ranges allowed only when shards were clamped
+			}
+			for i := lo; i < hi; i++ {
+				if m.ShardOf(i) != s {
+					t.Fatalf("nodes=%d shards=%d: ShardOf(%d) = %d, Range says %d",
+						tc.nodes, tc.shards, i, m.ShardOf(i), s)
+				}
+				covered++
+			}
+			if hi > lo {
+				prev = hi - 1
+			}
+		}
+		if covered != tc.nodes {
+			t.Fatalf("nodes=%d shards=%d: ranges cover %d nodes", tc.nodes, tc.shards, covered)
+		}
+		// Contiguity: ShardOf is monotone.
+		for i := 1; i < tc.nodes; i++ {
+			if m.ShardOf(i) < m.ShardOf(i-1) {
+				t.Fatalf("nodes=%d shards=%d: ShardOf not monotone at %d", tc.nodes, tc.shards, i)
+			}
+		}
+	}
+	if NewShardMap(4, 9).NumShards() != 4 {
+		t.Fatal("shards not clamped to node count")
+	}
+	if NewShardMap(4, 0).NumShards() != 1 {
+		t.Fatal("shards not clamped to 1")
+	}
+}
+
+func TestShardedNetDeliveryTiming(t *testing.T) {
+	env := sim.NewEnv(sim.WithShards(2), sim.WithLookahead(sim.Micros(5)))
+	ss := env.Sharded()
+	m := NewShardMap(4, 2)
+	sn := NewShardedNet(ss, m, sim.Micros(5), 1e9)
+	var at sim.Time
+	// 1000 bytes at 1 GB/s = 1us serialization + 5us latency.
+	env.Defer(func() {
+		sn.Send(env, 0, 3, 1000, func(de *sim.Env) { at = de.Now() })
+	})
+	env.Run()
+	if want := sim.Micros(6); at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+	if sn.Messages() != 1 || sn.BytesSent() != 1000 || sn.Dropped() != 0 {
+		t.Fatalf("counters: msgs=%d bytes=%d dropped=%d", sn.Messages(), sn.BytesSent(), sn.Dropped())
+	}
+	env.Close()
+}
+
+func TestShardedNetNICSerialization(t *testing.T) {
+	env := sim.NewEnv(sim.WithShards(2), sim.WithLookahead(sim.Micros(5)))
+	ss := env.Sharded()
+	m := NewShardMap(2, 2)
+	sn := NewShardedNet(ss, m, sim.Micros(5), 1e9)
+	var ats []sim.Time
+	env.Defer(func() {
+		// Two back-to-back sends queue on node 0's NIC: departures at 1us
+		// and 2us, deliveries at 6us and 7us.
+		sn.Send(env, 0, 1, 1000, func(de *sim.Env) { ats = append(ats, de.Now()) })
+		sn.Send(env, 0, 1, 1000, func(de *sim.Env) { ats = append(ats, de.Now()) })
+	})
+	env.Run()
+	if len(ats) != 2 || ats[0] != sim.Micros(6) || ats[1] != sim.Micros(7) {
+		t.Fatalf("deliveries at %v, want [6us 7us]", ats)
+	}
+	env.Close()
+}
+
+func TestShardedNetLiveness(t *testing.T) {
+	env := sim.NewEnv(sim.WithShards(2), sim.WithLookahead(sim.Micros(5)))
+	ss := env.Sharded()
+	m := NewShardMap(2, 2)
+	sn := NewShardedNet(ss, m, sim.Micros(5), 1e9)
+	dead := map[int]bool{}
+	sn.SetAliveFunc(func(n int) bool { return !dead[n] })
+	ran := 0
+	env.Defer(func() {
+		dead[0] = true
+		sn.Send(env, 0, 1, 100, func(*sim.Env) { ran++ }) // refused at send
+		dead[0] = false
+		sn.Send(env, 0, 1, 100, func(*sim.Env) { ran++ }) // transmitted...
+		dead[1] = true                                    // ...but receiver dies before delivery
+	})
+	env.Run()
+	if ran != 0 {
+		t.Fatalf("%d dropped messages ran their delivery fn", ran)
+	}
+	if sn.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", sn.Dropped())
+	}
+	if sn.Messages() != 1 {
+		t.Fatalf("Messages = %d, want 1 (send-time refusal not transmitted)", sn.Messages())
+	}
+	env.Close()
+}
+
+func TestShardedNetLatencyBelowLookaheadPanics(t *testing.T) {
+	env := sim.NewEnv(sim.WithShards(2), sim.WithLookahead(sim.Micros(10)))
+	defer env.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("latency below lookahead accepted")
+		}
+	}()
+	NewShardedNet(env.Sharded(), NewShardMap(2, 2), sim.Micros(5), 1e9)
+}

@@ -107,17 +107,26 @@ func AblationStealPolicy(o Options) (string, error) {
 func AblationHops(o Options) (string, error) {
 	o = o.normalized()
 	s := ForensicsSetup(o)
-	t := report.NewTable("Ablation: distributed-cache hops (forensics, 16 nodes)",
-		"h", "runtime", "R", "hit rate", "net GB")
-	for _, h := range []int{1, 2, 3} {
-		h := h
+	hops := []int{1, 2, 3}
+	metrics := make([]*core.Metrics, len(hops))
+	err := o.forEach(len(hops), func(i int) error {
 		m, err := s.runDAS5(16, func(cfg *core.Config) {
 			cfg.DistCache = true
-			cfg.Hops = h
+			cfg.Hops = hops[i]
 		})
 		if err != nil {
-			return "", fmt.Errorf("h=%d: %w", h, err)
+			return fmt.Errorf("h=%d: %w", hops[i], err)
 		}
+		metrics[i] = m
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	t := report.NewTable("Ablation: distributed-cache hops (forensics, 16 nodes)",
+		"h", "runtime", "R", "hit rate", "net GB")
+	for i, m := range metrics {
+		h := hops[i]
 		var hits uint64
 		for _, v := range m.DHT.HitAtHop {
 			hits += v

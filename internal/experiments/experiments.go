@@ -37,11 +37,22 @@ type Options struct {
 	Scale int
 	// Seed drives all randomness.
 	Seed uint64
+	// Shards is the concurrency width experiments exploit: sweep
+	// experiments run their independent points (each its own simulation
+	// Env) on a pool of Shards workers, and the fleet-based shardscale
+	// experiment sizes nothing by it — its internal width sweep is fixed.
+	// Shards cannot affect any reported number; outputs are assembled in
+	// point order, so every experiment's rendering is byte-identical at
+	// every width. 0 or 1 runs sequentially.
+	Shards int
 }
 
 func (o Options) normalized() Options {
 	if o.Scale <= 0 {
 		o.Scale = 10
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
 	}
 	return o
 }

@@ -18,21 +18,32 @@ func Fig15(o Options) (string, error) {
 	o = o.normalized()
 	s := CartesiusPhyloSetup(o)
 	nodeCounts := []int{1, 8, 16, 32, 48}
-	t := report.NewTable(
-		fmt.Sprintf("Fig 15: Cartesius scaling, %s (n=%d, 2 K40m GPUs/node)", s.Name, s.App.NumItems()),
-		"nodes", "GPUs", "runtime", "speedup", "R", "efficiency")
-	var base sim.Time
-	for _, nodes := range nodeCounts {
-		cl, err := cartesius(nodes)
+	metrics := make([]*core.Metrics, len(nodeCounts))
+	speeds := make([]float64, len(nodeCounts))
+	err := o.forEach(len(nodeCounts), func(i int) error {
+		cl, err := cartesius(nodeCounts[i])
 		if err != nil {
-			return "", err
+			return err
 		}
 		m, err := s.run(cl, func(cfg *core.Config) {
 			cfg.DistCache = true
 		})
 		if err != nil {
-			return "", fmt.Errorf("nodes=%d: %w", nodes, err)
+			return fmt.Errorf("nodes=%d: %w", nodeCounts[i], err)
 		}
+		metrics[i] = m
+		speeds[i] = cl.TotalSpeed()
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Fig 15: Cartesius scaling, %s (n=%d, 2 K40m GPUs/node)", s.Name, s.App.NumItems()),
+		"nodes", "GPUs", "runtime", "speedup", "R", "efficiency")
+	var base sim.Time
+	for i, m := range metrics {
+		nodes := nodeCounts[i]
 		if nodes == nodeCounts[0] {
 			base = m.Runtime
 		}
@@ -42,7 +53,7 @@ func Fig15(o Options) (string, error) {
 			m.Runtime.String(),
 			fmt.Sprintf("%.2fx", float64(base)/float64(m.Runtime)),
 			m.R,
-			fmt.Sprintf("%.1f%%", 100*s.Efficiency(m, cl.TotalSpeed())),
+			fmt.Sprintf("%.1f%%", 100*s.Efficiency(m, speeds[i])),
 		)
 	}
 	return t.String(), nil

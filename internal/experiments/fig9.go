@@ -19,11 +19,10 @@ func Fig9(o Options) (string, error) {
 	o = o.normalized()
 	var b strings.Builder
 	for _, s := range AllSetups(o) {
-		t := report.NewTable(
-			fmt.Sprintf("Fig 9 (%s): efficiency and R vs cache size", s.Name),
-			"slots(dev+host)", "regime", "efficiency", "R", "loads")
-		for _, point := range fig9Points(s) {
-			devSlots, hostSlots := point[0], point[1]
+		points := fig9Points(s)
+		metrics := make([]*core.Metrics, len(points))
+		err := o.forEach(len(points), func(i int) error {
+			devSlots, hostSlots := points[i][0], points[i][1]
 			m, err := s.runDAS5(1, func(cfg *core.Config) {
 				cfg.DeviceSlots = devSlots
 				if hostSlots == 0 {
@@ -33,8 +32,19 @@ func Fig9(o Options) (string, error) {
 				}
 			})
 			if err != nil {
-				return "", fmt.Errorf("%s slots=%v: %w", s.Name, point, err)
+				return fmt.Errorf("%s slots=%v: %w", s.Name, points[i], err)
 			}
+			metrics[i] = m
+			return nil
+		})
+		if err != nil {
+			return "", err
+		}
+		t := report.NewTable(
+			fmt.Sprintf("Fig 9 (%s): efficiency and R vs cache size", s.Name),
+			"slots(dev+host)", "regime", "efficiency", "R", "loads")
+		for i, m := range metrics {
+			devSlots, hostSlots := points[i][0], points[i][1]
 			regime := "device-limit"
 			if hostSlots > 0 {
 				regime = "host-limit"

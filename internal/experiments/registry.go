@@ -42,6 +42,7 @@ func All() []Experiment {
 		{"queue-scaling", "—", "rocketd scheduler: job count x policy sweep", QueueScaling},
 		{"resilience", "—", "fault sweep: completion-time inflation vs failure-free", Resilience},
 		{"incremental", "—", "pairstore warm start: append-ratio sweep vs full recompute", Incremental},
+		{"shardscale", "—", "sharded engine: fleet workload at widths 1-8, invariance-checked", ShardScale},
 	}
 }
 

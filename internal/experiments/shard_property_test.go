@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// TestExperimentsShardInvariance is the PR 6 acceptance property: every
+// committed experiment renders a byte-identical report (asserted via
+// output sha256, the same digest benchgate gates on) at Options.Shards in
+// {1, 2, 4, 8}. Shards only widens the worker pool sweep experiments use
+// for their independent points — outputs are assembled in point order —
+// and the fleet-backed shardscale experiment additionally runs the engine
+// itself at widths 1-8 internally, so this test covers both run-level and
+// event-level parallelism.
+func TestExperimentsShardInvariance(t *testing.T) {
+	widths := []int{1, 2, 4, 8}
+	if testing.Short() {
+		widths = []int{1, 4}
+	}
+	for _, e := range All() {
+		var base string
+		for _, w := range widths {
+			out, err := e.Run(Options{Scale: 100, Seed: 1, Shards: w})
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", e.ID, w, err)
+			}
+			sum := sha256.Sum256([]byte(out))
+			sha := hex.EncodeToString(sum[:])
+			if w == widths[0] {
+				base = sha
+				continue
+			}
+			if sha != base {
+				t.Errorf("%s: output sha at shards=%d (%s) differs from shards=%d (%s)",
+					e.ID, w, sha[:12], widths[0], base[:12])
+			}
+		}
+	}
+}

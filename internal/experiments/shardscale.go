@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rocket/internal/fault"
+	"rocket/internal/fleet"
+	"rocket/internal/report"
+	"rocket/internal/sim"
+)
+
+// shardWidths is the fixed internal sweep of the shardscale experiment.
+// It is deliberately NOT derived from Options.Shards: the experiment's
+// output must be byte-identical at every Options.Shards width, so the
+// widths it measures are part of the experiment definition, like a node
+// count in a scaling figure.
+var shardWidths = []int{1, 2, 4, 8}
+
+// ShardScale exercises the sharded event engine on the fleet workload: a
+// heartbeat/gossip/work-stealing fleet is simulated at engine widths 1, 2,
+// 4 and 8, with node crashes and restarts injected mid-run. Every width
+// must reproduce the exact same simulation — the rendered table repeats
+// the per-width state hash, and the experiment fails outright if any
+// width diverges, making a determinism regression a hard error rather
+// than a silent golden drift. Wall-clock throughput is intentionally
+// absent here (it would break output determinism); rocketbench measures
+// events/sec separately and records it in the bench report's shard
+// trajectory.
+func ShardScale(o Options) (string, error) {
+	o = o.normalized()
+	cfg := shardScaleConfig(o)
+	results := make([]fleet.Result, len(shardWidths))
+	// The widths run sequentially on purpose: each run already uses up to
+	// `width` OS threads, and nesting them inside a forEach pool would
+	// oversubscribe without changing any output.
+	for i, k := range shardWidths {
+		c := cfg
+		c.Shards = k
+		r, err := fleet.Run(c)
+		if err != nil {
+			return "", fmt.Errorf("shards=%d: %w", k, err)
+		}
+		results[i] = r
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Shard scaling: fleet of %d nodes, %v, faults on", cfg.Nodes, cfg.Duration),
+		"shards", "windows", "events", "msgs", "dropped", "heartbeats", "rumors", "work", "state hash")
+	for i, r := range results {
+		t.AddRow(
+			shardWidths[i],
+			r.Windows,
+			r.Events,
+			r.Messages,
+			r.Dropped,
+			r.Heartbeats,
+			r.Rumors,
+			r.WorkDone,
+			fmt.Sprintf("%016x", r.StateHash),
+		)
+		if results[i].String() != results[0].String() {
+			return "", fmt.Errorf("shardscale: width %d diverged from width 1:\n  %s\n  %s",
+				shardWidths[i], results[i], results[0])
+		}
+	}
+	out := t.String()
+	out += fmt.Sprintf("\ninvariance: all %d widths byte-identical (%s)\n",
+		len(shardWidths), results[0])
+	return out, nil
+}
+
+// shardScaleConfig sizes the fleet off Options.Scale the same way the
+// paper workloads scale their data sets: 10240 nodes at paper scale 1,
+// divided by Scale, floored at 64 so every width in the sweep still has
+// multiple nodes per shard.
+func shardScaleConfig(o Options) fleet.Config {
+	nodes := 10240 / o.Scale
+	if nodes < 64 {
+		nodes = 64
+	}
+	cfg := fleet.DefaultConfig(nodes)
+	cfg.Seed = o.Seed
+	cfg.Duration = sim.Millis(20)
+	cfg.Faults = shardScaleFaults(nodes)
+	return cfg
+}
+
+// shardScaleFaults crashes ~2% of the fleet mid-run and restarts half of
+// the victims, spread across the node range so every shard in the sweep
+// owns at least one fault at width 8.
+func shardScaleFaults(nodes int) *fault.Schedule {
+	s := &fault.Schedule{}
+	victims := nodes / 50
+	if victims < 4 {
+		victims = 4
+	}
+	for v := 0; v < victims; v++ {
+		node := (v*nodes)/victims + nodes/(2*victims)
+		at := sim.Millis(4) + sim.Micros(float64(137*v%1000))
+		s.Crash(node, at)
+		if v%2 == 0 {
+			s.Restart(node, at+sim.Millis(8))
+		}
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"fmt"
+
+	"rocket/internal/sim"
+)
+
+// Split partitions a schedule for a sharded simulation: each event is
+// routed to the shard that owns the state it mutates, per shardOf. Node
+// events (crash, restart, GPU slowdown) go to the target node's shard.
+// Link events are duplicated to BOTH endpoints' shards — each side of a
+// symmetric link is observed independently (the sender consults its local
+// view at send time, the receiver at delivery time), so both owners must
+// see the transition; when the endpoints share a shard the event is
+// routed once.
+//
+// The per-shard schedules preserve the original event order, so ties at
+// one timestamp fire in schedule order exactly as they would have on a
+// single injector.
+func Split(s *Schedule, shards int, shardOf func(node int) int) []*Schedule {
+	out := make([]*Schedule, shards)
+	for i := range out {
+		out[i] = &Schedule{}
+	}
+	if s == nil {
+		return out
+	}
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case NodeCrash, NodeRestart, GPUSlowdown:
+			sh := shardOf(ev.Node)
+			out[sh].Events = append(out[sh].Events, ev)
+		case LinkDown, LinkUp, LinkDegrade:
+			sa, sb := shardOf(ev.A), shardOf(ev.B)
+			out[sa].Events = append(out[sa].Events, ev)
+			if sb != sa {
+				out[sb].Events = append(out[sb].Events, ev)
+			}
+		}
+	}
+	return out
+}
+
+// ShardedInjector arms a schedule across a sim.ShardSet: one Injector per
+// shard, fed only the events Split routed to it, armed on that shard's
+// Env so each fault fires on the thread that owns the affected state.
+// Health queries must respect ownership — ask shard s's injector only
+// about nodes that live on shard s (For panics otherwise when mapped).
+type ShardedInjector struct {
+	injectors []*Injector
+	shardOf   func(node int) int
+}
+
+// NewShardedInjector validates the full schedule once against the platform
+// shape, splits it, and arms each part on its shard's Env. hooks are
+// shared: a shard's injector invokes them on its own thread for its own
+// nodes, which is safe exactly when the hooks touch only that node's
+// (shard-owned) state — the same ownership contract as every other
+// cross-shard interaction.
+func NewShardedInjector(ss *sim.ShardSet, gpus []int, s *Schedule, shardOf func(node int) int, hooks Hooks) (*ShardedInjector, error) {
+	if err := s.Validate(gpus); err != nil {
+		return nil, err
+	}
+	parts := Split(s, ss.NumShards(), shardOf)
+	si := &ShardedInjector{
+		injectors: make([]*Injector, ss.NumShards()),
+		shardOf:   shardOf,
+	}
+	for i, part := range parts {
+		inj, err := NewInjector(ss.Shard(i).Env(), gpus, part, hooks)
+		if err != nil {
+			return nil, err
+		}
+		si.injectors[i] = inj
+	}
+	return si, nil
+}
+
+// For returns the injector owning node's health state. Call its queries
+// only from that node's shard.
+func (si *ShardedInjector) For(node int) *Injector {
+	sh := si.shardOf(node)
+	if sh < 0 || sh >= len(si.injectors) {
+		panic(fmt.Sprintf("fault: node %d maps to shard %d of %d", node, sh, len(si.injectors)))
+	}
+	return si.injectors[sh]
+}
+
+// Shard returns shard i's injector directly.
+func (si *ShardedInjector) Shard(i int) *Injector { return si.injectors[i] }
+
+// Alive reports node liveness from the owning shard's injector. It is the
+// natural ShardedNet alive hook: the fabric only queries senders on their
+// own shard and receivers on theirs, matching the ownership contract.
+func (si *ShardedInjector) Alive(node int) bool { return si.For(node).Alive(node) }

@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"testing"
+
+	"rocket/internal/sim"
+)
+
+func TestSplitRoutesToOwningShard(t *testing.T) {
+	s := new(Schedule).
+		Crash(0, sim.Millis(1)).
+		Crash(5, sim.Millis(2)).
+		Restart(0, sim.Millis(3)).
+		SlowGPU(6, 0, sim.Millis(1), 2).
+		CutLink(1, 6, sim.Millis(1)).    // crosses the shard boundary
+		RestoreLink(1, 2, sim.Millis(2)) // both endpoints on shard 0
+	shardOf := func(n int) int { return n / 4 } // nodes 0-3 → shard 0, 4-7 → shard 1
+	parts := Split(s, 2, shardOf)
+	if got := len(parts[0].Events); got != 4 {
+		t.Fatalf("shard 0 got %d events, want 4", got)
+	}
+	if got := len(parts[1].Events); got != 3 {
+		t.Fatalf("shard 1 got %d events, want 3", got)
+	}
+	// The cross-boundary link event must appear on both shards.
+	count := 0
+	for _, p := range parts {
+		for _, ev := range p.Events {
+			if ev.Kind == LinkDown && ev.A == 1 && ev.B == 6 {
+				count++
+			}
+		}
+	}
+	if count != 2 {
+		t.Fatalf("cross-shard link event appears %d times, want 2", count)
+	}
+	// The same-shard link event must appear exactly once.
+	count = 0
+	for _, p := range parts {
+		for _, ev := range p.Events {
+			if ev.Kind == LinkUp {
+				count++
+			}
+		}
+	}
+	if count != 1 {
+		t.Fatalf("same-shard link event appears %d times, want 1", count)
+	}
+	// Nil schedules split into empty parts.
+	for _, p := range Split(nil, 3, shardOf) {
+		if !p.Empty() {
+			t.Fatal("nil schedule split non-empty")
+		}
+	}
+}
+
+func TestShardedInjectorFiresOnOwningShard(t *testing.T) {
+	env := sim.NewEnv(sim.WithShards(2))
+	ss := env.Sharded()
+	gpus := []int{1, 1, 1, 1}
+	shardOf := func(n int) int { return n / 2 }
+	s := new(Schedule).
+		Crash(0, sim.Millis(1)).
+		Crash(3, sim.Millis(1)).
+		Restart(3, sim.Millis(2))
+	var crashed []int
+	si, err := NewShardedInjector(ss, gpus, s, shardOf, Hooks{
+		OnCrash: func(n int) { crashed = append(crashed, n) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(sim.Millis(1))
+	if len(crashed) != 2 {
+		t.Fatalf("crashed = %v, want both nodes", crashed)
+	}
+	if si.Alive(0) || si.Alive(3) {
+		t.Fatal("crashed nodes still alive")
+	}
+	if !si.For(1).Alive(1) {
+		t.Fatal("healthy node reported dead")
+	}
+	// Shard 0's injector never saw node 3's events: its (stale) view of
+	// node 3 is untouched — the ownership contract means nobody asks it.
+	if !si.Shard(0).Alive(3) {
+		t.Fatal("node 3's crash leaked onto shard 0's injector")
+	}
+	env.RunUntil(sim.Millis(2))
+	if !si.Alive(3) {
+		t.Fatal("node 3 did not restart")
+	}
+	env.Close()
+}
+
+func TestShardedInjectorValidates(t *testing.T) {
+	env := sim.NewEnv(sim.WithShards(2))
+	defer env.Close()
+	s := new(Schedule).Crash(99, sim.Millis(1))
+	if _, err := NewShardedInjector(env.Sharded(), []int{1, 1}, s, func(int) int { return 0 }, Hooks{}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkShardScaling reports events/sec for the same 1024-node fleet at
+// widths 1, 2, 4, 8. The simulated workload is identical at every width
+// (the Result hash is asserted equal), so the events/sec ratio is pure
+// engine speedup.
+func BenchmarkShardScaling(b *testing.B) {
+	var base Result
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				r, err := Run(ScalingConfig(shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = r.Events
+				if shards == 1 {
+					base = r
+				} else if base.StateHash != 0 && r.StateHash != base.StateHash {
+					b.Fatalf("shards=%d hash diverged from shards=1", shards)
+				}
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}

@@ -1,0 +1,338 @@
+// Package fleet is a message-driven fleet workload for the sharded event
+// engine: N nodes exchanging heartbeats, gossip rumors, and work items
+// over the cluster fabric, partitioned across shards by a contiguous
+// cluster.ShardMap. It exists to exercise event-level parallelism — the
+// all-pairs runtime in internal/core is dominated by globally coupled
+// state (shared storage, run-wide counters) and stays on the sequential
+// loop, whereas fleet protocols are node-local by construction, which is
+// exactly the shape conservative PDES parallelizes.
+//
+// Every quantity a run reports is a pure function of (Config, Seed): node
+// behavior draws from per-node generators forked from (Seed, nodeID), all
+// cross-node interaction goes through the deterministic merge path, and
+// the result digest folds per-node state in node order. Consequently the
+// Result — including its StateHash — is bit-identical at every shard
+// count, which the shardscale experiment and the engine property tests
+// assert.
+package fleet
+
+import (
+	"fmt"
+
+	"rocket/internal/cluster"
+	"rocket/internal/fault"
+	"rocket/internal/sim"
+)
+
+// Config parameterizes a fleet run.
+type Config struct {
+	// Nodes is the fleet size.
+	Nodes int
+	// Shards is the engine width; 1 runs the identical protocol on a
+	// degenerate shard set.
+	Shards int
+	// Seed forks every node's generator.
+	Seed uint64
+	// Duration is the virtual time simulated.
+	Duration sim.Time
+	// HeartbeatPeriod is the mean heartbeat interval; each node jitters
+	// every interval by ±50% from its own generator.
+	HeartbeatPeriod sim.Time
+	// GossipTTL is how many hops a rumor spawned by a heartbeat travels
+	// (0 disables gossip).
+	GossipTTL int
+	// WorkItems is the initial work queue length per node; nodes that run
+	// dry steal half a random peer's queue.
+	WorkItems int
+	// NetLatency is the fabric's one-way propagation latency — also the
+	// engine's conservative lookahead, so it must be positive.
+	NetLatency sim.Time
+	// NetBandwidth is per-NIC bandwidth in bytes/second.
+	NetBandwidth float64
+	// Faults is an optional fault schedule (node crashes/restarts), routed
+	// to owning shards via fault.Split.
+	Faults *fault.Schedule
+}
+
+// DefaultConfig returns a chatty fleet over the default DAS-5-style
+// fabric: the heartbeat period is deliberately aggressive so windows stay
+// dense and the workload stresses the engine rather than idling.
+func DefaultConfig(nodes int) Config {
+	fabric := cluster.DefaultConfig()
+	return Config{
+		Nodes:           nodes,
+		Shards:          1,
+		Seed:            1,
+		Duration:        sim.Millis(50),
+		HeartbeatPeriod: sim.Micros(100),
+		GossipTTL:       3,
+		WorkItems:       32,
+		NetLatency:      fabric.NetLatency,
+		NetBandwidth:    fabric.NetBandwidth,
+	}
+}
+
+// ScalingConfig is the fixed 1024-node fleet that BenchmarkShardScaling
+// and rocketbench's shard-trajectory measurement both run: sharing the
+// definition keeps the committed BENCH trajectory comparable with ad-hoc
+// `go test -bench` runs.
+func ScalingConfig(shards int) Config {
+	cfg := DefaultConfig(1024)
+	cfg.Shards = shards
+	cfg.Duration = sim.Millis(10)
+	return cfg
+}
+
+// Result is a fleet run's deterministic summary. It contains no wall-clock
+// quantity: hashing or printing a Result is safe inside experiment goldens.
+type Result struct {
+	Nodes       int
+	Shards      int
+	Events      uint64
+	Windows     uint64
+	Messages    uint64
+	BytesSent   int64
+	Dropped     uint64
+	Heartbeats  uint64
+	Rumors      uint64
+	WorkDone    uint64
+	StateHash   uint64
+	VirtualTime sim.Time
+}
+
+// String renders the canonical one-line summary used by experiments. The
+// shard count is deliberately excluded: the line is identical at every
+// width, so goldens double as shard-invariance witnesses.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"fleet nodes=%d events=%d msgs=%d bytes=%d dropped=%d heartbeats=%d rumors=%d work=%d hash=%016x vt=%v",
+		r.Nodes, r.Events, r.Messages, r.BytesSent, r.Dropped,
+		r.Heartbeats, r.Rumors, r.WorkDone, r.StateHash, r.VirtualTime)
+}
+
+// rng is a splitmix64 stream; one per node, forked from (Seed, nodeID).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// jitter returns a duration in [d/2, 3d/2).
+func (r *rng) jitter(d sim.Time) sim.Time {
+	return d/2 + sim.Time(r.next()%uint64(d))
+}
+
+const fnvPrime = 1099511628211
+
+// node is one fleet member. All fields are owned by the node's shard and
+// only ever touched from it.
+type node struct {
+	id    int
+	rng   rng
+	hash  uint64
+	queue int // outstanding work items (fungible, so a count suffices)
+	busy  bool
+
+	heartbeats uint64
+	rumors     uint64
+	workDone   uint64
+}
+
+func (n *node) fold(tag uint64, t sim.Time, v uint64) {
+	n.hash = (n.hash*fnvPrime ^ tag ^ uint64(t)) + v
+}
+
+// msg payload sizes, modeled on small control-plane datagrams.
+const (
+	heartbeatBytes   = 128
+	rumorBytes       = 256
+	workRequestBytes = 64
+	workGrantBytes   = 1024
+)
+
+type fleetSim struct {
+	cfg   Config
+	env   *sim.Env
+	ss    *sim.ShardSet
+	net   *cluster.ShardedNet
+	inj   *fault.ShardedInjector
+	nodes []*node
+}
+
+// Run executes the workload and returns its deterministic summary.
+func Run(cfg Config) (Result, error) {
+	if cfg.Nodes < 2 {
+		return Result{}, fmt.Errorf("fleet: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.NetLatency <= 0 {
+		return Result{}, fmt.Errorf("fleet: NetLatency must be positive (it is the lookahead)")
+	}
+	if cfg.HeartbeatPeriod <= 0 {
+		return Result{}, fmt.Errorf("fleet: HeartbeatPeriod must be positive")
+	}
+
+	env := sim.NewEnv(sim.WithShards(cfg.Shards), sim.WithSeed(cfg.Seed), sim.WithLookahead(cfg.NetLatency))
+	ss := env.Sharded()
+	m := cluster.NewShardMap(cfg.Nodes, ss.NumShards())
+	fs := &fleetSim{
+		cfg:   cfg,
+		env:   env,
+		ss:    ss,
+		net:   cluster.NewShardedNet(ss, m, cfg.NetLatency, cfg.NetBandwidth),
+		nodes: make([]*node, cfg.Nodes),
+	}
+	for i := range fs.nodes {
+		fs.nodes[i] = &node{
+			id:    i,
+			rng:   rng{s: cfg.Seed*fnvPrime + uint64(i)},
+			queue: cfg.WorkItems,
+		}
+	}
+	if !cfg.Faults.Empty() {
+		gpus := make([]int, cfg.Nodes)
+		for i := range gpus {
+			gpus[i] = 1 // fleet nodes have no devices; shape for validation only
+		}
+		inj, err := fault.NewShardedInjector(ss, gpus, cfg.Faults, m.ShardOf, fault.Hooks{
+			OnCrash: func(id int) { fs.nodes[id].queue = 0 }, // volatile queue lost
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		fs.inj = inj
+		fs.net.SetAliveFunc(inj.Alive)
+	}
+
+	// Boot: every node arms its heartbeat loop and work pump on its own
+	// shard's Env.
+	for i, n := range fs.nodes {
+		n := n
+		e := ss.Shard(m.ShardOf(i)).Env()
+		e.At(n.rng.jitter(cfg.HeartbeatPeriod), func() { fs.heartbeat(e, n) })
+		e.Defer(func() { fs.pump(e, n) })
+	}
+
+	env.RunUntil(cfg.Duration)
+
+	res := Result{
+		Nodes:       cfg.Nodes,
+		Shards:      ss.NumShards(),
+		Windows:     ss.Windows(),
+		Messages:    fs.net.Messages(),
+		BytesSent:   fs.net.BytesSent(),
+		Dropped:     fs.net.Dropped(),
+		VirtualTime: env.Now(),
+	}
+	for i := 0; i < ss.NumShards(); i++ {
+		res.Events += ss.Shard(i).Env().EventsProcessed()
+	}
+	for _, n := range fs.nodes {
+		res.Heartbeats += n.heartbeats
+		res.Rumors += n.rumors
+		res.WorkDone += n.workDone
+		res.StateHash = res.StateHash*fnvPrime + n.hash + uint64(n.id)
+	}
+	env.Close()
+	return res, nil
+}
+
+// alive reports n's liveness from its own shard's injector (always true
+// without faults).
+func (fs *fleetSim) alive(n *node) bool {
+	return fs.inj == nil || fs.inj.For(n.id).Alive(n.id)
+}
+
+// heartbeat fires on n's shard: send a heartbeat to the ring successor,
+// then rearm with jitter. Dead nodes keep the timer running (a crash does
+// not stop virtual time) but the fabric refuses their sends.
+func (fs *fleetSim) heartbeat(e *sim.Env, n *node) {
+	succ := (n.id + 1) % fs.cfg.Nodes
+	fs.net.Send(e, n.id, succ, heartbeatBytes, func(de *sim.Env) {
+		fs.onHeartbeat(de, fs.nodes[succ], n.id)
+	})
+	e.After(n.rng.jitter(fs.cfg.HeartbeatPeriod), func() { fs.heartbeat(e, n) })
+}
+
+// onHeartbeat runs on the receiver's shard: record the observation and
+// spawn a rumor walk.
+func (fs *fleetSim) onHeartbeat(e *sim.Env, n *node, from int) {
+	n.heartbeats++
+	n.fold(0x48, e.Now(), uint64(from))
+	if fs.cfg.GossipTTL > 0 {
+		fs.gossip(e, n, uint64(from)<<8^uint64(n.id), fs.cfg.GossipTTL)
+	}
+}
+
+// gossip forwards a rumor to a random peer chosen by the forwarding node's
+// own generator; each hop decrements ttl.
+func (fs *fleetSim) gossip(e *sim.Env, n *node, rumor uint64, ttl int) {
+	peer := n.rng.intn(fs.cfg.Nodes - 1)
+	if peer >= n.id {
+		peer++
+	}
+	fs.net.Send(e, n.id, peer, rumorBytes, func(de *sim.Env) {
+		pn := fs.nodes[peer]
+		pn.rumors++
+		pn.fold(0x52, de.Now(), rumor)
+		if ttl > 1 {
+			fs.gossip(de, pn, rumor*fnvPrime, ttl-1)
+		}
+	})
+}
+
+// pump is n's work loop: process queued items one at a time with a
+// generator-drawn service time; when the queue runs dry, steal half a
+// random peer's queue.
+func (fs *fleetSim) pump(e *sim.Env, n *node) {
+	if n.queue == 0 {
+		n.busy = false
+		fs.steal(e, n)
+		return
+	}
+	n.busy = true
+	service := sim.Micros(20) + sim.Time(n.rng.next()%uint64(sim.Micros(80)))
+	e.After(service, func() {
+		if fs.alive(n) {
+			n.queue--
+			n.workDone++
+			n.fold(0x57, e.Now(), n.workDone)
+		}
+		fs.pump(e, n)
+	})
+}
+
+// steal asks a random peer for half its queue; an empty grant backs off
+// and retries.
+func (fs *fleetSim) steal(e *sim.Env, n *node) {
+	victim := n.rng.intn(fs.cfg.Nodes - 1)
+	if victim >= n.id {
+		victim++
+	}
+	fs.net.Send(e, n.id, victim, workRequestBytes, func(de *sim.Env) {
+		v := fs.nodes[victim]
+		grant := v.queue / 2
+		v.queue -= grant
+		size := int64(workGrantBytes + grant*64)
+		fs.net.Send(de, victim, n.id, size, func(ge *sim.Env) {
+			n.queue += grant
+			if grant > 0 {
+				n.fold(0x53, ge.Now(), uint64(grant))
+				if !n.busy {
+					fs.pump(ge, n)
+				}
+				return
+			}
+			ge.After(sim.Millis(1)+n.rng.jitter(sim.Micros(500)), func() { fs.steal(ge, n) })
+		})
+	})
+}

@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"testing"
+
+	"rocket/internal/fault"
+	"rocket/internal/sim"
+)
+
+// smallConfig keeps unit-test runs fast while still exercising every
+// protocol (heartbeat, gossip, steal) across shard boundaries.
+func smallConfig(shards int) Config {
+	cfg := DefaultConfig(64)
+	cfg.Shards = shards
+	cfg.Duration = sim.Millis(5)
+	return cfg
+}
+
+func TestFleetRuns(t *testing.T) {
+	r, err := Run(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Heartbeats == 0 || r.Rumors == 0 || r.WorkDone == 0 {
+		t.Fatalf("workload did not exercise all protocols: %+v", r)
+	}
+	if r.Messages == 0 || r.BytesSent == 0 {
+		t.Fatalf("no fabric traffic: %+v", r)
+	}
+	if r.VirtualTime != sim.Millis(5) {
+		t.Fatalf("VirtualTime = %v, want 5ms", r.VirtualTime)
+	}
+}
+
+// TestFleetShardInvariance is the workload-level determinism property:
+// the full Result line is bit-identical at widths 1, 2, 4, 8.
+func TestFleetShardInvariance(t *testing.T) {
+	base, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4, 8} {
+		r, err := Run(smallConfig(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.String() != base.String() {
+			t.Fatalf("shards=%d diverged:\n  %s\nvs shards=1:\n  %s", k, r, base)
+		}
+	}
+}
+
+// TestFleetFaultShardInvariance repeats the property with node crashes and
+// restarts routed to owning shards.
+func TestFleetFaultShardInvariance(t *testing.T) {
+	mk := func(shards int) Config {
+		cfg := smallConfig(shards)
+		cfg.Faults = new(fault.Schedule).
+			Crash(3, sim.Millis(1)).
+			Crash(17, sim.Micros(1500)).
+			Restart(3, sim.Millis(3)).
+			Crash(40, sim.Millis(2)).
+			Restart(40, sim.Millis(4))
+		return cfg
+	}
+	base, err := Run(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Dropped == 0 {
+		t.Fatalf("crashes caused no drops: %+v", base)
+	}
+	for _, k := range []int{2, 4, 8} {
+		r, err := Run(mk(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.String() != base.String() {
+			t.Fatalf("faulty shards=%d diverged:\n  %s\nvs shards=1:\n  %s", k, r, base)
+		}
+	}
+}
+
+func TestFleetSeedSensitivity(t *testing.T) {
+	a, err := Run(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(2)
+	cfg.Seed = 2
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StateHash == b.StateHash {
+		t.Fatal("different seeds produced identical state hashes")
+	}
+}
+
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Nodes: 1}); err == nil {
+		t.Fatal("Nodes=1 accepted")
+	}
+	cfg := DefaultConfig(4)
+	cfg.NetLatency = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero NetLatency accepted")
+	}
+	cfg = DefaultConfig(4)
+	cfg.HeartbeatPeriod = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero HeartbeatPeriod accepted")
+	}
+}

@@ -11,8 +11,15 @@
 //	GET  /v1/jobs/{id}/events SSE stream of the job's lifecycle
 //	GET  /v1/events           SSE stream of all scheduler events
 //	GET  /v1/log              the replayable arrival log (a manifest)
+//	GET  /v1/capabilities     API version, route table, shard count, store state
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness; 503 while draining
+//
+// The full method+pattern table lives in one place (Mux); the dataset
+// endpoints are documented in datasets.go. Errors default to the legacy
+// {"error":"message"} envelope; clients that send Accept:
+// application/vnd.rocket.v1+json receive the structured
+// {"error":{"code","message"}} form instead (see MediaV1).
 //
 // Every submission is recorded as a jobspec.Spec; once the scheduler
 // assigns its virtual arrival, the submission becomes part of the arrival
@@ -63,6 +70,10 @@ type Config struct {
 	// a re-created dataset would start at Computed = 0 and recompute
 	// everything.
 	Datasets []Dataset
+	// Shards is the event-engine width advertised by /v1/capabilities.
+	// It is informational: all-pairs results are width-invariant, so it
+	// never changes scheduling outcomes. 0 reports 1.
+	Shards int
 }
 
 // Server owns the online scheduler and the recorded submission specs.
@@ -108,22 +119,7 @@ func New(cfg Config) (*Server, error) {
 		s.datasets[ds.ID] = &ds
 		s.dsOrder = append(s.dsOrder, ds.ID)
 	}
-	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	s.mux.HandleFunc("GET /v1/events", s.handleAllEvents)
-	s.mux.HandleFunc("GET /v1/log", s.handleLog)
-	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetCreate)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
-	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleDataset)
-	s.mux.HandleFunc("POST /v1/datasets/{id}/append", s.handleDatasetAppend)
-	s.mux.HandleFunc("POST /v1/datasets/{id}/jobs", s.handleDatasetJob)
-	s.mux.HandleFunc("GET /v1/store", s.handleStore)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = Mux(s)
 	return s, nil
 }
 
@@ -137,20 +133,47 @@ func (s *Server) Queue() *sched.Online { return s.queue }
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// writeJSON writes v with the given status.
+// writeJSON writes v with the given status. A Content-Type set by the
+// caller (the negotiated vendor type, say) is kept.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
 }
 
+// errorDoc is the legacy error envelope, the default shape since PR 4.
 type errorDoc struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// errorEnvelope is the structured version-1 envelope, returned when the
+// request's Accept header names MediaV1.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError negotiates the error shape on the request's Accept header:
+// legacy {"error":"message"} by default (existing PR 4/5 clients parse
+// it), structured {"error":{"code","message"}} for clients sending
+// Accept: application/vnd.rocket.v1+json.
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	if acceptsV1(r) {
+		w.Header().Set("Content-Type", MediaV1)
+		writeJSON(w, status, errorEnvelope{Error: errorBody{
+			Code:    errorCode(status),
+			Message: err.Error(),
+		}})
+		return
+	}
 	writeJSON(w, status, errorDoc{Error: err.Error()})
 }
 
@@ -168,29 +191,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
 		return
 	}
 	if spec.ArrivalNS != 0 || spec.ArrivalMS != 0 {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, r, http.StatusBadRequest,
 			fmt.Errorf("online submissions cannot carry arrival times; the scheduler assigns them"))
 		return
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.submitSpecLocked(w, spec)
+	s.submitSpecLocked(w, r, spec)
 }
 
 // submitSpecLocked converts the spec to a job, submits it, and records
 // the spec in the arrival log. One lock spans spec->job conversion and
 // Submit so the recorded spec order matches the scheduler's submission
 // indices (both drive seed/ID derivation on replay); callers hold s.mu.
-func (s *Server) submitSpecLocked(w http.ResponseWriter, spec jobspec.Spec) (string, bool) {
+func (s *Server) submitSpecLocked(w http.ResponseWriter, r *http.Request, spec jobspec.Spec) (string, bool) {
 	index := len(s.specs)
 	job, err := spec.Job(index, s.cfg.Seed)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return "", false
 	}
 	id, err := s.queue.Submit(job)
@@ -199,7 +222,7 @@ func (s *Server) submitSpecLocked(w http.ResponseWriter, spec jobspec.Spec) (str
 		if errors.Is(err, sched.ErrShuttingDown) {
 			status = http.StatusServiceUnavailable
 		}
-		writeError(w, status, err)
+		writeError(w, r, status, err)
 		return "", false
 	}
 	spec.ID = id
@@ -223,7 +246,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	info, ok := s.queue.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -233,7 +256,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	info, ok := s.queue.Job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
 	jm, ok := s.queue.JobMetrics(id)
@@ -286,11 +309,57 @@ func (s *Server) Log() jobspec.Manifest {
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	buf, err := s.Log().JSON()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(buf)
+}
+
+// capabilitiesDoc is the /v1/capabilities body: what a client can rely
+// on without probing — the API version and media type, the advertised
+// event-engine width, the fleet shape, and the pair store's state.
+type capabilitiesDoc struct {
+	API    string   `json:"api"`
+	Media  string   `json:"media"`
+	Shards int      `json:"shards"`
+	Nodes  int      `json:"nodes"`
+	Policy string   `json:"policy"`
+	Store  storeDoc `json:"store"`
+	Routes []string `json:"routes"`
+}
+
+// storeDoc is the capabilities view of the pair store.
+type storeDoc struct {
+	Entries  int   `json:"entries"`
+	Segments int   `json:"segments"`
+	LogBytes int64 `json:"log_bytes"`
+	Datasets int   `json:"datasets"`
+}
+
+func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	shards := s.cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	st := s.store.Stats()
+	s.mu.Lock()
+	datasets := len(s.datasets)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, capabilitiesDoc{
+		API:    "v1",
+		Media:  MediaV1,
+		Shards: shards,
+		Nodes:  s.cfg.Nodes,
+		Policy: s.cfg.Policy.String(),
+		Store: storeDoc{
+			Entries:  st.Entries,
+			Segments: st.Segments,
+			LogBytes: st.Bytes,
+			Datasets: datasets,
+		},
+		Routes: Routes(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -371,7 +440,7 @@ func (s *Server) handleAllEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.queue.Job(id); !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 		return
 	}
 	s.streamEvents(w, r, id)
@@ -384,7 +453,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, jobID string) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		writeError(w, r, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")

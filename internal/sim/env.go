@@ -28,6 +28,12 @@ type Env struct {
 	// flushed tracks how much of eventsProcessed has been added to the
 	// process-wide counter (see GlobalEvents).
 	flushed uint64
+	// seed is the value recorded by WithSeed (see Seed).
+	seed uint64
+	// shard is non-nil when this Env is a member of a ShardSet; the root
+	// Env (shard 0) additionally carries the set and forwards Run, RunUntil
+	// and Close to it.
+	shard *Shard
 }
 
 // globalEvents accumulates dispatches over all Envs in the process,
@@ -78,12 +84,49 @@ type event struct {
 	useDur   Time
 }
 
-// NewEnv returns an empty environment at virtual time zero.
-func NewEnv() *Env {
+// NewEnv returns an empty environment at virtual time zero. Without
+// options it is the classic single-loop engine; with WithShards(n) the
+// returned Env is the root of an n-way ShardSet (see Sharded) whose Run,
+// RunUntil, and Close drive all shards with deterministic cross-shard
+// message merging.
+func NewEnv(opts ...EnvOption) *Env {
+	var cfg envConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards < 0 {
+		panic(fmt.Sprintf("sim: WithShards(%d): shard count must be >= 1", cfg.shards))
+	}
+	if cfg.shards >= 1 {
+		// WithShards(1) deliberately still builds a (degenerate) set: a
+		// workload written against the sharded API then takes the exact
+		// same merge-discipline code path at every width, which is what
+		// makes width-1 runs the determinism baseline for width-N.
+		return newShardSet(cfg).root
+	}
 	return &Env{
 		live:  make(map[*Proc]struct{}),
 		yield: make(chan yieldKind),
+		seed:  cfg.seed,
 	}
+}
+
+// newMemberEnv returns a bare environment for one shard of a set.
+func newMemberEnv(seed uint64) *Env {
+	return &Env{
+		live:  make(map[*Proc]struct{}),
+		yield: make(chan yieldKind),
+		seed:  seed,
+	}
+}
+
+// Sharded returns the ShardSet this Env belongs to, or nil for a classic
+// single-loop environment.
+func (e *Env) Sharded() *ShardSet {
+	if e.shard == nil {
+		return nil
+	}
+	return e.shard.set
 }
 
 // Now returns the current virtual time.
@@ -236,8 +279,13 @@ func (e *Env) Step() bool {
 
 // Run executes events until the queue is empty. Processes still blocked on
 // conditions (for example server loops waiting on a Mailbox) remain alive;
-// call Close to terminate them.
+// call Close to terminate them. On the root Env of a ShardSet, Run drives
+// all shards in parallel conservative windows until every shard is idle.
 func (e *Env) Run() {
+	if e.shard != nil {
+		e.shard.set.runRoot(e, 0, false)
+		return
+	}
 	if e.running {
 		panic("sim: Run is not reentrant")
 	}
@@ -250,10 +298,24 @@ func (e *Env) Run() {
 	}
 }
 
+// nextTime returns the timestamp of the earliest pending event, or ok ==
+// false when the queue is empty.
+func (e *Env) nextTime() (Time, bool) {
+	if e.events.Len() == 0 {
+		return 0, false
+	}
+	return e.events.minTime(), true
+}
+
 // RunUntil executes events with timestamps <= t and then sets the clock to
 // t. It returns the number of events dispatched (stale wake-ups and
-// stopped timers excluded). Events scheduled exactly at t are executed.
+// stopped timers excluded). Events scheduled exactly at t are executed. On
+// the root Env of a ShardSet, every shard advances to t and the returned
+// count sums all shards' dispatches.
 func (e *Env) RunUntil(t Time) uint64 {
+	if e.shard != nil {
+		return e.shard.set.runRoot(e, t, true)
+	}
 	if e.running {
 		panic("sim: RunUntil is not reentrant")
 	}
@@ -278,7 +340,25 @@ func (e *Env) RunUntil(t Time) uint64 {
 // and timers armed with AfterFunc never run. It is safe to call Close
 // multiple times. Close must not be called from inside a process or while
 // Run or RunUntil is executing.
+//
+// On the root Env of a ShardSet, Close first drains the couplers — every
+// cross-shard batch still in flight is merged into its destination shard's
+// queue — and then drops all pending work on every shard, local events and
+// undelivered cross-shard messages alike, before unwinding processes. The
+// drain step means drop semantics are well-defined: a message either ran
+// before Close or is accounted as dropped on its destination shard
+// (ShardSet.DroppedDeliveries); it is never lost in an intermediate buffer.
 func (e *Env) Close() {
+	if e.shard != nil {
+		e.shard.set.closeRoot(e)
+		return
+	}
+	e.closeLocal()
+}
+
+// closeLocal is Close without shard delegation; the ShardSet teardown
+// calls it on each member env after draining the couplers.
+func (e *Env) closeLocal() {
 	if e.running {
 		panic("sim: Close is not reentrant with Run or RunUntil")
 	}

@@ -1,0 +1,94 @@
+package sim
+
+// delivery is one cross-shard message: a function to run on the
+// destination shard's Env at virtual time at. The (at, src, seq) triple is
+// its canonical merge key — src is the stable sender identity chosen by
+// the workload (e.g. a node ID) and seq the sender's running message
+// count, so the key is a pure function of the sending entity's behavior
+// and carries no trace of which shard the sender happened to live on or
+// when batches crossed a barrier.
+type delivery struct {
+	at  Time
+	src uint32
+	seq uint64
+	fn  func(*Env)
+}
+
+// before reports the canonical delivery order: time, then sender identity,
+// then the sender's message sequence. Two deliveries never compare equal:
+// (src, seq) pairs are unique.
+func (d delivery) before(o delivery) bool {
+	if d.at != o.at {
+		return d.at < o.at
+	}
+	if d.src != o.src {
+		return d.src < o.src
+	}
+	return d.seq < o.seq
+}
+
+// mergeQueue is a shard's inbound cross-shard queue: a 4-ary min-heap of
+// deliveries in canonical (at, src, seq) order. Because the key order is
+// total and canonical, the pop sequence is independent of insertion order —
+// which is what makes barrier timing (and therefore shard count and thread
+// scheduling) invisible to the simulation.
+type mergeQueue struct {
+	heap []delivery
+}
+
+func (q *mergeQueue) Len() int { return len(q.heap) }
+
+// peek returns the earliest delivery time; ok == false when empty.
+func (q *mergeQueue) peek() (Time, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].at, true
+}
+
+func (q *mergeQueue) push(d delivery) {
+	if len(q.heap) == cap(q.heap) {
+		q.heap = append(make([]delivery, 0, growCap(cap(q.heap))), q.heap...)
+	}
+	q.heap = append(q.heap, d)
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / queueArity
+		if !q.heap[i].before(q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *mergeQueue) pop() delivery {
+	top := q.heap[0]
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap[n] = delivery{} // release the fn closure to the GC
+	q.heap = q.heap[:n]
+	i := 0
+	for {
+		first := queueArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + queueArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.heap[c].before(q.heap[min]) {
+				min = c
+			}
+		}
+		if !q.heap[min].before(q.heap[i]) {
+			break
+		}
+		q.heap[i], q.heap[min] = q.heap[min], q.heap[i]
+		i = min
+	}
+	return top
+}

@@ -1,0 +1,48 @@
+package sim
+
+// EnvOption configures NewEnv. The zero configuration (no options) is the
+// classic single-loop environment, bit-compatible with every prior release:
+// NewEnv() with no options constructs exactly the engine the committed
+// goldens were produced on.
+type EnvOption func(*envConfig)
+
+type envConfig struct {
+	seed      uint64
+	shards    int
+	lookahead Time
+}
+
+// DefaultLookahead is the conservative window bound used when WithShards is
+// given without WithLookahead. It matches the smallest cross-node delay in
+// the default fabric (cluster.DefaultConfig's 5us propagation latency), so
+// cluster-backed fleets can shard without extra configuration.
+const DefaultLookahead = 5 * Microsecond
+
+// WithSeed records the run's seed on the environment (Env.Seed). The engine
+// itself consumes no randomness — determinism comes from the event order —
+// but workloads conventionally fork their generators from this value, and
+// recording it here keeps the provenance of a run inspectable.
+func WithSeed(seed uint64) EnvOption {
+	return func(c *envConfig) { c.seed = seed }
+}
+
+// WithShards partitions the environment into n shards that execute on
+// parallel OS threads with deterministic cross-shard message merging (see
+// ShardSet). n must be >= 1; WithShards(1) still builds a (degenerate)
+// ShardSet so that a workload written against the sharded API behaves
+// identically at every width, including 1.
+func WithShards(n int) EnvOption {
+	return func(c *envConfig) { c.shards = n }
+}
+
+// WithLookahead sets the conservative lookahead bound of a sharded
+// environment: every cross-shard send must be delayed by at least this
+// much virtual time. Larger lookahead means wider safe windows and fewer
+// barriers; it must not exceed the smallest cross-shard delay the workload
+// uses. Ignored without WithShards.
+func WithLookahead(d Time) EnvOption {
+	return func(c *envConfig) { c.lookahead = d }
+}
+
+// Seed returns the seed recorded by WithSeed (0 if none was given).
+func (e *Env) Seed() uint64 { return e.seed }

@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardSetConstruction(t *testing.T) {
+	e := NewEnv(WithShards(4), WithSeed(7))
+	ss := e.Sharded()
+	if ss == nil {
+		t.Fatal("WithShards(4) did not produce a ShardSet")
+	}
+	if ss.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", ss.NumShards())
+	}
+	if ss.Lookahead() != DefaultLookahead {
+		t.Fatalf("Lookahead = %v, want %v", ss.Lookahead(), DefaultLookahead)
+	}
+	if ss.Root() != e || ss.Shard(0).Env() != e {
+		t.Fatal("root Env is not shard 0's Env")
+	}
+	for i := 0; i < 4; i++ {
+		sh := ss.Shard(i)
+		if sh.ID() != i || sh.Set() != ss {
+			t.Fatalf("shard %d miswired", i)
+		}
+		if sh.Env().Seed() != 7 {
+			t.Fatalf("shard %d seed = %d, want 7", i, sh.Env().Seed())
+		}
+		if sh.Env().Sharded() != ss {
+			t.Fatalf("member env %d does not report its set", i)
+		}
+	}
+	if NewEnv().Sharded() != nil {
+		t.Fatal("plain NewEnv reports a ShardSet")
+	}
+	if NewEnv(WithShards(1)).Sharded() == nil {
+		t.Fatal("WithShards(1) must still build a degenerate ShardSet")
+	}
+}
+
+func TestWithLookahead(t *testing.T) {
+	e := NewEnv(WithShards(2), WithLookahead(Millis(1)))
+	if got := e.Sharded().Lookahead(); got != Millis(1) {
+		t.Fatalf("Lookahead = %v, want 1ms", got)
+	}
+}
+
+func TestBadShardCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithShards(-1) did not panic")
+		}
+	}()
+	NewEnv(WithShards(-1))
+}
+
+func TestSendBelowLookaheadPanics(t *testing.T) {
+	e := NewEnv(WithShards(2))
+	ss := e.Sharded()
+	snd := ss.Shard(0).NewSender(1)
+	e.Defer(func() {
+		snd.Send(1, Micros(4), func(*Env) {}) // lookahead is 5us
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send below lookahead did not panic")
+		}
+		e.Close()
+	}()
+	e.Run()
+}
+
+// TestMergeOrderCanonical checks rule 1: messages arriving at one instant
+// apply in (sender, seq) order no matter which order they were emitted or
+// which shards emitted them.
+func TestMergeOrderCanonical(t *testing.T) {
+	e := NewEnv(WithShards(4))
+	ss := e.Sharded()
+	var got []uint32
+	// Senders 9, 3, 7 on three different shards all target shard 1 at the
+	// same instant, emitted in descending-ID order.
+	for _, id := range []uint32{9, 3, 7} {
+		id := id
+		sh := ss.Shard(int(id) % 4)
+		snd := sh.NewSender(id)
+		sh.Env().Defer(func() {
+			snd.Send(1, Micros(10), func(*Env) { got = append(got, id) })
+			snd.Send(1, Micros(10), func(*Env) { got = append(got, id) })
+		})
+	}
+	e.Run()
+	want := []uint32{3, 3, 7, 7, 9, 9}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("apply order = %v, want %v", got, want)
+	}
+	e.Close()
+}
+
+// TestDeliveryBeforeLocalAtSameTime checks rule 2: at equal timestamps a
+// shard applies inbound messages before locally scheduled events.
+func TestDeliveryBeforeLocalAtSameTime(t *testing.T) {
+	e := NewEnv(WithShards(2))
+	ss := e.Sharded()
+	var got []string
+	ss.Shard(1).Env().At(Micros(10), func() { got = append(got, "local") })
+	snd := ss.Shard(0).NewSender(1)
+	e.Defer(func() {
+		snd.Send(1, Micros(10), func(*Env) { got = append(got, "delivery") })
+	})
+	e.Run()
+	if fmt.Sprint(got) != "[delivery local]" {
+		t.Fatalf("order = %v, want [delivery local]", got)
+	}
+	e.Close()
+}
+
+func TestDeliveryRunsAtItsTimestamp(t *testing.T) {
+	e := NewEnv(WithShards(2))
+	ss := e.Sharded()
+	dst := ss.Shard(1).Env()
+	snd := ss.Shard(0).NewSender(42)
+	var at Time
+	var count uint64
+	e.At(Micros(3), func() {
+		snd.Send(1, Micros(20), func(de *Env) {
+			if de != dst {
+				t.Error("delivery ran on the wrong shard's Env")
+			}
+			at = de.Now()
+			count = de.EventsProcessed()
+		})
+	})
+	e.Run()
+	if at != Micros(23) {
+		t.Fatalf("delivery ran at %v, want 23us", at)
+	}
+	if count == 0 {
+		t.Fatal("delivery did not count as a dispatched event")
+	}
+	if ss.Shard(1).Delivered() != 1 {
+		t.Fatalf("Delivered = %d, want 1", ss.Shard(1).Delivered())
+	}
+	e.Close()
+}
+
+func TestSameShardSendTakesMergePath(t *testing.T) {
+	e := NewEnv(WithShards(2))
+	ss := e.Sharded()
+	snd := ss.Shard(0).NewSender(5)
+	var ran bool
+	e.Defer(func() { snd.Send(0, Micros(5), func(*Env) { ran = true }) })
+	e.Run()
+	if !ran {
+		t.Fatal("same-shard Send never delivered")
+	}
+	if ss.Shard(0).Delivered() != 1 {
+		t.Fatalf("same-shard send bypassed the merge queue (Delivered = %d)", ss.Shard(0).Delivered())
+	}
+	e.Close()
+}
+
+func TestShardedRunUntil(t *testing.T) {
+	e := NewEnv(WithShards(3))
+	ss := e.Sharded()
+	var fired []Time
+	ss.Shard(2).Env().At(Millis(1), func() { fired = append(fired, Millis(1)) })
+	ss.Shard(1).Env().At(Millis(2), func() { fired = append(fired, Millis(2)) })
+	ss.Shard(2).Env().At(Millis(5), func() { fired = append(fired, Millis(5)) })
+	if n := e.RunUntil(Millis(2)); n != 2 {
+		t.Fatalf("RunUntil dispatched %d, want 2 (events exactly at t run)", n)
+	}
+	for i := 0; i < 3; i++ {
+		if now := ss.Shard(i).Env().Now(); now != Millis(2) {
+			t.Fatalf("shard %d clock = %v, want 2ms", i, now)
+		}
+	}
+	if n := e.RunUntil(Millis(10)); n != 1 {
+		t.Fatalf("second RunUntil dispatched %d, want 1", n)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	e.Close()
+}
+
+// TestCloseDrainsCouplersBeforeDropping extends the Close drop-semantics
+// test to sharded environments: a message still sitting in a coupler batch
+// at Close time is drained into its destination's merge queue and then
+// accounted as dropped there — never lost in the intermediate buffer, and
+// never run.
+func TestCloseDrainsCouplersBeforeDropping(t *testing.T) {
+	e := NewEnv(WithShards(2))
+	ss := e.Sharded()
+	ran := false
+	snd := ss.Shard(0).NewSender(1)
+	e.Defer(func() {
+		// Runs during the first window; the outbound batch is in shard 0's
+		// coupler when RunUntil's window ends, and the message's timestamp
+		// (10us) is beyond the RunUntil horizon, so after the final
+		// exchange it sits undelivered in shard 1's merge queue.
+		snd.Send(1, Micros(10), func(*Env) { ran = true })
+	})
+	e.RunUntil(Micros(1))
+	if got := ss.Shard(1).PendingDeliveries(); got != 1 {
+		t.Fatalf("PendingDeliveries = %d, want 1 (batch exchanged at barrier)", got)
+	}
+	ss.Shard(1).Env().After(Millis(1), func() { ran = true })
+	e.Close()
+	if ran {
+		t.Fatal("Close ran a pending delivery or callback")
+	}
+	if ss.DroppedDeliveries() != 1 {
+		t.Fatalf("DroppedDeliveries = %d, want 1", ss.DroppedDeliveries())
+	}
+	for i := 0; i < 2; i++ {
+		if n := ss.Shard(i).Env().PendingEvents(); n != 0 {
+			t.Fatalf("shard %d has %d pending events after Close", i, n)
+		}
+		if n := ss.Shard(i).PendingDeliveries(); n != 0 {
+			t.Fatalf("shard %d has %d pending deliveries after Close", i, n)
+		}
+	}
+	e.Close() // idempotent
+	if ss.DroppedDeliveries() != 1 {
+		t.Fatal("second Close re-counted drops")
+	}
+}
+
+// TestCloseDrainCountsUnflushedCoupler is the sharper variant: Close is
+// called while a batch is still in the coupler (no barrier ever flushed
+// it), proving Close itself performs the drain.
+func TestCloseDrainCountsUnflushedCoupler(t *testing.T) {
+	e := NewEnv(WithShards(2))
+	ss := e.Sharded()
+	snd := ss.Shard(0).NewSender(1)
+	// Send outside Run: the batch sits in the coupler, no exchange happens.
+	snd.Send(1, Micros(5), func(*Env) { t.Error("dropped delivery ran") })
+	e.Close()
+	if ss.DroppedDeliveries() != 1 {
+		t.Fatalf("DroppedDeliveries = %d, want 1 (coupler drained by Close)", ss.DroppedDeliveries())
+	}
+}
+
+func TestMemberEnvRunAndClosePanic(t *testing.T) {
+	check := func(name string, f func(*Env)) {
+		e := NewEnv(WithShards(2))
+		member := e.Sharded().Shard(1).Env()
+		defer e.Close()
+		var got interface{}
+		func() {
+			defer func() { got = recover() }()
+			f(member)
+		}()
+		if got == nil {
+			t.Errorf("%s on a member shard Env did not panic", name)
+		}
+	}
+	check("Run", func(m *Env) { m.Run() })
+	check("RunUntil", func(m *Env) { m.RunUntil(Millis(1)) })
+	check("Close", func(m *Env) { m.Close() })
+}
+
+func TestShardedReentrancyPanics(t *testing.T) {
+	e := NewEnv(WithShards(2))
+	var got interface{}
+	e.Defer(func() {
+		defer func() { got = recover() }()
+		e.Run()
+	})
+	e.Run()
+	if got == nil {
+		t.Fatal("reentrant Run on the sharded root did not panic")
+	}
+	e.Close()
+}
+
+func TestShardPanicPropagates(t *testing.T) {
+	e := NewEnv(WithShards(4))
+	ss := e.Sharded()
+	ss.Shard(3).Env().At(Micros(1), func() { panic("shard boom") })
+	var got interface{}
+	func() {
+		defer func() { got = recover() }()
+		e.Run()
+	}()
+	if got != "shard boom" {
+		t.Fatalf("recovered %v, want shard boom", got)
+	}
+}
+
+// fleetTrace runs a deterministic token-ring workload over nEntities
+// mapped round-robin onto the set's shards and returns a digest of every
+// entity's observation history. Entities forward tokens with
+// value-dependent delays, mutate local state from timer callbacks at the
+// same timestamps as inbound tokens, and hash (time, value, hops) on every
+// receipt — exercising both determinism rules at once.
+func fleetTrace(t *testing.T, shards, nEntities, hops int) uint64 {
+	t.Helper()
+	e := NewEnv(WithShards(shards), WithSeed(99))
+	ss := e.Sharded()
+	type entity struct {
+		snd  *Sender
+		hash uint64
+	}
+	ents := make([]*entity, nEntities)
+	for i := range ents {
+		ents[i] = &entity{snd: ss.Shard(i % ss.NumShards()).NewSender(uint32(i))}
+	}
+	var forward func(dst int, v uint64, hop int)
+	forward = func(dst int, v uint64, hop int) {
+		delay := Micros(float64(5 + v%7))
+		ents[(dst+nEntities-1)%nEntities].snd.Send(dst%ss.NumShards(), delay, func(de *Env) {
+			en := ents[dst]
+			en.hash = en.hash*1099511628211 + v + uint64(de.Now()) + uint64(hop)
+			// A local event at the very same timestamp: must run after the
+			// delivery regardless of shard layout.
+			de.At(de.Now(), func() { en.hash = en.hash*31 + 1 })
+			if hop < hops {
+				forward((dst+1)%nEntities, v+1, hop+1)
+			}
+		})
+	}
+	for i := 0; i < nEntities; i++ {
+		i := i
+		ss.Shard(i % ss.NumShards()).Env().Defer(func() {
+			forward((i+1)%nEntities, uint64(i), 0)
+		})
+	}
+	e.Run()
+	var digest uint64
+	for i, en := range ents {
+		digest = digest*1099511628211 + en.hash + uint64(i)
+	}
+	e.Close()
+	return digest
+}
+
+// TestShardCountInvariance is the engine-level property test: the same
+// workload produces bit-identical state at shard widths 1, 2, 4 and 8.
+func TestShardCountInvariance(t *testing.T) {
+	want := fleetTrace(t, 1, 24, 40)
+	for _, k := range []int{2, 4, 8} {
+		if got := fleetTrace(t, k, 24, 40); got != want {
+			t.Fatalf("shards=%d digest %x != shards=1 digest %x", k, got, want)
+		}
+	}
+}
+
+func TestWindowsCounterAdvances(t *testing.T) {
+	e := NewEnv(WithShards(2))
+	ss := e.Sharded()
+	snd := ss.Shard(0).NewSender(1)
+	e.Defer(func() {
+		snd.Send(1, Micros(5), func(de *Env) {
+			de.At(de.Now()+Micros(100), func() {})
+		})
+	})
+	e.Run()
+	if ss.Windows() < 2 {
+		t.Fatalf("Windows = %d, want >= 2", ss.Windows())
+	}
+	e.Close()
+}
+
+func TestSendOnClosedSetPanics(t *testing.T) {
+	e := NewEnv(WithShards(2))
+	snd := e.Sharded().Shard(0).NewSender(1)
+	e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send on closed set did not panic")
+		}
+	}()
+	snd.Send(1, Micros(5), func(*Env) {})
+}

@@ -13,12 +13,16 @@
 // Quick start:
 //
 //	app := forensics.New(forensics.Params{N: 996})
-//	platform, _ := rocket.Homogeneous(16, rocket.DAS5Node(rocket.TitanXMaxwell))
-//	metrics, err := rocket.Run(rocket.Config{
-//		App:       app,
-//		Cluster:   platform,
-//		DistCache: true,
-//	})
+//	r := rocket.New(
+//		rocket.WithHomogeneous(16, rocket.DAS5Node(rocket.TitanXMaxwell)),
+//		rocket.WithDistCache(true),
+//	)
+//	metrics, err := r.Run(app)
+//
+// Runners are reusable: each Run simulates a fresh cluster, so the same
+// Runner yields bit-identical Metrics for the same application and seed.
+// The positional rocket.Run(rocket.Config{...}) form still works but is
+// deprecated.
 //
 // Because Go has no mature CUDA bindings, the hardware substrate (GPUs,
 // network, storage) is a deterministic discrete-event simulation; the
@@ -81,6 +85,15 @@ var (
 const GiB = gpu.GiB
 
 // Run executes an all-pairs application on a platform.
+//
+// Deprecated: build a Runner with New and call Runner.Run — it rebuilds
+// the cluster per run (so runs can't contaminate each other) and takes
+// the same settings as functional options:
+//
+//	rocket.New(rocket.WithCluster(platform), rocket.WithSeed(1)).Run(app)
+//
+// This shim remains for external callers and produces bit-identical
+// Metrics for the equivalent option set.
 func Run(cfg Config) (*Metrics, error) { return core.Run(cfg) }
 
 // Scheduler types: see package rocket/internal/sched (rocketd) for full
@@ -110,6 +123,13 @@ const (
 // through the Rocket runtime, and are placed by the configured policy
 // (FIFO, shortest-job-first, or fair-share across tenants). Results are
 // deterministic for a given seed.
+//
+// Deprecated: build a Runner with New and call Runner.RunQueue:
+//
+//	rocket.New(rocket.WithQueueConfig(cfg)).RunQueue()
+//
+// This shim remains for external callers and produces bit-identical
+// QueueMetrics for the equivalent option set.
 func RunQueue(cfg QueueConfig) (*QueueMetrics, error) { return sched.Run(cfg) }
 
 // ParseQueuePolicy maps a manifest name ("fifo", "sjf", "fair") to a
@@ -226,16 +246,22 @@ func Heterogeneous(specs []NodeSpec) (*Cluster, error) {
 	return cluster.New(specs, cluster.DefaultConfig())
 }
 
-// PaperHeterogeneous returns the four mixed-generation nodes of §6.5:
+// PaperTopology returns the four mixed-generation node specs of §6.5:
 // node I (K20m), node II (GTX980 + TitanX Pascal), node III (2x
-// RTX2080Ti), and node IV (GTX Titan + TitanX Pascal).
-func PaperHeterogeneous() (*Cluster, error) {
-	return Heterogeneous([]NodeSpec{
+// RTX2080Ti), and node IV (GTX Titan + TitanX Pascal). Pass it to
+// WithTopology.
+func PaperTopology() []NodeSpec {
+	return []NodeSpec{
 		DAS5Node(K20m),
 		DAS5Node(GTX980, TitanXPascal),
 		DAS5Node(RTX2080Ti, RTX2080Ti),
 		DAS5Node(GTXTitan, TitanXPascal),
-	})
+	}
+}
+
+// PaperHeterogeneous builds the §6.5 platform from PaperTopology.
+func PaperHeterogeneous() (*Cluster, error) {
+	return Heterogeneous(PaperTopology())
 }
 
 // Cartesius builds the §6.6 supercomputer platform with n nodes (2 GPUs

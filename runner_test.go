@@ -1,0 +1,169 @@
+package rocket_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rocket"
+	"rocket/internal/apps/forensics"
+	"rocket/internal/apps/microscopy"
+)
+
+// TestRunnerMatchesDeprecatedRun is the API-migration equivalence gate:
+// the options builder must produce bit-identical Metrics to the
+// deprecated positional rocket.Run(Config) path for the same settings.
+func TestRunnerMatchesDeprecatedRun(t *testing.T) {
+	app := microscopy.New(microscopy.Params{N: 24, Seed: 1})
+
+	cl, err := rocket.Homogeneous(2, rocket.DAS5Node(rocket.TitanXMaxwell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := rocket.Run(rocket.Config{App: app, Cluster: cl, DistCache: true, Seed: 1}) //nolint:staticcheck // equivalence test of the deprecated path
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rocket.New(
+		rocket.WithHomogeneous(2, rocket.DAS5Node(rocket.TitanXMaxwell)),
+		rocket.WithDistCache(true),
+		rocket.WithSeed(1),
+	)
+	neu, err := r.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old, neu) {
+		t.Fatalf("Runner.Run diverged from deprecated rocket.Run:\nold: %+v\nnew: %+v", old, neu)
+	}
+}
+
+// TestRunnerIsReusable: a topology-built Runner rebuilds the cluster per
+// run, so repeated runs are bit-identical rather than contaminated by
+// accumulated accounting.
+func TestRunnerIsReusable(t *testing.T) {
+	app := forensics.New(forensics.Params{N: 16, Seed: 3})
+	r := rocket.New(
+		rocket.WithHomogeneous(2, rocket.DAS5Node(rocket.TitanXMaxwell)),
+		rocket.WithSeed(7),
+	)
+	m1, err := r.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.Run(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatal("two runs of the same Runner diverged")
+	}
+}
+
+func TestRunnerExplicitClusterConsumedOnce(t *testing.T) {
+	app := forensics.New(forensics.Params{N: 16, Seed: 3})
+	cl, err := rocket.Homogeneous(2, rocket.DAS5Node(rocket.TitanXMaxwell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rocket.New(rocket.WithCluster(cl), rocket.WithSeed(7))
+	if _, err := r.Run(app); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(app); err == nil {
+		t.Fatal("second Run on a consumed explicit cluster should fail")
+	}
+}
+
+func TestRunnerOptionErrorsSurfaceAtRun(t *testing.T) {
+	app := forensics.New(forensics.Params{N: 16, Seed: 3})
+	for name, r := range map[string]*rocket.Runner{
+		"no platform":  rocket.New(),
+		"bad topology": rocket.New(rocket.WithTopology()),
+		"bad n":        rocket.New(rocket.WithHomogeneous(0, rocket.DAS5Node(rocket.TitanXMaxwell))),
+		"bad shards":   rocket.New(rocket.WithShards(0), rocket.WithHomogeneous(2, rocket.DAS5Node(rocket.TitanXMaxwell))),
+		"nil cluster":  rocket.New(rocket.WithCluster(nil)),
+	} {
+		if _, err := r.Run(app); err == nil {
+			t.Errorf("%s: Run should fail", name)
+		}
+	}
+	if _, err := rocket.New().Run(nil); err == nil {
+		t.Error("Run(nil app) should fail")
+	}
+}
+
+func TestRunnerTopologyAccessor(t *testing.T) {
+	r := rocket.New(rocket.WithTopology(rocket.PaperTopology()...))
+	topo := r.Topology()
+	if len(topo) != 4 {
+		t.Fatalf("len(Topology()) = %d, want 4", len(topo))
+	}
+	// Mutating the returned slice must not affect the Runner.
+	topo[0] = rocket.NodeSpec{}
+	if r.Topology()[0].Cores == 0 {
+		t.Fatal("Topology() returned a live reference, want a copy")
+	}
+
+	cl, err := rocket.PaperHeterogeneous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCluster := rocket.New(rocket.WithCluster(cl)).Topology()
+	if !reflect.DeepEqual(fromCluster, rocket.PaperTopology()) {
+		t.Fatal("Topology() from an explicit cluster should recover the node specs")
+	}
+
+	if got := rocket.New(rocket.WithShards(4)).Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	if got := rocket.New(rocket.WithSeed(42)).Seed(); got != 42 {
+		t.Fatalf("Seed() = %d, want 42", got)
+	}
+}
+
+// TestRunnerQueueMatchesDeprecatedRunQueue: queue scheduling through the
+// builder must match the deprecated rocket.RunQueue shim bit for bit.
+func TestRunnerQueueMatchesDeprecatedRunQueue(t *testing.T) {
+	jobs := []rocket.QueueJob{
+		{App: forensics.New(forensics.Params{N: 16, Seed: 2}), Nodes: 2},
+		{App: microscopy.New(microscopy.Params{N: 12, Seed: 3}), Nodes: 1},
+		{App: forensics.New(forensics.Params{N: 12, Seed: 4}), Nodes: 1},
+	}
+	cfg := rocket.QueueConfig{Jobs: jobs, Nodes: 3, Seed: 11, Policy: rocket.PolicySJF}
+
+	old, err := rocket.RunQueue(cfg) //nolint:staticcheck // equivalence test of the deprecated path
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := rocket.New(rocket.WithQueueConfig(cfg)).RunQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Report() != neu.Report() {
+		t.Fatalf("Runner.RunQueue diverged from deprecated rocket.RunQueue:\nold:\n%s\nnew:\n%s", old.Report(), neu.Report())
+	}
+
+	// Jobs passed as arguments append to the configured queue.
+	base := rocket.QueueConfig{Nodes: 3, Seed: 11, Policy: rocket.PolicySJF}
+	argd, err := rocket.New(rocket.WithQueueConfig(base)).RunQueue(jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if argd.Report() != old.Report() {
+		t.Fatal("RunQueue(jobs...) diverged from pre-loaded cfg.Jobs")
+	}
+
+	// With no explicit queue size, the topology supplies the fleet.
+	topo, err := rocket.New(
+		rocket.WithHomogeneous(3, rocket.DAS5Node(rocket.TitanXMaxwell)),
+		rocket.WithSeed(11),
+		rocket.WithQueuePolicy(rocket.PolicySJF),
+	).RunQueue(jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Report() != old.Report() {
+		t.Fatal("topology-derived RunQueue diverged")
+	}
+}
