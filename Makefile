@@ -10,7 +10,7 @@ BENCH_RUN ?= local
 BENCH_BASELINE ?= BENCH_pr6.json
 COVERAGE_FLOOR ?= 75.0
 
-.PHONY: build test race-stress bench bench-sim bench-shards bench-json bench-gate coverage smoke smoke-incremental fuzz-smoke lint ci fmt
+.PHONY: build test race-stress bench bench-sim bench-shards bench-json bench-gate coverage smoke smoke-scenarios smoke-incremental fuzz-smoke lint ci fmt
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,21 @@ smoke:
 	diff /tmp/rocket-smoke-report-tail.txt /tmp/rocket-smoke-replay-tail.txt
 	$(GO) run ./cmd/rocketload -local -jobs 16 -clients 8 -items 8
 	$(GO) run ./cmd/rocketload -local -jobs 8 -mode open -rate 100 -items 8 -fault-rate 0.25
+	$(GO) run ./cmd/rocketload -local -jobs 8 -items 8 -max-nodes 4 -scenario scenarios/crash-recovery.yaml
+
+# Mirrors the workflow's smoke-scenarios job: every committed scenario
+# runs twice with the same seed; the run fails on any assertion failure
+# (exit 1) and the two JSON reports of each scenario must be
+# byte-identical — a replayability gate over the whole corpus. Reports
+# land in /tmp/rocket-scenario-reports (uploaded as a CI artifact).
+smoke-scenarios:
+	$(GO) build -o /tmp/rocket-smoke-rocketsim ./cmd/rocketsim
+	/tmp/rocket-smoke-rocketsim validate scenarios/*.yaml
+	rm -rf /tmp/rocket-scenario-reports /tmp/rocket-scenario-reports-rerun
+	mkdir -p /tmp/rocket-scenario-reports /tmp/rocket-scenario-reports-rerun
+	/tmp/rocket-smoke-rocketsim run -report /tmp/rocket-scenario-reports scenarios/*.yaml
+	/tmp/rocket-smoke-rocketsim run -q -report /tmp/rocket-scenario-reports-rerun scenarios/*.yaml
+	diff -r /tmp/rocket-scenario-reports /tmp/rocket-scenario-reports-rerun
 
 # Mirrors the workflow's smoke-incremental step: the pair-store
 # warm-start flow end to end — create a dataset, run it, append, run the
@@ -146,4 +161,5 @@ ci: lint build test race-stress
 	$(MAKE) coverage
 	$(MAKE) fuzz-smoke
 	$(MAKE) smoke
+	$(MAKE) smoke-scenarios
 	$(MAKE) smoke-incremental

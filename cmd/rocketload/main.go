@@ -15,7 +15,9 @@
 // each wait for their job to finish before sending the next, which probes
 // service latency. -fault-rate injects a node crash into that fraction of
 // jobs (their first attempt), exercising requeue-under-retry on a live
-// service.
+// service. -scenario loads a scenario file (see scenarios/) and injects
+// its compiled chaos/fault schedule instead of the synthetic crash, so
+// HTTP load tests and the rocketsim harness share one fault vocabulary.
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 
 	"rocket"
 	"rocket/internal/jobspec"
+	"rocket/internal/scenario"
 	"rocket/internal/stats"
 )
 
@@ -51,6 +54,10 @@ type options struct {
 	faultRate float64
 	seed      uint64
 	timeout   time.Duration
+	// faults, when non-nil, is the scenario-compiled fault schedule in
+	// wire form; -fault-rate gates which jobs carry it (clipped to each
+	// job's partition width).
+	faults []jobspec.Fault
 }
 
 // result is one job's client-side outcome. status is the job's terminal
@@ -71,13 +78,39 @@ func buildSpec(rng *stats.RNG, opts options, k int) jobspec.Spec {
 		Nodes:  1 + rng.Intn(opts.maxNodes),
 	}
 	if opts.faultRate > 0 && rng.Float64() < opts.faultRate {
-		spec.Faults = []jobspec.Fault{{
-			Kind: "crash",
-			Node: 0,
-			AtMS: 1 + 9*rng.Float64(),
-		}}
+		if len(opts.faults) > 0 {
+			spec.Faults = clipFaults(opts.faults, spec.Nodes)
+		} else {
+			spec.Faults = []jobspec.Fault{{
+				Kind: "crash",
+				Node: 0,
+				AtMS: 1 + 9*rng.Float64(),
+			}}
+		}
 	}
 	return spec
+}
+
+// clipFaults keeps the scenario faults that fit a job's partition width:
+// node events targeting node < nodes, link events with both endpoints
+// inside. Paired events (crash+restart, cut+heal) always target the same
+// nodes, so clipping never splits a pair.
+func clipFaults(faults []jobspec.Fault, nodes int) []jobspec.Fault {
+	var out []jobspec.Fault
+	for _, f := range faults {
+		switch f.Kind {
+		case "crash", "restart", "gpu-slow":
+			if f.Node >= nodes {
+				continue
+			}
+		default:
+			if f.A >= nodes || f.B >= nodes {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // errRefused marks a submission the server answered but turned away
@@ -216,7 +249,8 @@ func run() error {
 		maxNodes  = flag.Int("max-nodes", 2, "widest partition a job may request")
 		appsFlag  = flag.String("apps", "forensics,microscopy", "comma-separated app mix")
 		tenants   = flag.Int("tenants", 3, "number of tenants to spread jobs over")
-		faultRate = flag.Float64("fault-rate", 0, "fraction of jobs submitted with a crash fault")
+		faultRate = flag.Float64("fault-rate", 0, "fraction of jobs submitted with a crash fault (with -scenario: with its schedule)")
+		scenPath  = flag.String("scenario", "", "scenario file whose compiled chaos/fault schedule replaces the synthetic crash")
 		seed      = flag.Uint64("seed", 1, "workload-generator seed")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-job completion timeout")
 	)
@@ -238,6 +272,29 @@ func run() error {
 	}
 	if opts.rate <= 0 || opts.jobs <= 0 || opts.clients <= 0 || opts.tenants <= 0 {
 		return fmt.Errorf("rate, jobs, clients, and tenants must be positive")
+	}
+	if *scenPath != "" {
+		data, err := os.ReadFile(*scenPath)
+		if err != nil {
+			return err
+		}
+		sc, err := scenario.Parse(data)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", *scenPath, err)
+		}
+		sch, err := sc.CompileFaults()
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", *scenPath, err)
+		}
+		opts.faults = jobspec.FaultsFromSchedule(sch)
+		if len(opts.faults) == 0 {
+			return fmt.Errorf("scenario %s compiles to a fault-free schedule", *scenPath)
+		}
+		if opts.faultRate == 0 {
+			opts.faultRate = 1 // loading a scenario means its faults apply
+		}
+		fmt.Fprintf(os.Stderr, "rocketload: %d faults from scenario %q at rate %.2f\n",
+			len(opts.faults), sc.Name, opts.faultRate)
 	}
 
 	if *local {

@@ -126,6 +126,12 @@ type Config struct {
 	// run is bit-identical to a failure-free build.
 	Faults *fault.Schedule
 
+	// FaultProbes are timed health observations armed inside virtual time
+	// (scenario assertions). Probes sharing a timestamp with a fault event
+	// observe the post-event world. With no schedule armed every probe
+	// observes alive. Nil leaves the event stream untouched.
+	FaultProbes []fault.Probe
+
 	// ctrlMsgSize is the wire size of control messages.
 	ctrlMsgSize int64
 }

@@ -189,6 +189,17 @@ func Run(cfg Config) (*Metrics, error) {
 			return nil, err
 		}
 	}
+	// Probes arm after the injector so a probe sharing a timestamp with a
+	// fault event observes the post-event world; with no schedule rt.inj
+	// is nil and every probe reads alive.
+	if len(cfg.FaultProbes) > 0 {
+		for _, p := range cfg.FaultProbes {
+			if p.Node < 0 || p.Node >= len(rt.nodes) {
+				return nil, fmt.Errorf("core: fault probe targets node %d of %d", p.Node, len(rt.nodes))
+			}
+		}
+		fault.ArmProbes(rt.env, rt.inj, cfg.FaultProbes)
+	}
 
 	if err := rt.prewarm(); err != nil {
 		return nil, err

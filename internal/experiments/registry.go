@@ -43,6 +43,7 @@ func All() []Experiment {
 		{"resilience", "—", "fault sweep: completion-time inflation vs failure-free", Resilience},
 		{"incremental", "—", "pairstore warm start: append-ratio sweep vs full recompute", Incremental},
 		{"shardscale", "—", "sharded engine: fleet workload at widths 1-8, invariance-checked", ShardScale},
+		{"chaos", "—", "seeded chaos storm over the fleet, invariance-checked at widths 1-8", Chaos},
 	}
 }
 

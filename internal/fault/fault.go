@@ -137,7 +137,13 @@ func (s *Schedule) DegradeLink(a, b int, at sim.Time, latF, bwF float64) *Schedu
 }
 
 // Validate checks every event against the platform shape: gpus[i] is the
-// number of devices of node i (len(gpus) is the node count).
+// number of devices of node i (len(gpus) is the node count). Beyond
+// per-event shape checks (node and GPU indices in range, link endpoints
+// in range and distinct, factors >= 1), it replays the schedule in firing
+// order and rejects restarts scheduled at-or-before their crash: a
+// NodeRestart that fires while its node is still alive is a no-op, so if
+// a crash of the same node fires later the restart can never heal it —
+// the schedule's author almost certainly transposed the two times.
 func (s *Schedule) Validate(gpus []int) error {
 	if s == nil {
 		return nil
@@ -186,7 +192,65 @@ func (s *Schedule) Validate(gpus []int) error {
 			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(ev.Kind))
 		}
 	}
+	return s.validateRestartOrder(p)
+}
+
+// validateRestartOrder replays crash/restart events in firing order (time
+// order, schedule order for ties — exactly how NewInjector arms them) and
+// rejects any restart that fires while its node is alive when a later
+// crash of the same node exists: such a restart is scheduled at-or-before
+// its crash and the node would stay dead forever.
+func (s *Schedule) validateRestartOrder(p int) error {
+	order := firingOrder(s.Events)
+	// crashLater[k] is true when, at firing position k, some later firing
+	// position holds a crash of the same node.
+	crashLater := make([]bool, len(order))
+	pending := make([]bool, p)
+	for k := len(order) - 1; k >= 0; k-- {
+		ev := s.Events[order[k]]
+		if ev.Kind != NodeCrash && ev.Kind != NodeRestart {
+			continue
+		}
+		crashLater[k] = pending[ev.Node]
+		if ev.Kind == NodeCrash {
+			pending[ev.Node] = true
+		}
+	}
+	alive := make([]bool, p)
+	for i := range alive {
+		alive[i] = true
+	}
+	for k, idx := range order {
+		ev := s.Events[idx]
+		switch ev.Kind {
+		case NodeCrash:
+			alive[ev.Node] = false
+		case NodeRestart:
+			if alive[ev.Node] && crashLater[k] {
+				return fmt.Errorf(
+					"fault: event %d: restart of node %d at %v fires before its crash (restarts must be scheduled strictly after the crash they heal)",
+					idx, ev.Node, ev.At)
+			}
+			alive[ev.Node] = true
+		}
+	}
 	return nil
+}
+
+// firingOrder returns event indices in firing order: ascending time,
+// original schedule order for equal timestamps. This is the exact order
+// NewInjector arms events in, and — because Split preserves relative
+// order and routes every event touching one piece of state to the same
+// shard — the order each ShardedInjector applies them in at every width.
+func firingOrder(events []Event) []int {
+	order := make([]int, len(events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return events[order[a]].At < events[order[b]].At
+	})
+	return order
 }
 
 // Hooks are the runtime's recovery callbacks, invoked in scheduler context
@@ -225,8 +289,18 @@ type Injector struct {
 }
 
 // NewInjector validates the schedule against the platform shape (gpus[i] =
-// number of devices of node i) and arms every event on env. Events sharing
-// a timestamp fire in schedule order.
+// number of devices of node i) and arms every event on env.
+//
+// Tie-break contract: events sharing a timestamp fire in schedule order
+// (the stable firing order of Schedule.Validate). This is a documented,
+// tested invariant — chaos-generated schedules routinely collide on
+// timestamps (a zone outage crashes a whole zone at one instant), and the
+// apply order decides which hook runs first. The same order holds at
+// every shard width: Split preserves relative order within each per-shard
+// schedule, and any two events that touch the same health state (same
+// node, same device, same link) are routed to the same shard, so their
+// relative firing position is identical whether one injector or eight
+// apply them.
 func NewInjector(env *sim.Env, gpus []int, s *Schedule, hooks Hooks) (*Injector, error) {
 	if err := s.Validate(gpus); err != nil {
 		return nil, err
@@ -240,14 +314,11 @@ func NewInjector(env *sim.Env, gpus []int, s *Schedule, hooks Hooks) (*Injector,
 	for i := range inj.alive {
 		inj.alive[i] = true
 	}
-	// Stable order by time, preserving schedule order for ties.
-	events := append([]Event(nil), s.Events...)
-	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
-	for _, ev := range events {
+	for _, idx := range firingOrder(s.Events) {
+		ev := s.Events[idx]
 		if ev.Kind == NodeRestart {
 			inj.restartsLeft++
 		}
-		ev := ev
 		env.At(ev.At, func() { inj.apply(ev) })
 	}
 	return inj, nil

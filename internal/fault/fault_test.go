@@ -134,3 +134,99 @@ func TestInjectorLinkDegradation(t *testing.T) {
 		t.Fatal("healthy link not cleared from the map")
 	}
 }
+
+// The restart-order rule: a restart that fires while its node is alive
+// and has a later crash can never heal that crash — Validate rejects it.
+func TestValidateRestartOrder(t *testing.T) {
+	gpus := []int{1, 1}
+	bad := []*Schedule{
+		// Plainly transposed times.
+		new(Schedule).Restart(0, sim.Second).Crash(0, 2*sim.Second),
+		// Same timestamp, restart earlier in schedule order: it fires
+		// first (while alive) and the crash lands after it.
+		new(Schedule).Restart(0, sim.Second).Crash(0, sim.Second),
+		// A healed first crash does not excuse a transposed second pair.
+		new(Schedule).
+			Crash(0, sim.Second).Restart(0, 2*sim.Second).
+			Restart(0, 3*sim.Second).Crash(0, 4*sim.Second),
+	}
+	for i, s := range bad {
+		if err := s.Validate(gpus); err == nil {
+			t.Errorf("case %d: restart-before-crash accepted: %+v", i, s.Events)
+		}
+	}
+	good := []*Schedule{
+		// Crash then restart at the very same timestamp heals: ties fire
+		// in schedule order.
+		new(Schedule).Crash(0, sim.Second).Restart(0, sim.Second),
+		// Interleaved lifecycles on one node.
+		new(Schedule).
+			Crash(0, sim.Second).Restart(0, 2*sim.Second).
+			Crash(0, 3*sim.Second).Restart(0, 4*sim.Second),
+		// A lone restart with no crash anywhere is a tolerated no-op
+		// (schedules compose; see TestInjectorRedundantEventsAreNoOps).
+		new(Schedule).Restart(1, sim.Second),
+		// A redundant restart after a healed crash, with no further
+		// crash, is equally harmless.
+		new(Schedule).
+			Crash(0, sim.Second).Restart(0, 2*sim.Second).Restart(0, 3*sim.Second),
+	}
+	for i, s := range good {
+		if err := s.Validate(gpus); err != nil {
+			t.Errorf("case %d: valid lifecycle rejected: %v", i, err)
+		}
+	}
+}
+
+// Link endpoints must be in range for the fleet for every link kind, not
+// just LinkDown.
+func TestValidateLinkEndpointRange(t *testing.T) {
+	gpus := []int{1, 1, 1}
+	bad := []*Schedule{
+		new(Schedule).RestoreLink(0, 3, 0),
+		new(Schedule).RestoreLink(-1, 1, 0),
+		new(Schedule).DegradeLink(1, 7, 0, 2, 2),
+		new(Schedule).DegradeLink(2, 2, 0, 2, 2),
+		new(Schedule).CutLink(3, 4, 0),
+	}
+	for i, s := range bad {
+		if err := s.Validate(gpus); err == nil {
+			t.Errorf("case %d: out-of-range link endpoints accepted: %+v", i, s.Events)
+		}
+	}
+}
+
+// Same-timestamp events apply in schedule order — the documented
+// tie-break. Crash-then-restart at one instant leaves the node alive;
+// slowdown-then-restore leaves the device healthy, and the reverse
+// orders leave it dead / throttled.
+func TestInjectorTieBreakIsScheduleOrder(t *testing.T) {
+	at := sim.Millis(1)
+	run := func(s *Schedule) *Injector {
+		t.Helper()
+		e := sim.NewEnv()
+		inj, err := NewInjector(e, []int{1, 1}, s, Hooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+		e.Close()
+		return inj
+	}
+	inj := run(new(Schedule).Crash(0, at).Restart(0, at))
+	if !inj.Alive(0) {
+		t.Fatal("crash;restart at one timestamp must end alive")
+	}
+	inj = run(new(Schedule).SlowGPU(1, 0, at, 4).RestoreGPU(1, 0, at))
+	if f := inj.GPUFactor(1, 0); f != 1 {
+		t.Fatalf("slow;restore at one timestamp: factor = %v, want 1", f)
+	}
+	inj = run(new(Schedule).RestoreGPU(1, 0, at).SlowGPU(1, 0, at, 4))
+	if f := inj.GPUFactor(1, 0); f != 4 {
+		t.Fatalf("restore;slow at one timestamp: factor = %v, want 4", f)
+	}
+	inj = run(new(Schedule).CutLink(0, 1, at).RestoreLink(0, 1, at))
+	if up, _, _ := inj.Link(0, 1); !up {
+		t.Fatal("cut;restore at one timestamp must end up")
+	}
+}

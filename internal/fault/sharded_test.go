@@ -100,3 +100,124 @@ func TestShardedInjectorValidates(t *testing.T) {
 		t.Fatal("out-of-range node accepted")
 	}
 }
+
+// Split edge cases: an empty (but non-nil) schedule, a schedule whose
+// events all land on one shard, and a link event whose endpoints straddle
+// shards while other events interleave around it.
+func TestSplitEdgeCases(t *testing.T) {
+	shardOf := func(n int) int { return n / 4 } // 8 nodes, 2 shards
+
+	// Empty schedule: every part exists and is empty.
+	for i, p := range Split(new(Schedule), 3, func(int) int { return 0 }) {
+		if p == nil || !p.Empty() {
+			t.Fatalf("empty schedule: part %d = %+v", i, p)
+		}
+	}
+
+	// All events on one shard: the other part stays empty and the dense
+	// part preserves schedule order exactly.
+	oneSide := new(Schedule).
+		Crash(1, sim.Millis(2)).
+		SlowGPU(2, 0, sim.Millis(1), 3).
+		CutLink(0, 3, sim.Millis(1)).
+		Restart(1, sim.Millis(3))
+	parts := Split(oneSide, 2, shardOf)
+	if len(parts[1].Events) != 0 {
+		t.Fatalf("shard 1 got %d events, want 0", len(parts[1].Events))
+	}
+	if len(parts[0].Events) != len(oneSide.Events) {
+		t.Fatalf("shard 0 got %d events, want %d", len(parts[0].Events), len(oneSide.Events))
+	}
+	for i, ev := range parts[0].Events {
+		if ev != oneSide.Events[i] {
+			t.Fatalf("shard 0 event %d reordered: %+v != %+v", i, ev, oneSide.Events[i])
+		}
+	}
+
+	// A straddling link event is duplicated to both endpoint shards, and
+	// each copy keeps its relative position among that shard's events.
+	straddle := new(Schedule).
+		Crash(0, sim.Millis(1)).
+		CutLink(2, 6, sim.Millis(1)). // endpoints on different shards
+		Crash(6, sim.Millis(1)).
+		RestoreLink(2, 6, sim.Millis(2))
+	parts = Split(straddle, 2, shardOf)
+	wantKinds := [][]EventKind{
+		{NodeCrash, LinkDown, LinkUp}, // shard 0: Crash(0) precedes the link
+		{LinkDown, NodeCrash, LinkUp}, // shard 1: the link precedes Crash(6)
+	}
+	for sh := 0; sh < 2; sh++ {
+		var kinds []EventKind
+		for _, ev := range parts[sh].Events {
+			kinds = append(kinds, ev.Kind)
+		}
+		want := wantKinds[sh]
+		if len(kinds) != 3 || kinds[0] != want[0] || kinds[1] != want[1] || kinds[2] != want[2] {
+			t.Fatalf("shard %d kinds = %v, want %v", sh, kinds, want)
+		}
+	}
+}
+
+// Chaos-style colliding timestamps (a whole zone crashing at one instant,
+// straggler flaps at the same tick) must resolve to the identical health
+// state at every shard width — the tie-break contract, sharded.
+func TestShardedTieBreakInvariantAcrossWidths(t *testing.T) {
+	const nodes = 16
+	gpus := make([]int, nodes)
+	for i := range gpus {
+		gpus[i] = 2
+	}
+	at := sim.Millis(5)
+	s := &Schedule{}
+	for n := 4; n < 12; n++ { // "zone" 4..11 dies at one timestamp
+		s.Crash(n, at)
+	}
+	for n := 4; n < 12; n++ {
+		s.Restart(n, at+sim.Millis(3))
+	}
+	s.Crash(6, at+sim.Millis(3)) // collides with the zone restart wave
+	s.SlowGPU(0, 1, at, 4).RestoreGPU(0, 1, at).SlowGPU(0, 1, at, 8)
+	s.CutLink(3, 12, at).RestoreLink(3, 12, at).CutLink(3, 12, at)
+
+	type state struct {
+		alive [nodes]bool
+		gpuF  float64
+		lin   bool
+	}
+	var states []state
+	for _, width := range []int{1, 2, 4, 8} {
+		env := sim.NewEnv(sim.WithShards(width))
+		ss := env.Sharded()
+		shardOf := func(n int) int { return n * width / nodes }
+		si, err := NewShardedInjector(ss, gpus, s, shardOf, Hooks{})
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		env.RunUntil(sim.Millis(20))
+		var st state
+		for n := 0; n < nodes; n++ {
+			st.alive[n] = si.Alive(n)
+		}
+		st.gpuF = si.For(0).GPUFactor(0, 1)
+		// Both endpoint owners must agree the link is down.
+		upA, _, _ := si.For(3).Link(3, 12)
+		upB, _, _ := si.For(12).Link(3, 12)
+		st.lin = upA || upB
+		env.Close()
+		states = append(states, st)
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i] != states[0] {
+			t.Fatalf("width %d diverged: %+v != %+v", []int{1, 2, 4, 8}[i], states[i], states[0])
+		}
+	}
+	if states[0].gpuF != 8 {
+		t.Fatalf("gpu factor = %v, want 8 (last writer at the tick wins)", states[0].gpuF)
+	}
+	if states[0].lin {
+		t.Fatal("link must end down (last writer at the tick wins)")
+	}
+	if states[0].alive[6] {
+		t.Fatal("node 6: restart wave then crash at one tick must end dead")
+	}
+}

@@ -52,6 +52,18 @@ type Config struct {
 	// Faults is an optional fault schedule (node crashes/restarts), routed
 	// to owning shards via fault.Split.
 	Faults *fault.Schedule
+	// GPUs is the per-node device shape used to validate the schedule and
+	// as straggler targets (a gpu-slow on device 0 stretches the node's
+	// work-pump service times). Nil means one device per node.
+	GPUs []int
+	// StartAt staggers node boot: node i arms its protocol loops at
+	// StartAt[i] instead of t=0 (scenario startup patterns). Nil or an
+	// all-zero slice is the instant boot and is bit-identical to it.
+	StartAt []sim.Time
+	// Probes are timed health observations, each armed on its node's
+	// owning shard after the fault events of the same timestamp (scenario
+	// assertions). Nil leaves the event stream untouched.
+	Probes []fault.Probe
 }
 
 // DefaultConfig returns a chatty fleet over the default DAS-5-style
@@ -180,6 +192,22 @@ func Run(cfg Config) (Result, error) {
 	if cfg.HeartbeatPeriod <= 0 {
 		return Result{}, fmt.Errorf("fleet: HeartbeatPeriod must be positive")
 	}
+	if cfg.GPUs != nil && len(cfg.GPUs) != cfg.Nodes {
+		return Result{}, fmt.Errorf("fleet: GPUs shape has %d entries for %d nodes", len(cfg.GPUs), cfg.Nodes)
+	}
+	if cfg.StartAt != nil && len(cfg.StartAt) != cfg.Nodes {
+		return Result{}, fmt.Errorf("fleet: StartAt has %d entries for %d nodes", len(cfg.StartAt), cfg.Nodes)
+	}
+	for i, at := range cfg.StartAt {
+		if at < 0 {
+			return Result{}, fmt.Errorf("fleet: StartAt[%d] = %v is negative", i, at)
+		}
+	}
+	for _, p := range cfg.Probes {
+		if p.Node < 0 || p.Node >= cfg.Nodes {
+			return Result{}, fmt.Errorf("fleet: probe targets node %d of %d", p.Node, cfg.Nodes)
+		}
+	}
 
 	env := sim.NewEnv(sim.WithShards(cfg.Shards), sim.WithSeed(cfg.Seed), sim.WithLookahead(cfg.NetLatency))
 	ss := env.Sharded()
@@ -199,9 +227,12 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	if !cfg.Faults.Empty() {
-		gpus := make([]int, cfg.Nodes)
-		for i := range gpus {
-			gpus[i] = 1 // fleet nodes have no devices; shape for validation only
+		gpus := cfg.GPUs
+		if gpus == nil {
+			gpus = make([]int, cfg.Nodes)
+			for i := range gpus {
+				gpus[i] = 1 // fleet nodes model one device; shape for validation
+			}
 		}
 		inj, err := fault.NewShardedInjector(ss, gpus, cfg.Faults, m.ShardOf, fault.Hooks{
 			OnCrash: func(id int) { fs.nodes[id].queue = 0 }, // volatile queue lost
@@ -212,14 +243,30 @@ func Run(cfg Config) (Result, error) {
 		fs.inj = inj
 		fs.net.SetAliveFunc(inj.Alive)
 	}
+	// Probes arm after the injector so same-timestamp fault events fire
+	// first; with no schedule fs.inj is nil and every probe reads alive.
+	if len(cfg.Probes) > 0 {
+		fault.ArmShardedProbes(ss, fs.inj, m.ShardOf, cfg.Probes)
+	}
 
 	// Boot: every node arms its heartbeat loop and work pump on its own
-	// shard's Env.
+	// shard's Env, offset by its StartAt slot when staggered startup is
+	// configured (a zero offset takes the t=0 path and stays bit-identical
+	// to the nil-StartAt boot).
 	for i, n := range fs.nodes {
 		n := n
 		e := ss.Shard(m.ShardOf(i)).Env()
-		e.At(n.rng.jitter(cfg.HeartbeatPeriod), func() { fs.heartbeat(e, n) })
-		e.Defer(func() { fs.pump(e, n) })
+		var start sim.Time
+		if cfg.StartAt != nil {
+			start = cfg.StartAt[i]
+		}
+		if start == 0 {
+			e.At(n.rng.jitter(cfg.HeartbeatPeriod), func() { fs.heartbeat(e, n) })
+			e.Defer(func() { fs.pump(e, n) })
+		} else {
+			e.At(start+n.rng.jitter(cfg.HeartbeatPeriod), func() { fs.heartbeat(e, n) })
+			e.At(start, func() { fs.pump(e, n) })
+		}
 	}
 
 	env.RunUntil(cfg.Duration)
@@ -235,6 +282,20 @@ func Run(cfg Config) (Result, error) {
 	}
 	for i := 0; i < ss.NumShards(); i++ {
 		res.Events += ss.Shard(i).Env().EventsProcessed()
+	}
+	// fault.Split duplicates a link event to both endpoint shards when the
+	// endpoints are owned by different shards, so the raw engine count
+	// varies with the width. Subtract the extra copies: Events then counts
+	// each scheduled fault exactly once and stays width-invariant.
+	if !cfg.Faults.Empty() {
+		for _, ev := range cfg.Faults.Events {
+			switch ev.Kind {
+			case fault.LinkDown, fault.LinkUp, fault.LinkDegrade:
+				if m.ShardOf(ev.A) != m.ShardOf(ev.B) {
+					res.Events--
+				}
+			}
+		}
 	}
 	for _, n := range fs.nodes {
 		res.Heartbeats += n.heartbeats
@@ -301,6 +362,13 @@ func (fs *fleetSim) pump(e *sim.Env, n *node) {
 	}
 	n.busy = true
 	service := sim.Micros(20) + sim.Time(n.rng.next()%uint64(sim.Micros(80)))
+	// A straggler window (gpu-slow on the node's device 0) stretches
+	// service times while it lasts; factor 1 leaves the draw untouched.
+	if fs.inj != nil {
+		if f := fs.inj.For(n.id).GPUFactor(n.id, 0); f > 1 {
+			service = sim.Time(float64(service) * f)
+		}
+	}
 	e.After(service, func() {
 		if fs.alive(n) {
 			n.queue--

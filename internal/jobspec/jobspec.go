@@ -64,6 +64,35 @@ func (f Fault) apply(s *fault.Schedule) error {
 	return nil
 }
 
+// FaultsFromSchedule converts a compiled fault schedule back to the wire
+// format, preserving order. It is the inverse of Spec.Faults' apply path
+// (round-trip exact: AtMS = At / 1ms and sim.Millis undoes it), letting a
+// scenario file's compiled chaos or event section ride along on a job
+// submission — rocketload -scenario uses it so HTTP load tests and the
+// scenario harness share one fault vocabulary.
+func FaultsFromSchedule(s *fault.Schedule) []Fault {
+	if s.Empty() {
+		return nil
+	}
+	out := make([]Fault, 0, len(s.Events))
+	for _, ev := range s.Events {
+		f := Fault{Kind: ev.Kind.String(), AtMS: float64(ev.At) / 1e6}
+		switch ev.Kind {
+		case fault.NodeCrash, fault.NodeRestart:
+			f.Node = ev.Node
+		case fault.GPUSlowdown:
+			f.Node, f.GPU, f.Factor = ev.Node, ev.GPU, ev.Factor
+		case fault.LinkDown, fault.LinkUp:
+			f.A, f.B = ev.A, ev.B
+		case fault.LinkDegrade:
+			f.A, f.B = ev.A, ev.B
+			f.LatencyFactor, f.BandwidthFactor = ev.LatencyFactor, ev.BandwidthFactor
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
 // Spec describes one job. App seeds and job seeds are derived from the
 // manifest seed and submission index when left zero, exactly as the
 // scheduler does, so a spec round-trips through a served arrival log.

@@ -1,6 +1,7 @@
 package jobspec
 
 import (
+	"reflect"
 	"testing"
 
 	"rocket/internal/fault"
@@ -103,5 +104,15 @@ func TestFaultSpecsBuildSchedule(t *testing.T) {
 		if ev.Kind != kinds[i] {
 			t.Fatalf("event %d kind %v, want %v", i, ev.Kind, kinds[i])
 		}
+	}
+
+	// FaultsFromSchedule is the exact inverse of the apply path: the wire
+	// records round-trip through a compiled schedule unchanged.
+	back := FaultsFromSchedule(j.Faults)
+	if !reflect.DeepEqual(back, s.Faults) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", back, s.Faults)
+	}
+	if FaultsFromSchedule(nil) != nil || FaultsFromSchedule(new(fault.Schedule)) != nil {
+		t.Fatal("empty schedule must convert to nil")
 	}
 }

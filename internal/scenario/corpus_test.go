@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The committed corpus is the regression suite: every scenario under
+// scenarios/ must parse, run, and pass its own assertions. The 1k-node
+// stress scenario is skipped under -short; `make smoke-scenarios` (CI)
+// always runs the whole corpus twice and diffs the reports.
+func TestCommittedCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no committed scenarios found: %v", err)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Parse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if testing.Short() && sc.nodeCount() >= 1000 {
+				t.Skip("large stress scenario skipped under -short")
+			}
+			rep, err := Run(sc, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Pass {
+				t.Fatalf("scenario failed:\n%s", rep.Text())
+			}
+		})
+	}
+}

@@ -1,0 +1,183 @@
+package scenario
+
+// Strict typed decoding over the parsed YAML tree: every mapping is read
+// through an obj, which records the keys the schema consumed and rejects
+// the rest, so a misspelled field is a hard error instead of a silently
+// ignored setting.
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"rocket/internal/sim"
+)
+
+// obj wraps one yMap for strict field access. The first error sticks;
+// subsequent accessors no-op, so decode code reads straight-line.
+type obj struct {
+	n    *yNode
+	path string
+	used map[string]bool
+	err  *error
+}
+
+func newObj(n *yNode, path string, err *error) *obj {
+	o := &obj{n: n, path: path, used: map[string]bool{}, err: err}
+	if *err == nil && n.kind != yMap {
+		*err = fmt.Errorf("line %d: %s must be a mapping, got a %s", n.line, path, n.kindName())
+	}
+	return o
+}
+
+func (o *obj) fail(format string, args ...interface{}) {
+	if *o.err == nil {
+		*o.err = fmt.Errorf(format, args...)
+	}
+}
+
+// get returns the raw child node, or nil when absent.
+func (o *obj) get(key string) *yNode {
+	if *o.err != nil {
+		return nil
+	}
+	o.used[key] = true
+	return o.n.vals[key]
+}
+
+// finish rejects keys the schema never consumed.
+func (o *obj) finish() {
+	if *o.err != nil {
+		return
+	}
+	for _, k := range o.n.keys {
+		if !o.used[k] {
+			o.fail("line %d: unknown key %q in %s", o.n.vals[k].line, k, o.path)
+			return
+		}
+	}
+}
+
+func (o *obj) scalar(key string) (string, bool) {
+	n := o.get(key)
+	if n == nil {
+		return "", false
+	}
+	if n.kind != yScalar {
+		o.fail("line %d: %s.%s must be a scalar, got a %s", n.line, o.path, key, n.kindName())
+		return "", false
+	}
+	return n.scalar, true
+}
+
+func (o *obj) str(key, def string) string {
+	if s, ok := o.scalar(key); ok {
+		return s
+	}
+	return def
+}
+
+func (o *obj) integer(key string, def int) int {
+	s, ok := o.scalar(key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		o.fail("%s.%s: %q is not an integer", o.path, key, s)
+		return def
+	}
+	return v
+}
+
+func (o *obj) unsigned(key string, def uint64) uint64 {
+	s, ok := o.scalar(key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		o.fail("%s.%s: %q is not an unsigned integer", o.path, key, s)
+		return def
+	}
+	return v
+}
+
+func (o *obj) float(key string, def float64) float64 {
+	s, ok := o.scalar(key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		o.fail("%s.%s: %q is not a number", o.path, key, s)
+		return def
+	}
+	return v
+}
+
+func (o *obj) boolean(key string, def bool) bool {
+	s, ok := o.scalar(key)
+	if !ok {
+		return def
+	}
+	switch s {
+	case "true", "yes", "on":
+		return true
+	case "false", "no", "off":
+		return false
+	}
+	o.fail("%s.%s: %q is not a boolean", o.path, key, s)
+	return def
+}
+
+// dur decodes a duration scalar ("5ms", "250us", "1.5s") into virtual
+// time. A bare number is rejected: scenario times always carry units.
+func (o *obj) dur(key string, def sim.Time) sim.Time {
+	s, ok := o.scalar(key)
+	if !ok {
+		return def
+	}
+	t, err := parseDur(s)
+	if err != nil {
+		o.fail("%s.%s: %v", o.path, key, err)
+		return def
+	}
+	return t
+}
+
+func parseDur(s string) (sim.Time, error) {
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return 0, fmt.Errorf("duration %q has no unit (write 5ms, 250us, 1s, ...)", s)
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a duration", s)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("duration %q is negative", s)
+	}
+	return sim.Time(d.Nanoseconds()), nil
+}
+
+// list returns the items of a child list, or nil when absent.
+func (o *obj) list(key string) []*yNode {
+	n := o.get(key)
+	if n == nil {
+		return nil
+	}
+	if n.kind != yList {
+		o.fail("line %d: %s.%s must be a list, got a %s", n.line, o.path, key, n.kindName())
+		return nil
+	}
+	return n.items
+}
+
+// child returns a nested mapping as an obj, or nil when absent.
+func (o *obj) child(key string) *obj {
+	n := o.get(key)
+	if n == nil {
+		return nil
+	}
+	return newObj(n, o.path+"."+key, o.err)
+}

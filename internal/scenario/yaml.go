@@ -1,0 +1,325 @@
+package scenario
+
+// A hand-written strict decoder for the YAML subset scenario files use.
+// The repo deliberately has no third-party dependencies, and scenarios
+// only need a small, predictable slice of YAML: block mappings nested by
+// two-space indentation, block lists of scalars or mappings, one level of
+// flow collections ({k: v, ...} and [a, b]), comments, and quoted or
+// plain scalars. Everything outside that subset — anchors, aliases,
+// multi-line scalars, tabs, documents — is a parse error, which is a
+// feature: a scenario that needs exotic YAML is a scenario that should be
+// rewritten.
+//
+// Scalars stay strings at this layer; the schema decoder (decode.go)
+// assigns types and rejects unknown keys, so typos fail loudly instead of
+// silently defaulting.
+
+import (
+	"fmt"
+	"strings"
+)
+
+type yKind int
+
+const (
+	yScalar yKind = iota
+	yMap
+	yList
+)
+
+// yNode is one parsed YAML value.
+type yNode struct {
+	kind   yKind
+	scalar string
+	keys   []string // map insertion order
+	vals   map[string]*yNode
+	items  []*yNode
+	line   int // 1-based source line, for error messages
+}
+
+func (n *yNode) kindName() string {
+	switch n.kind {
+	case yScalar:
+		return "scalar"
+	case yMap:
+		return "mapping"
+	default:
+		return "list"
+	}
+}
+
+type yLine struct {
+	indent int
+	text   string
+	num    int
+}
+
+// parseYAML parses a whole document into its root mapping.
+func parseYAML(data []byte) (*yNode, error) {
+	var lines []yLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("line %d: tabs are not allowed; indent with spaces", i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		if trimmed == "---" {
+			continue // document marker tolerated at any position's own line
+		}
+		lines = append(lines, yLine{
+			indent: len(text) - len(trimmed),
+			text:   strings.TrimRight(trimmed, " "),
+			num:    i + 1,
+		})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty document")
+	}
+	node, next, err := parseBlock(lines, 0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("line %d: content outdented past the document root", lines[next].num)
+	}
+	if node.kind != yMap {
+		return nil, fmt.Errorf("line %d: the document root must be a mapping", lines[0].num)
+	}
+	return node, nil
+}
+
+// stripComment removes a trailing comment, honoring quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses the block starting at lines[i], all of whose lines
+// share the given indent, and returns the node and the index of the first
+// line after the block.
+func parseBlock(lines []yLine, i, indent int) (*yNode, int, error) {
+	if lines[i].indent != indent {
+		return nil, 0, fmt.Errorf("line %d: unexpected indentation", lines[i].num)
+	}
+	if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+		return parseList(lines, i, indent)
+	}
+	return parseMap(lines, i, indent)
+}
+
+func parseMap(lines []yLine, i, indent int) (*yNode, int, error) {
+	n := &yNode{kind: yMap, vals: map[string]*yNode{}, line: lines[i].num}
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, 0, fmt.Errorf("line %d: list item inside a mapping block", ln.num)
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, dup := n.vals[key]; dup {
+			return nil, 0, fmt.Errorf("line %d: duplicate key %q", ln.num, key)
+		}
+		var val *yNode
+		if rest != "" {
+			val, err = parseInline(rest, ln.num)
+			if err != nil {
+				return nil, 0, err
+			}
+			i++
+		} else {
+			// Block value: the nested lines must be indented deeper.
+			i++
+			if i >= len(lines) || lines[i].indent <= indent {
+				return nil, 0, fmt.Errorf("line %d: key %q has no value", ln.num, key)
+			}
+			val, i, err = parseBlock(lines, i, lines[i].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		n.keys = append(n.keys, key)
+		n.vals[key] = val
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, 0, fmt.Errorf("line %d: unexpected indentation", lines[i].num)
+	}
+	return n, i, nil
+}
+
+func parseList(lines []yLine, i, indent int) (*yNode, int, error) {
+	n := &yNode{kind: yList, line: lines[i].num}
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			return nil, 0, fmt.Errorf("line %d: expected a list item", ln.num)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		itemIndent := indent + 2
+		switch {
+		case rest == "":
+			// "-" alone: the item is the nested block below.
+			i++
+			if i >= len(lines) || lines[i].indent <= indent {
+				return nil, 0, fmt.Errorf("line %d: empty list item", ln.num)
+			}
+			item, next, err := parseBlock(lines, i, lines[i].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			n.items = append(n.items, item)
+			i = next
+		case strings.HasPrefix(rest, "{") || strings.HasPrefix(rest, "["):
+			// "- {k: v, ...}" / "- [a, b]": a flow-collection item.
+			item, err := parseInline(rest, ln.num)
+			if err != nil {
+				return nil, 0, err
+			}
+			n.items = append(n.items, item)
+			i++
+		case strings.Contains(rest, ": ") || strings.HasSuffix(rest, ":"):
+			// "- key: value": a mapping whose first entry is inline and
+			// whose remaining entries continue on deeper-indented lines.
+			// Re-parse with the dash treated as two columns of indent.
+			sub := []yLine{{indent: itemIndent, text: rest, num: ln.num}}
+			j := i + 1
+			for j < len(lines) && lines[j].indent >= itemIndent {
+				sub = append(sub, lines[j])
+				j++
+			}
+			item, next, err := parseMap(sub, 0, itemIndent)
+			if err != nil {
+				return nil, 0, err
+			}
+			if next != len(sub) {
+				return nil, 0, fmt.Errorf("line %d: unexpected indentation", sub[next].num)
+			}
+			n.items = append(n.items, item)
+			i = j
+		default:
+			item, err := parseInline(rest, ln.num)
+			if err != nil {
+				return nil, 0, err
+			}
+			n.items = append(n.items, item)
+			i++
+		}
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, 0, fmt.Errorf("line %d: unexpected indentation", lines[i].num)
+	}
+	return n, i, nil
+}
+
+// splitKey splits "key: rest" / "key:"; the key may be quoted.
+func splitKey(ln yLine) (key, rest string, err error) {
+	idx := strings.Index(ln.text, ":")
+	if idx < 0 {
+		return "", "", fmt.Errorf("line %d: expected \"key: value\"", ln.num)
+	}
+	key = strings.TrimSpace(ln.text[:idx])
+	rest = strings.TrimSpace(ln.text[idx+1:])
+	if unq, ok := unquote(key); ok {
+		key = unq
+	}
+	if key == "" {
+		return "", "", fmt.Errorf("line %d: empty key", ln.num)
+	}
+	return key, rest, nil
+}
+
+// parseInline parses a scalar or a one-level flow collection.
+func parseInline(s string, num int) (*yNode, error) {
+	switch {
+	case strings.HasPrefix(s, "{"):
+		if !strings.HasSuffix(s, "}") {
+			return nil, fmt.Errorf("line %d: unterminated flow mapping", num)
+		}
+		n := &yNode{kind: yMap, vals: map[string]*yNode{}, line: num}
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			idx := strings.Index(part, ":")
+			if idx < 0 {
+				return nil, fmt.Errorf("line %d: flow mapping entry %q has no colon", num, part)
+			}
+			key := strings.TrimSpace(part[:idx])
+			if unq, ok := unquote(key); ok {
+				key = unq
+			}
+			val := strings.TrimSpace(part[idx+1:])
+			if key == "" || val == "" {
+				return nil, fmt.Errorf("line %d: malformed flow mapping entry %q", num, part)
+			}
+			if strings.ContainsAny(val, "{}[]") {
+				return nil, fmt.Errorf("line %d: nested flow collections are not supported", num)
+			}
+			if _, dup := n.vals[key]; dup {
+				return nil, fmt.Errorf("line %d: duplicate key %q", num, key)
+			}
+			n.keys = append(n.keys, key)
+			n.vals[key] = &yNode{kind: yScalar, scalar: scalarOf(val), line: num}
+		}
+		return n, nil
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("line %d: unterminated flow list", num)
+		}
+		n := &yNode{kind: yList, line: num}
+		for _, part := range splitFlow(s[1 : len(s)-1]) {
+			if strings.ContainsAny(part, "{}[]") {
+				return nil, fmt.Errorf("line %d: nested flow collections are not supported", num)
+			}
+			n.items = append(n.items, &yNode{kind: yScalar, scalar: scalarOf(part), line: num})
+		}
+		return n, nil
+	default:
+		return &yNode{kind: yScalar, scalar: scalarOf(s), line: num}, nil
+	}
+}
+
+// splitFlow splits flow-collection content on commas, dropping empties.
+func splitFlow(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func scalarOf(s string) string {
+	if unq, ok := unquote(s); ok {
+		return unq
+	}
+	return s
+}
+
+// unquote strips one level of matching quotes.
+func unquote(s string) (string, bool) {
+	if len(s) >= 2 {
+		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
+			return s[1 : len(s)-1], true
+		}
+	}
+	return s, false
+}

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestYAMLParse(t *testing.T) {
+	doc := `
+# a comment
+name: demo          # trailing comment
+mode: "fleet"
+seed: 7
+nested:
+  alpha: 1ms
+  beta:
+    gamma: true
+flow_map: {a: 1, b: two}
+flow_list: [1, 2, 3]
+items:
+  - plain
+  - 'quoted # not a comment'
+maps:
+  - name: first
+    weight: 3
+  - name: second
+    weight: 1
+    extra:
+      deep: yes
+flow_items:
+  - {at: 1ms, kind: crash}
+  - [4, 5]
+`
+	root, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.vals["name"].scalar; got != "demo" {
+		t.Errorf("name = %q", got)
+	}
+	if got := root.vals["mode"].scalar; got != "fleet" {
+		t.Errorf("mode = %q (quotes not stripped?)", got)
+	}
+	if got := root.vals["nested"].vals["beta"].vals["gamma"].scalar; got != "true" {
+		t.Errorf("nested.beta.gamma = %q", got)
+	}
+	fm := root.vals["flow_map"]
+	if fm.kind != yMap || fm.vals["b"].scalar != "two" {
+		t.Errorf("flow map = %+v", fm)
+	}
+	fl := root.vals["flow_list"]
+	if fl.kind != yList || len(fl.items) != 3 || fl.items[2].scalar != "3" {
+		t.Errorf("flow list = %+v", fl)
+	}
+	items := root.vals["items"]
+	if len(items.items) != 2 || items.items[1].scalar != "quoted # not a comment" {
+		t.Errorf("items = %+v", items.items)
+	}
+	maps := root.vals["maps"]
+	if len(maps.items) != 2 {
+		t.Fatalf("maps has %d items", len(maps.items))
+	}
+	if got := maps.items[0].vals["weight"].scalar; got != "3" {
+		t.Errorf("maps[0].weight = %q", got)
+	}
+	if got := maps.items[1].vals["extra"].vals["deep"].scalar; got != "yes" {
+		t.Errorf("maps[1].extra.deep = %q", got)
+	}
+	fi := root.vals["flow_items"]
+	if len(fi.items) != 2 || fi.items[0].kind != yMap || fi.items[1].kind != yList {
+		t.Fatalf("flow items = %+v", fi.items)
+	}
+	if got := fi.items[0].vals["kind"].scalar; got != "crash" {
+		t.Errorf("flow_items[0].kind = %q", got)
+	}
+	if got := fi.items[1].items[1].scalar; got != "5" {
+		t.Errorf("flow_items[1][1] = %q", got)
+	}
+}
+
+func TestYAMLParseErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"tab", "a:\tb", "tabs"},
+		{"empty", "# nothing\n", "empty document"},
+		{"scalar root", "just a scalar", "key: value"},
+		{"dup key", "a: 1\na: 2", "duplicate key"},
+		{"no value", "a:\nb: 2", "no value"},
+		{"bad indent", "a:\n  b: 1\n   c: 2", "indentation"},
+		{"list in map", "a: 1\n- b", "list item"},
+		{"unterminated flow map", "a: {x: 1", "unterminated"},
+		{"unterminated flow list", "a: [1, 2", "unterminated"},
+		{"nested flow", "a: {x: [1]}", "nested flow"},
+		{"flow entry no colon", "a: {x}", "no colon"},
+		{"empty list item", "a:\n  -", "empty list item"},
+	}
+	for _, tc := range cases {
+		_, err := parseYAML([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: parse accepted %q", tc.name, tc.doc)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDurationsRequireUnits(t *testing.T) {
+	if _, err := parseDur("5"); err == nil {
+		t.Error("bare number accepted as duration")
+	}
+	if _, err := parseDur("-3ms"); err == nil {
+		t.Error("negative duration accepted")
+	}
+	d, err := parseDur("1.5ms")
+	if err != nil || d != 1_500_000 {
+		t.Errorf("1.5ms = %v, %v", d, err)
+	}
+}

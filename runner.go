@@ -6,6 +6,7 @@ import (
 	"rocket/internal/cluster"
 	"rocket/internal/core"
 	"rocket/internal/fault"
+	"rocket/internal/fleet"
 	"rocket/internal/sched"
 	"rocket/internal/sim"
 )
@@ -17,6 +18,21 @@ type Time = sim.Time
 // FaultSchedule is a deterministic fault-injection schedule; see
 // rocket/internal/fault.
 type FaultSchedule = fault.Schedule
+
+// FaultProbe is one timed health observation armed inside virtual time;
+// see rocket/internal/fault.
+type FaultProbe = fault.Probe
+
+// ChaosConfig parameterizes a seeded fault storm whose Generate method
+// samples a replayable FaultSchedule; see rocket/internal/fault.
+type ChaosConfig = fault.ChaosConfig
+
+// FleetConfig configures a fleet-protocol run over the sharded event
+// engine; see rocket/internal/fleet.
+type FleetConfig = fleet.Config
+
+// FleetResult is a fleet run's deterministic summary.
+type FleetResult = fleet.Result
 
 // An Option configures a Runner; pass options to New.
 type Option func(*Runner)
@@ -173,6 +189,16 @@ func WithFaults(s *FaultSchedule) Option {
 	return func(r *Runner) { r.cfg.Faults = s }
 }
 
+// WithFaultProbes arms timed health observations inside virtual time:
+// each probe reads its node's liveness at the given instant, after any
+// fault events sharing the timestamp (scenario assertions are built on
+// these). Probes apply to Run and RunFleet alike.
+func WithFaultProbes(probes ...FaultProbe) Option {
+	return func(r *Runner) {
+		r.cfg.FaultProbes = append(r.cfg.FaultProbes, probes...)
+	}
+}
+
 // WithStoreSnapshot attaches an immutable pair-store snapshot consulted
 // by the incremental (delta) prefilter; pair with WithBaseItems and
 // WithItemDigest.
@@ -289,6 +315,43 @@ func (r *Runner) Run(app Application) (*Metrics, error) {
 	cfg.App = app
 	cfg.Cluster = c
 	return core.Run(cfg)
+}
+
+// RunFleet executes the message-driven fleet workload (heartbeats,
+// gossip, work-stealing) over the sharded event engine, sized by the
+// Runner's platform: one fleet node per topology spec, the configured
+// shard width (WithShards), seed, fault schedule, and probes. fn, when
+// non-nil, edits the derived fleet configuration before the run —
+// duration, staggered startup, extra probes, chaos-generated schedules.
+// Results are bit-identical at every shard width for the same
+// configuration and seed.
+func (r *Runner) RunFleet(fn func(*FleetConfig)) (FleetResult, error) {
+	if r.err != nil {
+		return FleetResult{}, r.err
+	}
+	specs := r.Topology()
+	if specs == nil {
+		return FleetResult{}, fmt.Errorf("rocket: no platform configured; pass WithTopology, WithHomogeneous, or WithCluster to New")
+	}
+	cfg := fleet.DefaultConfig(len(specs))
+	cfg.Shards = r.shards
+	cfg.Seed = r.cfg.Seed
+	cfg.NetLatency = r.fabric.NetLatency
+	cfg.NetBandwidth = r.fabric.NetBandwidth
+	cfg.Faults = r.cfg.Faults
+	cfg.Probes = append([]FaultProbe(nil), r.cfg.FaultProbes...)
+	gpus := make([]int, len(specs))
+	for i, s := range specs {
+		gpus[i] = len(s.GPUs)
+		if gpus[i] < 1 {
+			gpus[i] = 1
+		}
+	}
+	cfg.GPUs = gpus
+	if fn != nil {
+		fn(&cfg)
+	}
+	return fleet.Run(cfg)
 }
 
 // RunQueue schedules a queue of all-pairs jobs over one shared simulated
