@@ -7,10 +7,10 @@
 GO ?= go
 ROCKET_SCALE ?= 50
 BENCH_RUN ?= local
-BENCH_BASELINE ?= BENCH_pr6.json
+BENCH_BASELINE ?= BENCH_pr8.json
 COVERAGE_FLOOR ?= 75.0
 
-.PHONY: build test race-stress bench bench-sim bench-shards bench-json bench-gate coverage smoke smoke-scenarios smoke-incremental fuzz-smoke lint ci fmt
+.PHONY: build test race-stress bench bench-sim bench-shards bench-json bench-gate coverage smoke smoke-scenarios smoke-elastic smoke-incremental fuzz-smoke lint ci fmt
 
 build:
 	$(GO) build ./...
@@ -107,6 +107,21 @@ smoke-scenarios:
 	/tmp/rocket-smoke-rocketsim run -q -report /tmp/rocket-scenario-reports-rerun scenarios/*.yaml
 	diff -r /tmp/rocket-scenario-reports /tmp/rocket-scenario-reports-rerun
 
+# Mirrors the workflow's smoke-elastic step: the elastic-membership
+# scenario (wave joins + spot preemptions) runs at engine widths 1, 2, 4
+# and 8, and the four JSON reports must be byte-identical — churn must
+# not open a seam between shards. Reports land in
+# /tmp/rocket-elastic-reports-w<width>.
+smoke-elastic:
+	$(GO) build -o /tmp/rocket-smoke-rocketsim ./cmd/rocketsim
+	rm -rf /tmp/rocket-elastic-reports-w1 /tmp/rocket-elastic-reports-w2 /tmp/rocket-elastic-reports-w4 /tmp/rocket-elastic-reports-w8
+	for w in 1 2 4 8; do \
+		/tmp/rocket-smoke-rocketsim run -q -shards $$w -report /tmp/rocket-elastic-reports-w$$w scenarios/elastic-burst.yaml || exit 1; \
+	done
+	diff -r /tmp/rocket-elastic-reports-w1 /tmp/rocket-elastic-reports-w2
+	diff -r /tmp/rocket-elastic-reports-w1 /tmp/rocket-elastic-reports-w4
+	diff -r /tmp/rocket-elastic-reports-w1 /tmp/rocket-elastic-reports-w8
+
 # Mirrors the workflow's smoke-incremental step: the pair-store
 # warm-start flow end to end — create a dataset, run it, append, run the
 # delta, assert the base pairs were served from the store (66 = C(12,2)
@@ -162,4 +177,5 @@ ci: lint build test race-stress
 	$(MAKE) fuzz-smoke
 	$(MAKE) smoke
 	$(MAKE) smoke-scenarios
+	$(MAKE) smoke-elastic
 	$(MAKE) smoke-incremental

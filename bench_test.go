@@ -90,3 +90,10 @@ func BenchmarkResilience(b *testing.B) { benchExperiment(b, "resilience") }
 // (expected: ≥5x over full recompute at 10% growth).
 
 func BenchmarkIncremental(b *testing.B) { benchExperiment(b, "incremental") }
+
+// Elastic-membership subsystem: churn invariance across engine widths
+// plus the autoscaler's node-seconds vs p99-wait trade against a fixed
+// max-size fleet (asserted inside the experiment: identical p99 at a
+// strictly lower bill for the warm pool).
+
+func BenchmarkElasticity(b *testing.B) { benchExperiment(b, "elasticity") }

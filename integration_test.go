@@ -23,18 +23,16 @@ var tinyOptions = experiments.Options{Scale: 25, Seed: 1}
 func runForensics(t *testing.T, nodes int, mutate func(*core.Config)) *rocket.Metrics {
 	t.Helper()
 	app := forensics.New(forensics.Params{N: 200, Seed: 1})
-	cl, err := rocket.Homogeneous(nodes, rocket.DAS5Node(rocket.TitanXMaxwell))
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := rocket.Config{
-		App: app, Cluster: cl, Seed: 1,
-		DeviceSlots: 12, HostSlots: 42,
+	opts := []rocket.Option{
+		rocket.WithHomogeneous(nodes, rocket.DAS5Node(rocket.TitanXMaxwell)),
+		rocket.WithSeed(1),
+		rocket.WithDeviceSlots(12),
+		rocket.WithHostSlots(42),
 	}
 	if mutate != nil {
-		mutate(&cfg)
+		opts = append(opts, rocket.WithConfig(mutate))
 	}
-	m, err := rocket.Run(cfg)
+	m, err := rocket.New(opts...).Run(app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,14 +123,12 @@ func TestIntegrationNoDistCacheNoDHTTraffic(t *testing.T) {
 func TestIntegrationRuntimeNeverBeatsModelBound(t *testing.T) {
 	for _, s := range experiments.AllSetups(tinyOptions) {
 		s := s
-		cl, err := rocket.Homogeneous(1, rocket.DAS5Node(rocket.TitanXMaxwell))
-		if err != nil {
-			t.Fatal(err)
-		}
-		m, err := rocket.Run(rocket.Config{
-			App: s.App, Cluster: cl,
-			DeviceSlots: s.DevSlots, HostSlots: s.HostSlots, Seed: 1,
-		})
+		m, err := rocket.New(
+			rocket.WithHomogeneous(1, rocket.DAS5Node(rocket.TitanXMaxwell)),
+			rocket.WithSeed(1),
+			rocket.WithDeviceSlots(s.DevSlots),
+			rocket.WithHostSlots(s.HostSlots),
+		).Run(s.App)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name, err)
 		}
@@ -149,15 +145,14 @@ func experimentEfficiency(s experiments.Setup, m *rocket.Metrics) float64 {
 
 func TestIntegrationHeterogeneousBalance(t *testing.T) {
 	app := phylo.New(phylo.Params{N: 120, Seed: 2})
-	cl, err := rocket.PaperHeterogeneous()
-	if err != nil {
-		t.Fatal(err)
-	}
-	m, err := rocket.Run(rocket.Config{
-		App: app, Cluster: cl, Seed: 1, DistCache: true,
-		DeviceSlots: 20, HostSlots: 60,
-		ThroughputWindow: 1e9, // 1s buckets
-	})
+	m, err := rocket.New(
+		rocket.WithTopology(rocket.PaperTopology()...),
+		rocket.WithSeed(1),
+		rocket.WithDistCache(true),
+		rocket.WithDeviceSlots(20),
+		rocket.WithHostSlots(60),
+		rocket.WithThroughputWindow(1e9), // 1s buckets
+	).Run(app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,15 +197,13 @@ func TestIntegrationExperimentOutputsDeterministic(t *testing.T) {
 func TestIntegrationRockettraceStyleRun(t *testing.T) {
 	// Mirror what cmd/rockettrace does and check timeline rendering.
 	s := experiments.ForensicsSetup(experiments.Options{Scale: 100, Seed: 1})
-	cl, err := rocket.Homogeneous(1, rocket.DAS5Node(rocket.TitanXMaxwell))
-	if err != nil {
-		t.Fatal(err)
-	}
-	m, err := rocket.Run(rocket.Config{
-		App: s.App, Cluster: cl, Seed: 1,
-		DeviceSlots: s.DevSlots, HostSlots: s.HostSlots,
-		DetailedTrace: true,
-	})
+	m, err := rocket.New(
+		rocket.WithHomogeneous(1, rocket.DAS5Node(rocket.TitanXMaxwell)),
+		rocket.WithSeed(1),
+		rocket.WithDeviceSlots(s.DevSlots),
+		rocket.WithHostSlots(s.HostSlots),
+		rocket.WithConfig(func(c *rocket.Config) { c.DetailedTrace = true }),
+	).Run(s.App)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,11 +57,18 @@ type Node struct {
 // Name returns the node's trace identifier, e.g. "node3".
 func (n *Node) Name() string { return fmt.Sprintf("node%d", n.ID) }
 
-// Cluster is the set of nodes plus the fabrics connecting them.
+// Cluster is the set of nodes plus the fabrics connecting them. Nodes is
+// append-only (IDs are dense, node i at index i); grow it through AddNode
+// so the aggregate counters stay consistent.
 type Cluster struct {
 	Nodes   []*Node
 	Net     *Network
 	Storage *Storage
+
+	// Incrementally maintained aggregates: membership churn queries these
+	// on every placement decision, so they must not rescan Nodes.
+	totalGPUs  int
+	totalSpeed float64
 }
 
 // Config configures fabric characteristics.
@@ -98,42 +105,53 @@ func New(specs []NodeSpec, cfg Config) (*Cluster, error) {
 		Storage: NewStorage(cfg.StorageLatency, cfg.StorageBandwidth),
 	}
 	for i, s := range specs {
-		if err := s.Validate(); err != nil {
+		if _, err := c.AddNode(s); err != nil {
 			return nil, fmt.Errorf("node %d: %w", i, err)
 		}
-		n := &Node{
-			ID:    i,
-			Spec:  s,
-			CPU:   sim.NewResource(fmt.Sprintf("node%d/cpu", i), s.Cores),
-			IO:    sim.NewResource(fmt.Sprintf("node%d/io", i), 1),
-			NIC:   sim.NewResource(fmt.Sprintf("node%d/nic", i), 1),
-			Inbox: sim.NewMailbox(fmt.Sprintf("node%d/inbox", i)),
-		}
-		for g, m := range s.GPUs {
-			n.GPUs = append(n.GPUs, gpu.New(fmt.Sprintf("node%d/gpu%d", i, g), m))
-		}
-		c.Nodes = append(c.Nodes, n)
 	}
 	return c, nil
 }
 
-// TotalGPUs returns the number of devices across all nodes.
-func (c *Cluster) TotalGPUs() int {
-	total := 0
-	for _, n := range c.Nodes {
-		total += len(n.GPUs)
+// AddNode appends one node (ID = current count) and folds its hardware
+// into the aggregate counters. This is the join path under elastic fleets:
+// capacity arriving mid-run registers here before it takes work.
+func (c *Cluster) AddNode(s NodeSpec) (*Node, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
-	return total
+	i := len(c.Nodes)
+	n := &Node{
+		ID:    i,
+		Spec:  s,
+		CPU:   sim.NewResource(fmt.Sprintf("node%d/cpu", i), s.Cores),
+		IO:    sim.NewResource(fmt.Sprintf("node%d/io", i), 1),
+		NIC:   sim.NewResource(fmt.Sprintf("node%d/nic", i), 1),
+		Inbox: sim.NewMailbox(fmt.Sprintf("node%d/inbox", i)),
+	}
+	for g, m := range s.GPUs {
+		d := gpu.New(fmt.Sprintf("node%d/gpu%d", i, g), m)
+		n.GPUs = append(n.GPUs, d)
+		c.totalGPUs++
+		c.totalSpeed += d.Speed
+	}
+	c.Nodes = append(c.Nodes, n)
+	return n, nil
 }
 
-// TotalSpeed returns the sum of relative GPU speeds, used by the
-// performance model to compute the heterogeneous lower bound.
-func (c *Cluster) TotalSpeed() float64 {
-	var total float64
-	for _, n := range c.Nodes {
-		for _, d := range n.GPUs {
-			total += d.Speed
-		}
+// Node returns node id, or nil when out of range. IDs are dense, so the
+// lookup is an index — O(1) regardless of fleet size or churn history.
+func (c *Cluster) Node(id int) *Node {
+	if id < 0 || id >= len(c.Nodes) {
+		return nil
 	}
-	return total
+	return c.Nodes[id]
 }
+
+// TotalGPUs returns the number of devices across all nodes. O(1): the
+// count is maintained incrementally by AddNode.
+func (c *Cluster) TotalGPUs() int { return c.totalGPUs }
+
+// TotalSpeed returns the sum of relative GPU speeds, used by the
+// performance model to compute the heterogeneous lower bound. O(1): the
+// sum is maintained incrementally by AddNode.
+func (c *Cluster) TotalSpeed() float64 { return c.totalSpeed }

@@ -1,0 +1,79 @@
+package cluster
+
+import "fmt"
+
+// Membership is the dynamic-membership overlay over a fixed slot space.
+// Elastic fleets keep the slot space (and therefore the ShardMap, the
+// per-slot senders, and every derived ordering key) constant for the whole
+// run; what changes over virtual time is which slots are members. That
+// split is the determinism argument for churn: the shard mapping stays a
+// pure function of (slots, shards), join/leave only flip per-slot bits on
+// the slot's owning shard, and the canonical cross-shard merge order —
+// keyed by slot ID — never observes membership at all.
+//
+// Membership is shard-local state: under a sharded engine each shard owns
+// the roster bits of its own slot range and must only touch those.
+type Membership struct {
+	present []bool
+	count   int
+	joins   int
+	leaves  int
+}
+
+// NewMembership builds a roster over slots. initial marks the slots
+// present at t=0; nil means all present (the static-fleet degenerate
+// case, in which the roster never changes and costs nothing).
+func NewMembership(slots int, initial []bool) *Membership {
+	if slots < 1 {
+		panic(fmt.Sprintf("cluster: membership over %d slots", slots))
+	}
+	if initial != nil && len(initial) != slots {
+		panic(fmt.Sprintf("cluster: initial roster has %d entries for %d slots", len(initial), slots))
+	}
+	m := &Membership{present: make([]bool, slots)}
+	for i := range m.present {
+		if initial == nil || initial[i] {
+			m.present[i] = true
+			m.count++
+		}
+	}
+	return m
+}
+
+// Slots returns the fixed slot-space size.
+func (m *Membership) Slots() int { return len(m.present) }
+
+// Present reports whether slot id is currently a member.
+func (m *Membership) Present(id int) bool { return m.present[id] }
+
+// Count returns the current member count. O(1).
+func (m *Membership) Count() int { return m.count }
+
+// Join marks slot id a member. Reports whether the roster changed.
+func (m *Membership) Join(id int) bool {
+	if m.present[id] {
+		return false
+	}
+	m.present[id] = true
+	m.count++
+	m.joins++
+	return true
+}
+
+// Leave removes slot id from the roster (departure or preemption).
+// Reports whether the roster changed.
+func (m *Membership) Leave(id int) bool {
+	if !m.present[id] {
+		return false
+	}
+	m.present[id] = false
+	m.count--
+	m.leaves++
+	return true
+}
+
+// Joins returns the number of effective joins since construction.
+func (m *Membership) Joins() int { return m.joins }
+
+// Leaves returns the number of effective departures since construction.
+func (m *Membership) Leaves() int { return m.leaves }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"rocket/internal/gpu"
 	"rocket/internal/sim"
 )
 
@@ -123,4 +124,142 @@ func TestShardedNetLatencyBelowLookaheadPanics(t *testing.T) {
 		}
 	}()
 	NewShardedNet(env.Sharded(), NewShardMap(2, 2), sim.Micros(5), 1e9)
+}
+
+// TestShardMapChurnInvariants pins the rebalancing edge cases of the
+// dynamic-membership design: the slot space (and therefore ShardOf) is
+// fixed for the run, so "join into a full shard" and "departure of a
+// shard's last node" must not move any assignment — churn is a membership
+// overlay, never a remap.
+func TestShardMapChurnInvariants(t *testing.T) {
+	const nodes = 16
+	for _, width := range []int{1, 2, 4, 8} {
+		m := NewShardMap(nodes, width)
+
+		// Join into a full shard: every slot of shard 0's range becomes a
+		// member, then one more joiner lands in that range. Its shard is
+		// decided by ShardOf alone and every prior assignment is unchanged.
+		lo, hi := m.Range(0)
+		roster := NewMembership(nodes, make([]bool, nodes))
+		for i := lo; i < hi; i++ {
+			roster.Join(i)
+		}
+		before := make([]int, nodes)
+		for i := 0; i < nodes; i++ {
+			before[i] = m.ShardOf(i)
+		}
+		joiner := lo // rejoin of a full shard's own slot
+		if !roster.Present(joiner) {
+			t.Fatalf("width %d: slot %d should be present", width, joiner)
+		}
+		for i := 0; i < nodes; i++ {
+			if m.ShardOf(i) != before[i] {
+				t.Fatalf("width %d: join moved node %d from shard %d to %d",
+					width, i, before[i], m.ShardOf(i))
+			}
+		}
+
+		// Departure of a shard's last node: empty shard 0 entirely. The
+		// shard still owns its range — ShardOf and Range are membership-
+		// blind, so in-flight sends keyed by slot ID still merge in the
+		// same canonical order.
+		for i := lo; i < hi; i++ {
+			roster.Leave(i)
+		}
+		for i := lo; i < hi; i++ {
+			if got := m.ShardOf(i); got != 0 {
+				t.Fatalf("width %d: empty shard lost slot %d to shard %d", width, i, got)
+			}
+		}
+		rlo, rhi := m.Range(0)
+		if rlo != lo || rhi != hi {
+			t.Fatalf("width %d: empty shard range moved to [%d,%d)", width, rlo, rhi)
+		}
+		if roster.Leaves() != hi-lo || roster.Count() != 0 {
+			t.Fatalf("width %d: roster leaves=%d count=%d", width, roster.Leaves(), roster.Count())
+		}
+	}
+}
+
+// TestShardMapDeterministicAcrossWidths pins that the assignment at every
+// width is the same pure function of (nodes, shards) on every call, that
+// ranges partition the slot space, and that ShardOf agrees with Range —
+// the properties the byte-identical-across-widths guarantee leans on.
+func TestShardMapDeterministicAcrossWidths(t *testing.T) {
+	for _, nodes := range []int{1, 2, 5, 16, 33} {
+		for _, width := range []int{1, 2, 4, 8} {
+			m1 := NewShardMap(nodes, width)
+			m2 := NewShardMap(nodes, width)
+			covered := 0
+			for s := 0; s < m1.NumShards(); s++ {
+				lo, hi := m1.Range(s)
+				if lo2, hi2 := m2.Range(s); lo2 != lo || hi2 != hi {
+					t.Fatalf("nodes=%d width=%d: range(%d) not deterministic", nodes, width, s)
+				}
+				if hi < lo {
+					t.Fatalf("nodes=%d width=%d: inverted range [%d,%d)", nodes, width, lo, hi)
+				}
+				covered += hi - lo
+				for i := lo; i < hi; i++ {
+					if got := m1.ShardOf(i); got != s {
+						t.Fatalf("nodes=%d width=%d: ShardOf(%d)=%d, Range says %d",
+							nodes, width, i, got, s)
+					}
+				}
+			}
+			if covered != nodes {
+				t.Fatalf("nodes=%d width=%d: ranges cover %d slots", nodes, width, covered)
+			}
+			// Monotone: contiguous blocks mean a node's shard never
+			// decreases as IDs grow.
+			for i := 1; i < nodes; i++ {
+				if m1.ShardOf(i) < m1.ShardOf(i-1) {
+					t.Fatalf("nodes=%d width=%d: ShardOf not monotone at %d", nodes, width, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMembershipRoster(t *testing.T) {
+	m := NewMembership(4, []bool{true, true, false, false})
+	if m.Count() != 2 || !m.Present(0) || m.Present(2) {
+		t.Fatalf("initial roster wrong: count=%d", m.Count())
+	}
+	if !m.Join(2) || m.Join(2) {
+		t.Fatal("join must flip once")
+	}
+	if !m.Leave(0) || m.Leave(0) {
+		t.Fatal("leave must flip once")
+	}
+	if m.Count() != 2 || m.Joins() != 1 || m.Leaves() != 1 {
+		t.Fatalf("count=%d joins=%d leaves=%d", m.Count(), m.Joins(), m.Leaves())
+	}
+	if NewMembership(3, nil).Count() != 3 {
+		t.Fatal("nil initial roster must mean all present")
+	}
+}
+
+func TestClusterAddNodeMaintainsAggregates(t *testing.T) {
+	c, err := New([]NodeSpec{NodeSpec{Cores: 16, HostCacheBytes: 1 << 30, GPUs: []gpu.Model{gpu.TitanXMaxwell}}, NodeSpec{Cores: 16, HostCacheBytes: 1 << 30, GPUs: []gpu.Model{gpu.TitanXMaxwell}}}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, s0 := c.TotalGPUs(), c.TotalSpeed()
+	n, err := c.AddNode(NodeSpec{Cores: 16, HostCacheBytes: 1 << 30, GPUs: []gpu.Model{gpu.TitanXMaxwell}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID != 2 || c.Node(2) != n {
+		t.Fatalf("AddNode gave ID %d; Node(2)=%p want %p", n.ID, c.Node(2), n)
+	}
+	if c.TotalGPUs() != g0+len(n.GPUs) {
+		t.Fatalf("TotalGPUs=%d after join, want %d", c.TotalGPUs(), g0+len(n.GPUs))
+	}
+	if c.TotalSpeed() <= s0 {
+		t.Fatalf("TotalSpeed=%v did not grow from %v", c.TotalSpeed(), s0)
+	}
+	if c.Node(-1) != nil || c.Node(99) != nil {
+		t.Fatal("out-of-range lookup must return nil")
+	}
 }

@@ -251,3 +251,37 @@ func TestIncrementalDeterministic(t *testing.T) {
 		t.Fatalf("incremental output differs across runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
 	}
 }
+
+func TestElasticityReport(t *testing.T) {
+	out, err := Elasticity(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"byte-identical under churn",
+		"joins",
+		"Autoscaler",
+		"fixed",
+		"warm",
+		"cold",
+		"of the fixed-fleet bill at identical p99 wait",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("elasticity report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestElasticityDeterministic(t *testing.T) {
+	a, err := Elasticity(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Elasticity(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("elasticity output differs across identical runs")
+	}
+}

@@ -44,6 +44,7 @@ func All() []Experiment {
 		{"incremental", "—", "pairstore warm start: append-ratio sweep vs full recompute", Incremental},
 		{"shardscale", "—", "sharded engine: fleet workload at widths 1-8, invariance-checked", ShardScale},
 		{"chaos", "—", "seeded chaos storm over the fleet, invariance-checked at widths 1-8", Chaos},
+		{"elasticity", "—", "elastic fleet: churn invariance at widths 1-8 + autoscaler node-hours vs p99 wait", Elasticity},
 	}
 }
 

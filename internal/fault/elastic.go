@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rocket/internal/sim"
+	"rocket/internal/stats"
+)
+
+// Arrival patterns for Elasticity joins: the Navarch-style startup shapes
+// a provider's capacity comes online in.
+const (
+	// ArrivalInstant brings every joiner in at t=0 (plus cold-start
+	// jitter) — the whole allocation is granted at once.
+	ArrivalInstant = "instant"
+	// ArrivalLinear spreads joins evenly across the Over window — a
+	// steady provisioning pipeline.
+	ArrivalLinear = "linear"
+	// ArrivalExponential doubles the cohort size each step (1, 2, 4, ...)
+	// across the Over window — a scale-out ramp.
+	ArrivalExponential = "exponential"
+	// ArrivalWave admits Waves equal cohorts at evenly spaced instants
+	// across the Over window — batch grants.
+	ArrivalWave = "wave"
+)
+
+// Elasticity parameterizes seeded fleet churn: a fleet of Nodes slots
+// starts with InitialNodes members, the rest join per an arrival pattern,
+// and a seeded fraction of the fleet is spot-preempted inside the horizon.
+// Generate samples the churn into a Schedule of NodeJoin/NodePreempt
+// events with a single deterministic generator, so the same config always
+// yields the byte-identical schedule — elastic runs are replayable by
+// construction, exactly like chaos storms.
+type Elasticity struct {
+	// Seed drives all sampling (cold-start jitter, preemption victims and
+	// times).
+	Seed uint64
+	// Nodes is the fleet capacity: every slot that can ever be a member.
+	Nodes int
+	// InitialNodes are present at t=0 (IDs [0, InitialNodes)); the
+	// remaining IDs join per the arrival pattern.
+	InitialNodes int
+	// Arrival is the join pattern: ArrivalInstant (default), ArrivalLinear,
+	// ArrivalExponential, or ArrivalWave.
+	Arrival string
+	// Over is the window joins are spread across; 0 defaults to half the
+	// horizon.
+	Over sim.Time
+	// Waves is the cohort count of ArrivalWave; 0 defaults to 4.
+	Waves int
+	// ColdStartJitter is the per-node uniform [0, jitter) delay added to
+	// the pattern slot — no two providers hand over capacity on a clock
+	// edge.
+	ColdStartJitter sim.Time
+	// PreemptFraction of the full fleet is spot-preempted at seeded times
+	// inside the horizon (victims drawn over all slots, initial members
+	// and joiners alike; a joiner is only preempted after it has joined).
+	PreemptFraction float64
+	// PreemptAfter is the earliest preemption instant.
+	PreemptAfter sim.Time
+	// Duration is the virtual horizon events are placed in.
+	Duration sim.Time
+}
+
+// Validate rejects shapes Generate cannot place sensibly.
+func (e Elasticity) Validate() error {
+	if e.Nodes < 2 {
+		return fmt.Errorf("fault: elasticity over %d nodes", e.Nodes)
+	}
+	if e.InitialNodes < 1 || e.InitialNodes > e.Nodes {
+		return fmt.Errorf("fault: elasticity initial nodes %d outside [1, %d]", e.InitialNodes, e.Nodes)
+	}
+	if e.Duration <= 0 {
+		return fmt.Errorf("fault: elasticity needs a positive horizon, got %v", e.Duration)
+	}
+	switch e.Arrival {
+	case "", ArrivalInstant, ArrivalLinear, ArrivalExponential, ArrivalWave:
+	default:
+		return fmt.Errorf("fault: unknown arrival pattern %q", e.Arrival)
+	}
+	if e.Over < 0 || e.Over > e.Duration {
+		return fmt.Errorf("fault: elasticity join window %v outside [0, %v]", e.Over, e.Duration)
+	}
+	if e.Waves < 0 {
+		return fmt.Errorf("fault: elasticity waves %d < 0", e.Waves)
+	}
+	if e.PreemptFraction < 0 || e.PreemptFraction > 1 {
+		return fmt.Errorf("fault: elasticity preempt fraction %v outside [0, 1]", e.PreemptFraction)
+	}
+	if e.ColdStartJitter < 0 {
+		return fmt.Errorf("fault: elasticity negative cold-start jitter %v", e.ColdStartJitter)
+	}
+	if e.PreemptAfter < 0 {
+		return fmt.Errorf("fault: elasticity negative preempt-after %v", e.PreemptAfter)
+	}
+	return nil
+}
+
+// joinSlot returns joiner k's pattern slot (before jitter) when m nodes
+// join across the window `over`.
+func (e Elasticity) joinSlot(k, m int, over sim.Time) sim.Time {
+	switch e.Arrival {
+	case ArrivalLinear:
+		return over * sim.Time(k+1) / sim.Time(m)
+	case ArrivalExponential:
+		// Doubling cohorts 1, 2, 4, ...: joiner k sits in cohort
+		// bits.Len(k+1)-1 of bits.Len(m) total.
+		c := bits.Len(uint(k+1)) - 1
+		total := bits.Len(uint(m))
+		return over * sim.Time(c+1) / sim.Time(total)
+	case ArrivalWave:
+		w := e.Waves
+		if w == 0 {
+			w = 4
+		}
+		if w > m {
+			w = m
+		}
+		return over * sim.Time(k*w/m+1) / sim.Time(w)
+	default: // ArrivalInstant
+		return 0
+	}
+}
+
+// Generate samples the churn into a Schedule in firing order (ascending
+// time, generation order for ties). The result always passes Validate
+// against a one-device-per-node shape: joins strictly precede their node's
+// preemption, and preemptions whose window closed (a joiner arriving too
+// late in the horizon) are skipped rather than misplaced.
+func (e Elasticity) Generate() (*Schedule, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(e.Seed ^ 0x454c4153) // "ELAS"
+	over := e.Over
+	if over == 0 {
+		over = e.Duration / 2
+	}
+
+	// Joins: node InitialNodes+k is joiner k.
+	m := e.Nodes - e.InitialNodes
+	joinAt := make([]sim.Time, e.Nodes) // 0 for initial members
+	var events []Event
+	for k := 0; k < m; k++ {
+		t := e.joinSlot(k, m, over)
+		if e.ColdStartJitter > 0 {
+			t += sim.Time(rng.Float64() * float64(e.ColdStartJitter))
+		}
+		node := e.InitialNodes + k
+		joinAt[node] = t
+		events = append(events, Event{At: t, Kind: NodeJoin, Node: node})
+	}
+
+	// Preemptions: victims drawn from a single shuffled permutation over
+	// the whole fleet; each victim departs at a seeded time after both
+	// its join (with a settling gap) and PreemptAfter.
+	count := int(e.PreemptFraction*float64(e.Nodes) + 0.5)
+	perm := make([]int, e.Nodes)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := e.Nodes - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	settle := e.Duration / 20
+	for _, v := range perm[:count] {
+		lo := e.PreemptAfter
+		if t := joinAt[v] + settle; t > lo {
+			lo = t
+		}
+		if lo >= e.Duration {
+			continue // window closed; skipping keeps the schedule valid
+		}
+		t := lo + sim.Time(rng.Float64()*float64(e.Duration-lo))
+		events = append(events, Event{At: t, Kind: NodePreempt, Node: v})
+	}
+
+	ordered := make([]Event, 0, len(events))
+	for _, idx := range firingOrder(events) {
+		ordered = append(ordered, events[idx])
+	}
+	s := &Schedule{Events: ordered}
+	ones := make([]int, e.Nodes)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if err := s.Validate(ones); err != nil {
+		// Unreachable by construction; kept as a hard backstop so a
+		// generator bug can never smuggle an invalid schedule into a run.
+		return nil, fmt.Errorf("fault: elasticity generated an invalid schedule: %w", err)
+	}
+	return s, nil
+}

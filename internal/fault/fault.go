@@ -39,6 +39,15 @@ const (
 	// serialization time by LatencyFactor and BandwidthFactor (>= 1);
 	// 1/1 restores the healthy link.
 	LinkDegrade
+	// NodeJoin brings a node into the fleet mid-run. A node whose first
+	// membership event (in firing order) is a join starts the run absent:
+	// dead to the fabric, its protocol loops unarmed (see InitialMembers).
+	NodeJoin
+	// NodePreempt is a scheduled departure (spot reclaim): the node leaves
+	// permanently. Unlike OnCrash, the OnPreempt hook runs BEFORE the
+	// liveness flip — the drain window in which the departing node's last
+	// sends are still admitted by the fabric.
+	NodePreempt
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +65,10 @@ func (k EventKind) String() string {
 		return "link-up"
 	case LinkDegrade:
 		return "link-degrade"
+	case NodeJoin:
+		return "join"
+	case NodePreempt:
+		return "preempt"
 	}
 	return fmt.Sprintf("fault.EventKind(%d)", int(k))
 }
@@ -101,6 +114,20 @@ func (s *Schedule) Restart(node int, at sim.Time) *Schedule {
 	return s
 }
 
+// Join appends a mid-run arrival of node at the given time. A node whose
+// first membership event is a join starts the run absent.
+func (s *Schedule) Join(node int, at sim.Time) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Kind: NodeJoin, Node: node})
+	return s
+}
+
+// Preempt appends a scheduled departure (spot reclaim) of node at the
+// given time. Preempted nodes never return; rejoining requires a Join.
+func (s *Schedule) Preempt(node int, at sim.Time) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Kind: NodePreempt, Node: node})
+	return s
+}
+
 // SlowGPU appends a straggler window start: from at onward, kernels on
 // device gpu of node take factor times their nominal duration.
 func (s *Schedule) SlowGPU(node, gpu int, at sim.Time, factor float64) *Schedule {
@@ -140,10 +167,11 @@ func (s *Schedule) DegradeLink(a, b int, at sim.Time, latF, bwF float64) *Schedu
 // number of devices of node i (len(gpus) is the node count). Beyond
 // per-event shape checks (node and GPU indices in range, link endpoints
 // in range and distinct, factors >= 1), it replays the schedule in firing
-// order and rejects restarts scheduled at-or-before their crash: a
-// NodeRestart that fires while its node is still alive is a no-op, so if
-// a crash of the same node fires later the restart can never heal it —
-// the schedule's author almost certainly transposed the two times.
+// order against the membership state machine (see validateMembership):
+// restarts scheduled at-or-before their crash, joins of current members,
+// and crashes/restarts/preemptions of nodes that are absent or have
+// departed are all rejected — each is a transposition or composition error
+// the injector would silently turn into a no-op or a resurrection.
 func (s *Schedule) Validate(gpus []int) error {
 	if s == nil {
 		return nil
@@ -160,7 +188,7 @@ func (s *Schedule) Validate(gpus []int) error {
 			return fmt.Errorf("fault: event %d: negative time %v", i, ev.At)
 		}
 		switch ev.Kind {
-		case NodeCrash, NodeRestart:
+		case NodeCrash, NodeRestart, NodeJoin, NodePreempt:
 			if err := checkNode(i, ev.Node); err != nil {
 				return err
 			}
@@ -192,15 +220,30 @@ func (s *Schedule) Validate(gpus []int) error {
 			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(ev.Kind))
 		}
 	}
-	return s.validateRestartOrder(p)
+	return s.validateMembership(p)
 }
 
-// validateRestartOrder replays crash/restart events in firing order (time
-// order, schedule order for ties — exactly how NewInjector arms them) and
-// rejects any restart that fires while its node is alive when a later
-// crash of the same node exists: such a restart is scheduled at-or-before
-// its crash and the node would stay dead forever.
-func (s *Schedule) validateRestartOrder(p int) error {
+// memberState is the per-node position in the membership state machine the
+// validation replay tracks. Nodes without a leading join start present.
+type memberState uint8
+
+const (
+	memberPresent memberState = iota
+	memberCrashed
+	memberAbsent   // not yet joined
+	memberDeparted // preempted; permanent
+)
+
+// validateMembership replays crash/restart/join/preempt events in firing
+// order (time order, schedule order for ties — exactly how NewInjector
+// arms them) against a per-node state machine {absent, present, crashed,
+// departed} and rejects transitions that can never apply: joins of members,
+// preemptions or crashes of non-members, restarts of departed or absent
+// nodes, and — the original restart-order rule — restarts that fire while
+// their node is alive when a later crash of the same node exists (such a
+// restart is scheduled at-or-before its crash and the node would stay dead
+// forever).
+func (s *Schedule) validateMembership(p int) error {
 	order := firingOrder(s.Events)
 	// crashLater[k] is true when, at firing position k, some later firing
 	// position holds a crash of the same node.
@@ -216,25 +259,89 @@ func (s *Schedule) validateRestartOrder(p int) error {
 			pending[ev.Node] = true
 		}
 	}
-	alive := make([]bool, p)
-	for i := range alive {
-		alive[i] = true
-	}
+	state := initialStates(s.Events, order, p)
 	for k, idx := range order {
 		ev := s.Events[idx]
 		switch ev.Kind {
 		case NodeCrash:
-			alive[ev.Node] = false
-		case NodeRestart:
-			if alive[ev.Node] && crashLater[k] {
-				return fmt.Errorf(
-					"fault: event %d: restart of node %d at %v fires before its crash (restarts must be scheduled strictly after the crash they heal)",
-					idx, ev.Node, ev.At)
+			switch state[ev.Node] {
+			case memberAbsent:
+				return fmt.Errorf("fault: event %d: crash of node %d at %v before its join", idx, ev.Node, ev.At)
+			case memberDeparted:
+				return fmt.Errorf("fault: event %d: crash of node %d at %v after its preemption", idx, ev.Node, ev.At)
 			}
-			alive[ev.Node] = true
+			state[ev.Node] = memberCrashed
+		case NodeRestart:
+			switch state[ev.Node] {
+			case memberAbsent:
+				return fmt.Errorf("fault: event %d: restart of node %d at %v before its join", idx, ev.Node, ev.At)
+			case memberDeparted:
+				return fmt.Errorf("fault: event %d: restart of node %d at %v after its preemption (preempted nodes rejoin with Join)", idx, ev.Node, ev.At)
+			case memberPresent:
+				if crashLater[k] {
+					return fmt.Errorf(
+						"fault: event %d: restart of node %d at %v fires before its crash (restarts must be scheduled strictly after the crash they heal)",
+						idx, ev.Node, ev.At)
+				}
+			}
+			state[ev.Node] = memberPresent
+		case NodeJoin:
+			switch state[ev.Node] {
+			case memberPresent, memberCrashed:
+				return fmt.Errorf("fault: event %d: join of node %d at %v while it is a member", idx, ev.Node, ev.At)
+			}
+			state[ev.Node] = memberPresent
+		case NodePreempt:
+			switch state[ev.Node] {
+			case memberAbsent:
+				return fmt.Errorf("fault: event %d: preempt of node %d at %v before its join", idx, ev.Node, ev.At)
+			case memberDeparted:
+				return fmt.Errorf("fault: event %d: preempt of node %d at %v after its preemption", idx, ev.Node, ev.At)
+			}
+			state[ev.Node] = memberDeparted
 		}
 	}
 	return nil
+}
+
+// initialStates derives the t=0 membership from the firing order: a node
+// whose first membership event is a NodeJoin starts absent; every other
+// node starts present.
+func initialStates(events []Event, order []int, p int) []memberState {
+	state := make([]memberState, p)
+	seen := make([]bool, p)
+	for _, idx := range order {
+		ev := events[idx]
+		switch ev.Kind {
+		case NodeCrash, NodeRestart, NodeJoin, NodePreempt:
+			if !seen[ev.Node] {
+				seen[ev.Node] = true
+				if ev.Kind == NodeJoin {
+					state[ev.Node] = memberAbsent
+				}
+			}
+		}
+	}
+	return state
+}
+
+// InitialMembers returns the t=0 membership the schedule implies over a
+// fleet of p nodes: members[i] is false exactly when node i's first
+// membership event in firing order is a NodeJoin — such a node starts the
+// run absent (dead to the fabric, loops unarmed) and enters at its join.
+// A nil or churn-free schedule yields all-true.
+func InitialMembers(s *Schedule, p int) []bool {
+	members := make([]bool, p)
+	for i := range members {
+		members[i] = true
+	}
+	if s == nil {
+		return members
+	}
+	for i, st := range initialStates(s.Events, firingOrder(s.Events), p) {
+		members[i] = st != memberAbsent
+	}
+	return members
 }
 
 // firingOrder returns event indices in firing order: ascending time,
@@ -255,10 +362,22 @@ func firingOrder(events []Event) []int {
 
 // Hooks are the runtime's recovery callbacks, invoked in scheduler context
 // after the injector has updated its own state (so a hook observing
-// Alive/Link/GPUFactor sees the post-event world).
+// Alive/Link/GPUFactor sees the post-event world) — with one documented
+// exception: OnPreempt runs BEFORE the liveness flip. A preemption is a
+// scheduled departure with a drain window, and the hook is that window:
+// sends the departing node issues inside OnPreempt are still admitted by
+// a fabric consulting Alive, which is what lets it hand its remaining
+// work to a peer on the way out.
 type Hooks struct {
 	OnCrash   func(node int)
 	OnRestart func(node int)
+	// OnJoin fires when a NodeJoin brings a node in (post-flip: the node
+	// is already alive). The fleet layer arms the node's protocol loops
+	// here.
+	OnJoin func(node int)
+	// OnPreempt fires when a NodePreempt departs a node, BEFORE the
+	// liveness flip (see above).
+	OnPreempt func(node int)
 }
 
 // linkKey normalizes a symmetric link to (min, max).
@@ -306,13 +425,13 @@ func NewInjector(env *sim.Env, gpus []int, s *Schedule, hooks Hooks) (*Injector,
 		return nil, err
 	}
 	inj := &Injector{
-		alive: make([]bool, len(gpus)),
+		// Initial liveness is the schedule's implied t=0 membership: nodes
+		// with a leading join start absent (dead to every query) and flip
+		// alive when the join fires.
+		alive: InitialMembers(s, len(gpus)),
 		gpuF:  make(map[[2]int]float64),
 		links: make(map[[2]int]linkHealth),
 		hooks: hooks,
-	}
-	for i := range inj.alive {
-		inj.alive[i] = true
 	}
 	for _, idx := range firingOrder(s.Events) {
 		ev := s.Events[idx]
@@ -346,6 +465,24 @@ func (inj *Injector) apply(ev Event) {
 		if inj.hooks.OnRestart != nil {
 			inj.hooks.OnRestart(ev.Node)
 		}
+	case NodeJoin:
+		if inj.alive[ev.Node] {
+			return
+		}
+		inj.alive[ev.Node] = true
+		if inj.hooks.OnJoin != nil {
+			inj.hooks.OnJoin(ev.Node)
+		}
+	case NodePreempt:
+		if !inj.alive[ev.Node] {
+			return
+		}
+		// Drain window: the hook runs while the node is still alive, so
+		// its parting sends are admitted; the flip follows immediately.
+		if inj.hooks.OnPreempt != nil {
+			inj.hooks.OnPreempt(ev.Node)
+		}
+		inj.alive[ev.Node] = false
 	case GPUSlowdown:
 		key := [2]int{ev.Node, ev.GPU}
 		if ev.Factor == 1 {

@@ -8,7 +8,9 @@ import (
 
 // Split partitions a schedule for a sharded simulation: each event is
 // routed to the shard that owns the state it mutates, per shardOf. Node
-// events (crash, restart, GPU slowdown) go to the target node's shard.
+// events (crash, restart, join, preempt, GPU slowdown) go to the target
+// node's shard — so a node's entire membership history applies on one
+// shard, in schedule order, at every width.
 // Link events are duplicated to BOTH endpoints' shards — each side of a
 // symmetric link is observed independently (the sender consults its local
 // view at send time, the receiver at delivery time), so both owners must
@@ -28,7 +30,7 @@ func Split(s *Schedule, shards int, shardOf func(node int) int) []*Schedule {
 	}
 	for _, ev := range s.Events {
 		switch ev.Kind {
-		case NodeCrash, NodeRestart, GPUSlowdown:
+		case NodeCrash, NodeRestart, GPUSlowdown, NodeJoin, NodePreempt:
 			sh := shardOf(ev.Node)
 			out[sh].Events = append(out[sh].Events, ev)
 		case LinkDown, LinkUp, LinkDegrade:

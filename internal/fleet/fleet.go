@@ -49,9 +49,17 @@ type Config struct {
 	NetLatency sim.Time
 	// NetBandwidth is per-NIC bandwidth in bytes/second.
 	NetBandwidth float64
-	// Faults is an optional fault schedule (node crashes/restarts), routed
-	// to owning shards via fault.Split.
+	// Faults is an optional fault schedule (node crashes/restarts, joins,
+	// preemptions), routed to owning shards via fault.Split.
 	Faults *fault.Schedule
+	// Elastic optionally generates seeded churn (arrival patterns plus
+	// spot preemption) and appends it to Faults. Its Nodes/Duration must
+	// be zero (filled from the fleet config) or match it exactly; a zero
+	// Seed inherits the fleet Seed. Nodes whose first membership event is
+	// a join start absent: they boot with an empty queue at join time and
+	// pull work through the steal path. A preempted node drains its whole
+	// queue to its ring successor inside the pre-flip drain window.
+	Elastic *fault.Elasticity
 	// GPUs is the per-node device shape used to validate the schedule and
 	// as straggler targets (a gpu-slow on device 0 stretches the node's
 	// work-pump service times). Nil means one device per node.
@@ -108,18 +116,27 @@ type Result struct {
 	Heartbeats  uint64
 	Rumors      uint64
 	WorkDone    uint64
+	Joins       uint64
+	Preempts    uint64
+	Drained     uint64
 	StateHash   uint64
 	VirtualTime sim.Time
 }
 
 // String renders the canonical one-line summary used by experiments. The
 // shard count is deliberately excluded: the line is identical at every
-// width, so goldens double as shard-invariance witnesses.
+// width, so goldens double as shard-invariance witnesses. The membership
+// suffix appears only when churn actually happened, so churn-free runs
+// keep the exact pre-elasticity line (and its golden hashes).
 func (r Result) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"fleet nodes=%d events=%d msgs=%d bytes=%d dropped=%d heartbeats=%d rumors=%d work=%d hash=%016x vt=%v",
 		r.Nodes, r.Events, r.Messages, r.BytesSent, r.Dropped,
 		r.Heartbeats, r.Rumors, r.WorkDone, r.StateHash, r.VirtualTime)
+	if r.Joins+r.Preempts > 0 {
+		s += fmt.Sprintf(" joins=%d preempts=%d drained=%d", r.Joins, r.Preempts, r.Drained)
+	}
+	return s
 }
 
 // rng is a splitmix64 stream; one per node, forked from (Seed, nodeID).
@@ -146,15 +163,19 @@ const fnvPrime = 1099511628211
 // node is one fleet member. All fields are owned by the node's shard and
 // only ever touched from it.
 type node struct {
-	id    int
-	rng   rng
-	hash  uint64
-	queue int // outstanding work items (fungible, so a count suffices)
-	busy  bool
+	id     int
+	rng    rng
+	hash   uint64
+	queue  int // outstanding work items (fungible, so a count suffices)
+	busy   bool
+	booted bool // heartbeat loop armed (at boot or first join)
 
 	heartbeats uint64
 	rumors     uint64
 	workDone   uint64
+	joins      uint64
+	preempts   uint64
+	drained    uint64
 }
 
 func (n *node) fold(tag uint64, t sim.Time, v uint64) {
@@ -167,6 +188,7 @@ const (
 	rumorBytes       = 256
 	workRequestBytes = 64
 	workGrantBytes   = 1024
+	drainBytes       = 1024 // preemption drain header; +64 per item, like grants
 )
 
 type fleetSim struct {
@@ -209,6 +231,36 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	// Elastic churn compiles to ordinary membership events appended after
+	// any scripted schedule; from here down the run only ever sees one
+	// fault schedule, so scripted and generated churn share every code
+	// path (validation, splitting, hooks, width-invariance).
+	faults := cfg.Faults
+	if cfg.Elastic != nil {
+		e := *cfg.Elastic
+		if e.Nodes != 0 && e.Nodes != cfg.Nodes {
+			return Result{}, fmt.Errorf("fleet: elasticity over %d nodes in a %d-node fleet", e.Nodes, cfg.Nodes)
+		}
+		e.Nodes = cfg.Nodes
+		if e.Duration != 0 && e.Duration != cfg.Duration {
+			return Result{}, fmt.Errorf("fleet: elasticity horizon %v differs from run duration %v", e.Duration, cfg.Duration)
+		}
+		e.Duration = cfg.Duration
+		if e.Seed == 0 {
+			e.Seed = cfg.Seed
+		}
+		churn, err := e.Generate()
+		if err != nil {
+			return Result{}, err
+		}
+		merged := &fault.Schedule{}
+		if !faults.Empty() {
+			merged.Events = append(merged.Events, faults.Events...)
+		}
+		merged.Events = append(merged.Events, churn.Events...)
+		faults = merged
+	}
+
 	env := sim.NewEnv(sim.WithShards(cfg.Shards), sim.WithSeed(cfg.Seed), sim.WithLookahead(cfg.NetLatency))
 	ss := env.Sharded()
 	m := cluster.NewShardMap(cfg.Nodes, ss.NumShards())
@@ -226,7 +278,8 @@ func Run(cfg Config) (Result, error) {
 			queue: cfg.WorkItems,
 		}
 	}
-	if !cfg.Faults.Empty() {
+	members := fault.InitialMembers(faults, cfg.Nodes)
+	if !faults.Empty() {
 		gpus := cfg.GPUs
 		if gpus == nil {
 			gpus = make([]int, cfg.Nodes)
@@ -234,8 +287,18 @@ func Run(cfg Config) (Result, error) {
 				gpus[i] = 1 // fleet nodes model one device; shape for validation
 			}
 		}
-		inj, err := fault.NewShardedInjector(ss, gpus, cfg.Faults, m.ShardOf, fault.Hooks{
+		inj, err := fault.NewShardedInjector(ss, gpus, faults, m.ShardOf, fault.Hooks{
 			OnCrash: func(id int) { fs.nodes[id].queue = 0 }, // volatile queue lost
+			OnJoin: func(id int) {
+				// Runs on id's owning shard, after the liveness flip: the
+				// joiner is live capacity from this instant.
+				fs.join(ss.Shard(m.ShardOf(id)).Env(), fs.nodes[id])
+			},
+			OnPreempt: func(id int) {
+				// Runs on id's owning shard, BEFORE the liveness flip (the
+				// drain window): the departing node's sends still go out.
+				fs.drain(ss.Shard(m.ShardOf(id)).Env(), fs.nodes[id])
+			},
 		})
 		if err != nil {
 			return Result{}, err
@@ -249,12 +312,19 @@ func Run(cfg Config) (Result, error) {
 		fault.ArmShardedProbes(ss, fs.inj, m.ShardOf, cfg.Probes)
 	}
 
-	// Boot: every node arms its heartbeat loop and work pump on its own
-	// shard's Env, offset by its StartAt slot when staggered startup is
-	// configured (a zero offset takes the t=0 path and stays bit-identical
-	// to the nil-StartAt boot).
+	// Boot: every initial member arms its heartbeat loop and work pump on
+	// its own shard's Env, offset by its StartAt slot when staggered
+	// startup is configured (a zero offset takes the t=0 path and stays
+	// bit-identical to the nil-StartAt boot). Initially-absent slots —
+	// nodes whose first membership event is a join — hold no work and do
+	// not boot here; their OnJoin hook boots them at join time.
 	for i, n := range fs.nodes {
 		n := n
+		if !members[i] {
+			n.queue = 0
+			continue
+		}
+		n.booted = true
 		e := ss.Shard(m.ShardOf(i)).Env()
 		var start sim.Time
 		if cfg.StartAt != nil {
@@ -301,10 +371,57 @@ func Run(cfg Config) (Result, error) {
 		res.Heartbeats += n.heartbeats
 		res.Rumors += n.rumors
 		res.WorkDone += n.workDone
+		res.Joins += n.joins
+		res.Preempts += n.preempts
+		res.Drained += n.drained
 		res.StateHash = res.StateHash*fnvPrime + n.hash + uint64(n.id)
 	}
 	env.Close()
 	return res, nil
+}
+
+// join boots node n at join time on its own shard: it arrives with an
+// empty queue and immediately pulls work through the steal path, and its
+// heartbeat loop is armed with the usual jitter. A rejoin after an earlier
+// membership (crashed slots are restarted via Restart, but a scripted
+// preempt→join cycle lands here too) only re-enters the pump — the
+// heartbeat loop from the first boot is still ticking, it must not be
+// doubled.
+func (fs *fleetSim) join(e *sim.Env, n *node) {
+	n.joins++
+	n.fold(0x4a, e.Now(), n.joins)
+	if !n.booted {
+		n.booted = true
+		e.After(n.rng.jitter(fs.cfg.HeartbeatPeriod), func() { fs.heartbeat(e, n) })
+	}
+	if !n.busy {
+		fs.pump(e, n)
+	}
+}
+
+// drain is the pre-flip half of a preemption: the departing node pushes
+// its whole queue to its ring successor while its sends are still
+// admitted, then departs. Liveness is checked receiver-side at delivery —
+// if the successor is itself dead or departed by then the batch is
+// dropped, the same volatile-loss semantics as a crash.
+func (fs *fleetSim) drain(e *sim.Env, n *node) {
+	n.preempts++
+	n.fold(0x50, e.Now(), n.preempts)
+	batch := n.queue
+	n.queue = 0
+	if batch == 0 {
+		return
+	}
+	n.drained += uint64(batch)
+	succ := (n.id + 1) % fs.cfg.Nodes
+	fs.net.Send(e, n.id, succ, int64(drainBytes+batch*64), func(de *sim.Env) {
+		sn := fs.nodes[succ]
+		sn.queue += batch
+		sn.fold(0x44, de.Now(), uint64(batch))
+		if !sn.busy {
+			fs.pump(de, sn)
+		}
+	})
 }
 
 // alive reports n's liveness from its own shard's injector (always true

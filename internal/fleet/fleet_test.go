@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"testing"
 
 	"rocket/internal/fault"
@@ -110,5 +111,133 @@ func TestFleetConfigValidation(t *testing.T) {
 	cfg.HeartbeatPeriod = 0
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("zero HeartbeatPeriod accepted")
+	}
+}
+
+// elasticConfig is the churny fleet the elasticity width-invariance
+// property runs: a quarter of the fleet present at boot, wave arrivals,
+// and a preemption storm.
+func elasticConfig(shards int) Config {
+	cfg := smallConfig(shards)
+	cfg.Elastic = &fault.Elasticity{
+		InitialNodes:    16,
+		Arrival:         fault.ArrivalWave,
+		Waves:           4,
+		ColdStartJitter: sim.Micros(200),
+		PreemptFraction: 0.25,
+		PreemptAfter:    sim.Millis(1),
+	}
+	return cfg
+}
+
+// TestFleetElasticShardInvariance is the tentpole determinism property:
+// a run with joins and preemptions is bit-identical at widths 1, 2, 4, 8.
+func TestFleetElasticShardInvariance(t *testing.T) {
+	base, err := Run(elasticConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Joins == 0 || base.Preempts == 0 {
+		t.Fatalf("churn config produced no churn: %+v", base)
+	}
+	for _, k := range []int{2, 4, 8} {
+		r, err := Run(elasticConfig(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.String() != base.String() {
+			t.Fatalf("elastic shards=%d diverged:\n  %s\nvs shards=1:\n  %s", k, r, base)
+		}
+	}
+}
+
+// TestFleetElasticReplayable pins that reruns of the same elastic config
+// are byte-identical — seeded churn, not wall-clock churn.
+func TestFleetElasticReplayable(t *testing.T) {
+	a, err := Run(elasticConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(elasticConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("rerun diverged:\n  %s\nvs\n  %s", a, b)
+	}
+}
+
+// TestFleetChurnFreeLineUnchanged pins the compatibility guarantee: a run
+// without churn renders the exact pre-elasticity summary line (no
+// joins/preempts suffix), so all committed goldens stay valid.
+func TestFleetChurnFreeLineUnchanged(t *testing.T) {
+	r, err := Run(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(
+		"fleet nodes=%d events=%d msgs=%d bytes=%d dropped=%d heartbeats=%d rumors=%d work=%d hash=%016x vt=%v",
+		r.Nodes, r.Events, r.Messages, r.BytesSent, r.Dropped,
+		r.Heartbeats, r.Rumors, r.WorkDone, r.StateHash, r.VirtualTime)
+	if r.String() != want {
+		t.Fatalf("churn-free line gained a suffix:\n  %s", r)
+	}
+}
+
+// TestFleetJoinerPullsWork pins the join semantics: a node arriving with
+// an empty queue ends up doing work via the steal path.
+func TestFleetJoinerPullsWork(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.Faults = new(fault.Schedule).Join(63, sim.Micros(100))
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Joins != 1 {
+		t.Fatalf("joins = %d, want 1", r.Joins)
+	}
+	static, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() == static.String() {
+		t.Fatal("join had no observable effect on the run")
+	}
+}
+
+// TestFleetPreemptDrains pins the departure semantics: a preempted node
+// hands its queue to the ring successor inside the drain window.
+func TestFleetPreemptDrains(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.WorkItems = 10000 // deep queues so the victim still holds items
+	cfg.Faults = new(fault.Schedule).Preempt(5, sim.Micros(50))
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Preempts != 1 {
+		t.Fatalf("preempts = %d, want 1", r.Preempts)
+	}
+	if r.Drained == 0 {
+		t.Fatal("preemption drained nothing despite a deep queue")
+	}
+}
+
+// TestFleetElasticValidation covers the elastic config cross-checks.
+func TestFleetElasticValidation(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.Elastic = &fault.Elasticity{Nodes: 32, InitialNodes: 4}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("mismatched elastic node count accepted")
+	}
+	cfg = smallConfig(1)
+	cfg.Elastic = &fault.Elasticity{InitialNodes: 4, Duration: sim.Millis(99)}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("mismatched elastic horizon accepted")
+	}
+	cfg = smallConfig(1)
+	cfg.Elastic = &fault.Elasticity{InitialNodes: 0}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero initial nodes accepted")
 	}
 }

@@ -194,6 +194,10 @@ func runFleet(sc *Scenario, faults *fault.Schedule, probes []fault.Probe, shards
 		if sc.Gen != nil {
 			c.StartAt = sc.Gen.StartTimes()
 		}
+		if sc.Elastic != nil {
+			e := sc.elasticity()
+			c.Elastic = &e
+		}
 	})
 	if err != nil {
 		return nil, "", fmt.Errorf("scenario %s: %w", sc.Name, err)
@@ -208,6 +212,13 @@ func runFleet(sc *Scenario, faults *fault.Schedule, probes []fault.Probe, shards
 		"rumors":          float64(res.Rumors),
 		"work_done":       float64(res.WorkDone),
 		"virtual_time_ms": res.VirtualTime.Seconds() * 1e3,
+	}
+	// Churn metrics appear only when membership actually changed, so
+	// churn-free reports (and their goldens) keep the exact metric list.
+	if res.Joins+res.Preempts > 0 {
+		metrics["joins"] = float64(res.Joins)
+		metrics["preempts"] = float64(res.Preempts)
+		metrics["drained"] = float64(res.Drained)
 	}
 	// Result.String excludes shard width and window count by design: the
 	// summary (and therefore the report hash) is a shard-invariance
@@ -234,7 +245,7 @@ func faultTimeline(s *fault.Schedule) []FaultRecord {
 	for _, ev := range s.Events {
 		r := FaultRecord{AtMS: ev.At.Seconds() * 1e3, Kind: ev.Kind.String()}
 		switch ev.Kind {
-		case fault.NodeCrash, fault.NodeRestart:
+		case fault.NodeCrash, fault.NodeRestart, fault.NodeJoin, fault.NodePreempt:
 			r.Target = fmt.Sprintf("node %d", ev.Node)
 		case fault.GPUSlowdown:
 			r.Target = fmt.Sprintf("node %d gpu %d", ev.Node, ev.GPU)

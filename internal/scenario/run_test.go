@@ -195,3 +195,86 @@ func TestReportRenderings(t *testing.T) {
 		t.Error("JSON report missing trailing newline")
 	}
 }
+
+// An elastic fleet's report is byte-identical across reruns and shard
+// widths, and surfaces the churn metrics that churn-free runs omit.
+func TestElasticReportWidthInvariantWithChurnMetrics(t *testing.T) {
+	sc, err := Parse([]byte(elasticDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden []byte
+	for _, w := range []int{1, 1, 2, 4, 8} { // width 1 twice = rerun check
+		rep, err := Run(sc, RunOptions{Shards: w})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", w, err)
+		}
+		doc, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = doc
+			names := map[string]float64{}
+			for _, m := range rep.Metrics {
+				names[m.Name] = m.Value
+			}
+			if names["joins"] == 0 {
+				t.Fatalf("elastic run reported no joins: %v", names)
+			}
+			if _, ok := names["preempts"]; !ok {
+				t.Fatalf("churn metrics missing: %v", names)
+			}
+			continue
+		}
+		if !bytes.Equal(doc, golden) {
+			t.Fatalf("shards=%d: elastic report diverged", w)
+		}
+	}
+}
+
+// Scripted membership events flow through the DSL: a preempted node is
+// observed dead, a joined node alive, and the timeline names them.
+func TestScriptedJoinPreemptEvents(t *testing.T) {
+	doc := `
+name: scripted-churn
+mode: fleet
+seed: 2
+duration: 6ms
+fleet:
+  nodes: 8
+events:
+  - at: 1ms
+    kind: preempt
+    node: 5
+  - at: 2ms
+    kind: join
+    node: 7
+assertions:
+  - at: 3ms
+    assert: node-dead
+    node: 5
+  - at: 3ms
+    assert: node-alive
+    node: 7
+`
+	sc, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("scenario failed:\n%s", rep.Text())
+	}
+	if len(rep.Faults) != 2 {
+		t.Fatalf("fault timeline has %d records", len(rep.Faults))
+	}
+	for _, f := range rep.Faults {
+		if !strings.HasPrefix(f.Target, "node ") {
+			t.Fatalf("membership event rendered as %q", f.Target)
+		}
+	}
+}

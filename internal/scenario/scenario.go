@@ -57,6 +57,11 @@ type Scenario struct {
 	Gen *FleetGen
 	// Chaos samples the fault stream of a stress scenario.
 	Chaos *ChaosSpec
+	// Elastic generates seeded fleet churn (arrival patterns plus spot
+	// preemption) in fleet mode. Mutually exclusive with chaos — one
+	// generated fault source per scenario; scripted events compose with
+	// it (validated against the merged schedule at run time).
+	Elastic *ElasticSpec
 	// Events script the fault stream of a regular scenario.
 	Events []EventSpec
 	// Asserts are evaluated inside virtual time (timed kinds) or against
@@ -132,6 +137,18 @@ type ChaosSpec struct {
 
 	ZoneOutages        int
 	ZoneOutageDuration sim.Time
+}
+
+// ElasticSpec mirrors fault.Elasticity in scenario vocabulary. The fleet
+// size, seed, and horizon come from the scenario itself.
+type ElasticSpec struct {
+	InitialNodes    int
+	Arrival         string
+	Over            sim.Time
+	Waves           int
+	ColdStartJitter sim.Time
+	PreemptFraction float64
+	PreemptAfter    sim.Time
 }
 
 // EventSpec is one scripted fault event; Kind uses the jobspec
@@ -212,6 +229,18 @@ func Parse(data []byte) (*Scenario, error) {
 	}
 	if ch := o.child("chaos"); ch != nil {
 		sc.Chaos = decodeChaos(ch)
+	}
+	if el := o.child("elasticity"); el != nil {
+		sc.Elastic = &ElasticSpec{
+			InitialNodes:    el.integer("initial_nodes", 1),
+			Arrival:         el.str("arrival", fault.ArrivalInstant),
+			Over:            el.dur("over", 0),
+			Waves:           el.integer("waves", 0),
+			ColdStartJitter: el.dur("cold_start_jitter", 0),
+			PreemptFraction: el.float("preempt_fraction", 0),
+			PreemptAfter:    el.dur("preempt_after", 0),
+		}
+		el.finish()
 	}
 	for i, n := range o.list("events") {
 		ev := decodeEvent(newObj(n, fmt.Sprintf("events[%d]", i), &derr))
@@ -348,6 +377,9 @@ func (sc *Scenario) validate() error {
 		if sc.Chaos != nil {
 			return fmt.Errorf("scenario %s: chaos is fleet-mode only; script pairs-mode faults as events", sc.Name)
 		}
+		if sc.Elastic != nil {
+			return fmt.Errorf("scenario %s: elasticity is fleet-mode only", sc.Name)
+		}
 	case ModeFleet:
 		if sc.Duration <= 0 {
 			return fmt.Errorf("scenario %s: fleet mode needs a positive duration", sc.Name)
@@ -363,6 +395,16 @@ func (sc *Scenario) validate() error {
 	}
 	if sc.Chaos != nil && len(sc.Events) > 0 {
 		return fmt.Errorf("scenario %s: chaos and events are mutually exclusive (one fault source per scenario)", sc.Name)
+	}
+	if sc.Elastic != nil && sc.Chaos != nil {
+		return fmt.Errorf("scenario %s: elasticity and chaos are mutually exclusive (one generated fault source per scenario)", sc.Name)
+	}
+	if sc.Elastic != nil {
+		// Shape-check the generator now so a broken elasticity section
+		// fails at parse, not mid-run.
+		if err := sc.elasticity().Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
 	}
 	if sc.Gen != nil {
 		if err := sc.Gen.validate(sc.Name); err != nil {
@@ -451,7 +493,8 @@ func (g *FleetGen) validate(name string) error {
 
 func validKind(kind string) error {
 	switch kind {
-	case "crash", "restart", "gpu-slow", "link-down", "link-up", "link-degrade":
+	case "crash", "restart", "gpu-slow", "link-down", "link-up", "link-degrade",
+		"join", "preempt":
 		return nil
 	case "":
 		return fmt.Errorf("event kind is required")
@@ -574,12 +617,34 @@ func (sc *Scenario) CompileFaults() (*fault.Schedule, error) {
 			s.RestoreLink(ev.A, ev.B, ev.At)
 		case "link-degrade":
 			s.DegradeLink(ev.A, ev.B, ev.At, ev.LatencyFactor, ev.BandwidthFactor)
+		case "join":
+			s.Join(ev.Node, ev.At)
+		case "preempt":
+			s.Preempt(ev.Node, ev.At)
 		}
 	}
 	if err := s.Validate(sc.gpuShape()); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	return s, nil
+}
+
+// elasticity maps the elasticity section onto the churn generator; fleet
+// size, seed, and horizon come from the scenario.
+func (sc *Scenario) elasticity() fault.Elasticity {
+	e := sc.Elastic
+	return fault.Elasticity{
+		Seed:            sc.Seed,
+		Nodes:           sc.nodeCount(),
+		InitialNodes:    e.InitialNodes,
+		Arrival:         e.Arrival,
+		Over:            e.Over,
+		Waves:           e.Waves,
+		ColdStartJitter: e.ColdStartJitter,
+		PreemptFraction: e.PreemptFraction,
+		PreemptAfter:    e.PreemptAfter,
+		Duration:        sc.Duration,
+	}
 }
 
 // chaosConfig maps the chaos section onto the generator.

@@ -167,3 +167,71 @@ func TestFleetGenShapes(t *testing.T) {
 		}
 	}
 }
+
+const elasticDoc = `
+name: elastic-mini
+mode: fleet
+seed: 11
+duration: 6ms
+fleet:
+  nodes: 16
+elasticity:
+  initial_nodes: 4
+  arrival: wave
+  over: 3ms
+  waves: 3
+  cold_start_jitter: 100us
+  preempt_fraction: 0.25
+  preempt_after: 500us
+`
+
+func TestParseElasticScenario(t *testing.T) {
+	sc, err := Parse([]byte(elasticDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sc.Elastic
+	if e == nil {
+		t.Fatal("elasticity section not decoded")
+	}
+	if e.InitialNodes != 4 || e.Arrival != "wave" || e.Waves != 3 ||
+		e.Over != sim.Millis(3) || e.ColdStartJitter != sim.Micros(100) ||
+		e.PreemptFraction != 0.25 || e.PreemptAfter != sim.Micros(500) {
+		t.Fatalf("elasticity = %+v", e)
+	}
+	// The generator inherits fleet size, seed, and horizon from the
+	// scenario, not from the section.
+	gen := sc.elasticity()
+	if gen.Nodes != 16 || gen.Seed != 11 || gen.Duration != sim.Millis(6) {
+		t.Fatalf("generator mapping = %+v", gen)
+	}
+}
+
+func TestElasticityRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"pairs mode", `
+name: x
+mode: pairs
+seed: 1
+app:
+  kind: forensics
+  items: 16
+fleet:
+  nodes: 2
+elasticity:
+  initial_nodes: 1
+`, "fleet-mode only"},
+		{"with chaos", strings.Replace(elasticDoc, "elasticity:", "chaos:\n  crash_fraction: 0.1\nelasticity:", 1), "mutually exclusive"},
+		{"bad arrival", strings.Replace(elasticDoc, "arrival: wave", "arrival: warp", 1), "unknown arrival pattern"},
+		{"initial above fleet", strings.Replace(elasticDoc, "initial_nodes: 4", "initial_nodes: 99", 1), "outside [1, 16]"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

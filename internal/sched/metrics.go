@@ -98,14 +98,31 @@ type Metrics struct {
 	StoreHits   uint64
 	StoreMisses uint64
 	StorePuts   uint64
+
+	// P99Wait is the 99th-percentile queueing delay over completed jobs
+	// (the max for fleets under 100 completions).
+	P99Wait sim.Time
+	// NodeSeconds is the capacity bill: active node-time within the
+	// makespan. Fixed fleets pay TotalNodes for the whole run; elastic
+	// fleets pay each slot only while it is provisioned.
+	NodeSeconds float64
+	// Elastic marks autoscaled runs; the fields below are zero otherwise.
+	Elastic    bool
+	ScaleUps   int
+	ScaleDowns int
+	Preempted  int
+	// PeakNodes is the largest concurrently-usable node count observed.
+	PeakNodes int
 }
 
-// aggregate folds per-job state into the fleet metrics.
-func aggregate(cfg Config, states []*jobState) *Metrics {
+// aggregate folds per-job state into the fleet metrics. pool is the
+// elastic slot tracker (nil for fixed fleets).
+func aggregate(cfg Config, states []*jobState, pool *elasticPool) *Metrics {
 	m := &Metrics{Policy: cfg.Policy, TotalNodes: cfg.Nodes}
 	tenants := make(map[string]*TenantMetrics)
 	tenantWaits := make(map[string]sim.Time)
 	var waitSum sim.Time
+	var waits []sim.Time
 	var leasedSeconds float64
 	for _, js := range states {
 		jm := JobMetrics{
@@ -165,6 +182,7 @@ func aggregate(cfg Config, states []*jobState) *Metrics {
 			m.StoreMisses += js.inner.StoreMisses
 			m.StorePuts += js.inner.StorePuts
 			waitSum += jm.Wait
+			waits = append(waits, jm.Wait)
 			tenantWaits[js.tenant] += jm.Wait
 			nodeSecs := float64(len(js.lease)) * jm.Runtime.Seconds()
 			t.NodeSeconds += nodeSecs
@@ -180,10 +198,22 @@ func aggregate(cfg Config, states []*jobState) *Metrics {
 	}
 	if m.Completed > 0 {
 		m.MeanWait = waitSum / sim.Time(m.Completed)
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		m.P99Wait = waits[(len(waits)*99)/100]
 	}
 	if m.Makespan > 0 {
 		m.Utilization = leasedSeconds / (float64(m.TotalNodes) * m.Makespan.Seconds())
 		m.JobsPerHour = float64(m.Completed) / (m.Makespan.Seconds() / 3600)
+	}
+	m.NodeSeconds = float64(m.TotalNodes) * m.Makespan.Seconds()
+	if pool != nil {
+		pool.finish(m.Makespan)
+		m.Elastic = true
+		m.NodeSeconds = pool.nodeSeconds
+		m.ScaleUps = pool.scaleUps
+		m.ScaleDowns = pool.scaleDowns
+		m.Preempted = pool.preempted
+		m.PeakNodes = pool.peak
 	}
 	for name, t := range tenants {
 		if done := t.Jobs - t.Rejected - t.Failed; done > 0 {
@@ -239,6 +269,13 @@ func (m *Metrics) Report() string {
 	if m.StoreHits > 0 || m.StoreMisses > 0 || m.StorePuts > 0 {
 		fmt.Fprintf(&b, "pairstore: %d pairs served, %d recomputed, %d emitted\n",
 			m.StoreHits, m.StoreMisses, m.StorePuts)
+	}
+	// Autoscaler summary only for elastic fleets, so fixed-fleet reports
+	// (and their goldens) are unchanged.
+	if m.Elastic {
+		fixed := float64(m.TotalNodes) * m.Makespan.Seconds()
+		fmt.Fprintf(&b, "autoscaler: %.2f node-seconds (fixed fleet %.2f) | p99 wait %v | peak %d nodes | %d up / %d down / %d preempted\n",
+			m.NodeSeconds, fixed, m.P99Wait, m.PeakNodes, m.ScaleUps, m.ScaleDowns, m.Preempted)
 	}
 	return b.String()
 }

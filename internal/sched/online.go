@@ -218,7 +218,8 @@ func StartOnline(cfg Config) (*Online, error) {
 }
 
 func (o *Online) loop() {
-	err := newScheduler(o.cfg, o).run(o)
+	sched := newScheduler(o.cfg, o)
+	err := sched.run(o)
 	o.mu.Lock()
 	o.closing = true
 	o.runErr = err
@@ -227,7 +228,7 @@ func (o *Online) loop() {
 		for i, oj := range o.all {
 			states[i] = oj.js
 		}
-		o.result = aggregate(o.cfg, states)
+		o.result = aggregate(o.cfg, states, sched.pool)
 	}
 	o.eventLocked(EventShutdown, "", "")
 	o.mu.Unlock()

@@ -47,6 +47,11 @@ type Job struct {
 	Nodes int
 	// Arrival is the virtual time at which the job enters the queue.
 	Arrival sim.Time
+	// Deadline, when positive, is the virtual time the job should finish
+	// by. The autoscaler treats a pending job whose deadline cannot be
+	// met even by provisioning immediately as deadline pressure and
+	// waives the ScaleUpStep cap. Fixed fleets ignore it.
+	Deadline sim.Time
 	// Seed overrides the per-job seed derived from Config.Seed.
 	Seed uint64
 	// Faults injects a deterministic fault schedule into the job's first
@@ -128,6 +133,11 @@ type Config struct {
 	// served log wants — the server also started empty). Pass a loaded
 	// store to warm-start the fleet.
 	Store *pairstore.Store
+	// Elastic switches the node pool from a fixed fleet of Nodes to an
+	// autoscaled one: Nodes becomes the capacity (slot space) and the
+	// policy decides how much of it is active at any virtual instant.
+	// Nil keeps the classic fixed fleet.
+	Elastic *Autoscale
 }
 
 // jobState tracks one job through the scheduler.
@@ -158,6 +168,12 @@ type jobState struct {
 	// the scheduler loop, never from inner-sim goroutines).
 	storeSnap  *pairstore.Snapshot
 	storeBatch *pairstore.Batch
+	// preempts are spot reclaims scheduled inside this attempt's lease,
+	// expressed as crash events in the inner run's node indices and
+	// relative time. Computed at placement; reclaims beyond the job's
+	// completion are harmless (the inner runtime pins its completion
+	// time before draining armed events).
+	preempts []fault.Event
 }
 
 // resetForRetry returns the state to the queue for another attempt.
@@ -170,6 +186,7 @@ func (js *jobState) resetForRetry() {
 	js.started = false
 	js.storeSnap = nil
 	js.storeBatch = nil
+	js.preempts = nil
 	js.done = make(chan struct{})
 }
 
@@ -212,6 +229,13 @@ func (cfg Config) normalizeCommon() (Config, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Elastic != nil {
+		a, err := cfg.Elastic.normalize(cfg.Nodes)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Elastic = &a
+	}
 	return cfg, nil
 }
 
@@ -228,8 +252,14 @@ func newState(cfg Config, j Job, i int, seen map[string]int) (*jobState, error) 
 	if j.Nodes < 0 || j.Nodes > cfg.Nodes {
 		return nil, fmt.Errorf("sched: job %d requests %d nodes; cluster has %d", i, j.Nodes, cfg.Nodes)
 	}
+	if cfg.Elastic != nil && j.Nodes > cfg.Elastic.MaxNodes {
+		return nil, fmt.Errorf("sched: job %d requests %d nodes; autoscaler caps the fleet at %d", i, j.Nodes, cfg.Elastic.MaxNodes)
+	}
 	if j.Arrival < 0 {
 		return nil, fmt.Errorf("sched: job %d has negative arrival %v", i, j.Arrival)
+	}
+	if j.Deadline < 0 {
+		return nil, fmt.Errorf("sched: job %d has negative deadline %v", i, j.Deadline)
 	}
 	if j.BaseItems < 0 {
 		return nil, fmt.Errorf("sched: job %d has negative BaseItems %d", i, j.BaseItems)
@@ -369,15 +399,24 @@ type scheduler struct {
 	// store is the fleet's shared pair store, touched only from the loop
 	// goroutine (snapshots at placement, merges at completion).
 	store *pairstore.Store
+	// pool tracks elastic slot lifecycles; nil for fixed fleets.
+	pool *elasticPool
 }
 
 func newScheduler(cfg Config, obs observer) *scheduler {
 	// The free pool holds node IDs in ascending order; leases take the
 	// lowest IDs so placements are deterministic and reported partitions
-	// are stable.
-	free := make([]int, cfg.Nodes)
-	for i := range free {
-		free[i] = i
+	// are stable. Under autoscaling only the boot set starts free.
+	var free []int
+	var pool *elasticPool
+	if cfg.Elastic != nil {
+		pool = newElasticPool(*cfg.Elastic, cfg.Nodes)
+		free = pool.initialFree()
+	} else {
+		free = make([]int, cfg.Nodes)
+		for i := range free {
+			free[i] = i
+		}
 	}
 	return &scheduler{
 		cfg:   cfg,
@@ -386,7 +425,74 @@ func newScheduler(cfg Config, obs observer) *scheduler {
 		sem:   make(chan struct{}, cfg.Workers),
 		obs:   obs,
 		store: cfg.Store,
+		pool:  pool,
 	}
+}
+
+// syncPool applies pool lifecycle events due by the scheduler clock:
+// provisioning completions join the free pool, idle expiries and
+// free-slot reclaims leave it. Both are retroactively exact, so lazy
+// invocation at the loop top never distorts the node-seconds bill.
+func (s *scheduler) syncPool() {
+	if s.pool == nil {
+		return
+	}
+	if ready := s.pool.ready(s.clock); len(ready) > 0 {
+		s.free = append(s.free, ready...)
+		sort.Ints(s.free)
+	}
+	if retired := s.pool.retire(s.clock); len(retired) > 0 {
+		gone := make(map[int]bool, len(retired))
+		for _, id := range retired {
+			gone[id] = true
+		}
+		keep := s.free[:0]
+		for _, id := range s.free {
+			if !gone[id] {
+				keep = append(keep, id)
+			}
+		}
+		s.free = keep
+	}
+}
+
+// scaleUp provisions capacity against the pending queue's unmet node
+// demand. Returns true when warm (zero-delay) capacity joined the free
+// pool, i.e. placement should be retried at this same instant.
+func (s *scheduler) scaleUp() bool {
+	if s.pool == nil || len(s.pending) == 0 {
+		return false
+	}
+	demand := 0
+	pressure := false
+	for _, js := range s.pending {
+		demand += js.job.Nodes
+		// Deadline pressure: even capacity provisioned right now would
+		// come online too late for this job to finish in time.
+		if d := js.job.Deadline; d > 0 && s.clock+s.pool.policy.ProvisionDelay+js.est > d {
+			pressure = true
+		}
+	}
+	warming := 0
+	for _, sl := range s.pool.slots {
+		if sl.state == slotProvisioning {
+			warming++
+		}
+	}
+	want := demand - len(s.free) - warming
+	if want <= 0 {
+		return false
+	}
+	if step := s.pool.policy.ScaleUpStep; step > 0 && !pressure && want > step {
+		want = step
+	}
+	freeNow := s.pool.provision(want, s.clock)
+	if len(freeNow) == 0 {
+		return false
+	}
+	s.free = append(s.free, freeNow...)
+	sort.Ints(s.free)
+	return true
 }
 
 // run schedules every job the frontier yields over the shared cluster.
@@ -411,43 +517,77 @@ func (s *scheduler) run(f frontier) error {
 			}
 		}
 
+		// Pool lifecycle first: provisioning completions due by now join
+		// the free pool, idle expiries and free-slot reclaims leave it —
+		// all retroactively exact, so placements below see the capacity
+		// that actually exists at this instant.
+		s.syncPool()
+
 		// Placement: let the policy pick jobs while nodes and the
 		// running-job budget allow. Jobs placed at the same instant
-		// execute their inner simulations in parallel.
-		for len(s.pending) > 0 {
-			if cfg.MaxRunning > 0 && len(s.running) >= cfg.MaxRunning {
-				break
-			}
-			i := pick(cfg.Policy, s.pending, s.running, len(s.free), s.clock, s.usage)
-			if i < 0 {
-				break
-			}
-			js := s.pending[i]
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			js.lease = append([]int(nil), s.free[:js.job.Nodes]...)
-			s.free = s.free[js.job.Nodes:]
-			js.start = s.clock
-			js.started = true
-			if js.job.StoreRef != "" {
-				// The store view is pinned here, at the deterministic
-				// placement point: merges of jobs completing at or before
-				// this clock already happened, later merges are invisible.
-				if s.store == nil {
-					s.store = pairstore.New()
+		// execute their inner simulations in parallel. Under autoscaling
+		// each placement round is followed by a scale-up decision; warm
+		// capacity is usable at the same instant, so placement retries
+		// until neither makes progress.
+		for {
+			for len(s.pending) > 0 {
+				if cfg.MaxRunning > 0 && len(s.running) >= cfg.MaxRunning {
+					break
 				}
-				js.storeSnap = s.store.Snapshot()
-				js.storeBatch = pairstore.NewBatch()
+				i := pick(cfg.Policy, s.pending, s.running, len(s.free), s.clock, s.usage)
+				if i < 0 {
+					break
+				}
+				js := s.pending[i]
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				js.lease = append([]int(nil), s.free[:js.job.Nodes]...)
+				s.free = s.free[js.job.Nodes:]
+				js.start = s.clock
+				js.started = true
+				if s.pool != nil {
+					// Reclaims scheduled inside the lease become crash
+					// events at the slot's partition-local index; the job
+					// drains through steal-based harvest like any crash.
+					for k, id := range js.lease {
+						s.pool.lease(id)
+						if at := s.pool.slots[id].preemptAt; at > s.clock {
+							js.preempts = append(js.preempts,
+								fault.Event{At: at - s.clock, Kind: fault.NodeCrash, Node: k})
+						}
+					}
+				}
+				if js.job.StoreRef != "" {
+					// The store view is pinned here, at the deterministic
+					// placement point: merges of jobs completing at or before
+					// this clock already happened, later merges are invisible.
+					if s.store == nil {
+						s.store = pairstore.New()
+					}
+					js.storeSnap = s.store.Snapshot()
+					js.storeBatch = pairstore.NewBatch()
+				}
+				s.running = append(s.running, js)
+				if s.obs != nil {
+					s.obs.jobStarted(js)
+				}
+				go cfg.runInner(js, s.sem)
 			}
-			s.running = append(s.running, js)
-			if s.obs != nil {
-				s.obs.jobStarted(js)
+			if !s.scaleUp() {
+				break
 			}
-			go cfg.runInner(js, s.sem)
 		}
 
 		if len(s.running) == 0 {
-			if t, ok := f.next(); ok {
-				s.clock = t
+			next, ok := f.next()
+			if s.pool != nil {
+				// Warming capacity is a future event too: pending jobs may
+				// be waiting for exactly that provisioning to complete.
+				if rt, rok := s.pool.nextReady(); rok && (!ok || rt < next) {
+					next, ok = rt, true
+				}
+			}
+			if ok {
+				s.clock = next
 				continue
 			}
 			if f.wait() {
@@ -493,6 +633,13 @@ func (s *scheduler) run(f frontier) error {
 		if t, ok := f.next(); ok && t < next {
 			next = t
 		}
+		if s.pool != nil {
+			// Don't jump over a provisioning completion: queued jobs must
+			// be placed the instant their capacity comes online.
+			if rt, ok := s.pool.nextReady(); ok && rt > s.clock && rt < next {
+				next = rt
+			}
+		}
 		s.clock = next
 		if s.obs != nil {
 			s.obs.clockAdvanced(s.clock)
@@ -504,7 +651,11 @@ func (s *scheduler) run(f frontier) error {
 		for _, js := range s.running {
 			if js.end <= s.clock {
 				s.usage[js.tenant] += float64(len(js.lease)) * (js.end - js.start).Seconds()
-				s.free = append(s.free, js.lease...)
+				if s.pool != nil {
+					s.free = append(s.free, s.pool.release(js.lease, js.end)...)
+				} else {
+					s.free = append(s.free, js.lease...)
+				}
 				if js.storeBatch != nil && !js.retry && !js.failed {
 					// Completion is the deterministic merge point: the
 					// job's emitted results become visible to every job
@@ -561,10 +712,11 @@ func Run(cfg Config) (*Metrics, error) {
 		return arrivals[i].job.Arrival < arrivals[j].job.Arrival
 	})
 
-	if err := newScheduler(cfg, nil).run(&sliceFrontier{arrivals: arrivals}); err != nil {
+	s := newScheduler(cfg, nil)
+	if err := s.run(&sliceFrontier{arrivals: arrivals}); err != nil {
 		return nil, err
 	}
-	return aggregate(cfg, states), nil
+	return aggregate(cfg, states, s.pool), nil
 }
 
 // runInner executes one job's Rocket runtime on a cluster the size of its
@@ -602,6 +754,16 @@ func (cfg Config) runInner(js *jobState, sem chan struct{}) {
 	if js.attempt == 0 {
 		// Retries model placement on fresh nodes and run fault-free.
 		ccfg.Faults = js.job.Faults
+	}
+	if len(js.preempts) > 0 {
+		// Spot reclaims follow the slots, not the attempt: every
+		// placement onto a doomed slot crashes at the scheduled instant.
+		merged := &fault.Schedule{}
+		if !ccfg.Faults.Empty() {
+			merged.Events = append(merged.Events, ccfg.Faults.Events...)
+		}
+		merged.Events = append(merged.Events, js.preempts...)
+		ccfg.Faults = merged
 	}
 	if js.job.Mutate != nil {
 		js.job.Mutate(&ccfg)

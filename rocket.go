@@ -21,8 +21,6 @@
 //
 // Runners are reusable: each Run simulates a fresh cluster, so the same
 // Runner yields bit-identical Metrics for the same application and seed.
-// The positional rocket.Run(rocket.Config{...}) form still works but is
-// deprecated.
 //
 // Because Go has no mature CUDA bindings, the hardware substrate (GPUs,
 // network, storage) is a deterministic discrete-event simulation; the
@@ -84,18 +82,6 @@ var (
 // GiB is 2^30 bytes, for sizing host caches.
 const GiB = gpu.GiB
 
-// Run executes an all-pairs application on a platform.
-//
-// Deprecated: build a Runner with New and call Runner.Run — it rebuilds
-// the cluster per run (so runs can't contaminate each other) and takes
-// the same settings as functional options:
-//
-//	rocket.New(rocket.WithCluster(platform), rocket.WithSeed(1)).Run(app)
-//
-// This shim remains for external callers and produces bit-identical
-// Metrics for the equivalent option set.
-func Run(cfg Config) (*Metrics, error) { return core.Run(cfg) }
-
 // Scheduler types: see package rocket/internal/sched (rocketd) for full
 // documentation.
 type (
@@ -117,20 +103,6 @@ const (
 	PolicySJF       = sched.PolicySJF
 	PolicyFairShare = sched.PolicyFairShare
 )
-
-// RunQueue schedules a queue of heterogeneous all-pairs jobs over one
-// shared simulated cluster: jobs lease node partitions, run concurrently
-// through the Rocket runtime, and are placed by the configured policy
-// (FIFO, shortest-job-first, or fair-share across tenants). Results are
-// deterministic for a given seed.
-//
-// Deprecated: build a Runner with New and call Runner.RunQueue:
-//
-//	rocket.New(rocket.WithQueueConfig(cfg)).RunQueue()
-//
-// This shim remains for external callers and produces bit-identical
-// QueueMetrics for the equivalent option set.
-func RunQueue(cfg QueueConfig) (*QueueMetrics, error) { return sched.Run(cfg) }
 
 // ParseQueuePolicy maps a manifest name ("fifo", "sjf", "fair") to a
 // policy.

@@ -55,7 +55,11 @@ func TestEndToEndThroughPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := rocket.Run(rocket.Config{App: app, Cluster: cl, DistCache: true, Seed: 1})
+	m, err := rocket.New(
+		rocket.WithCluster(cl),
+		rocket.WithDistCache(true),
+		rocket.WithSeed(1),
+	).Run(app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +77,11 @@ func TestRealKernelsThroughPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := rocket.Run(rocket.Config{App: app, Cluster: cl, CollectResults: true, Seed: 1})
+	m, err := rocket.New(
+		rocket.WithCluster(cl),
+		rocket.WithCollectResults(true),
+		rocket.WithSeed(1),
+	).Run(app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,12 +108,12 @@ func TestRunQueueMixedPolicies(t *testing.T) {
 	waits := make(map[rocket.QueuePolicy]sim.Time)
 	for _, p := range []rocket.QueuePolicy{rocket.PolicyFIFO, rocket.PolicySJF, rocket.PolicyFairShare} {
 		run := func() *rocket.QueueMetrics {
-			m, err := rocket.RunQueue(rocket.QueueConfig{
+			m, err := rocket.New(rocket.WithQueueConfig(rocket.QueueConfig{
 				Jobs:   experiments.QueueMix(16, queueTestNodes, opts),
 				Nodes:  queueTestNodes,
 				Policy: p,
 				Seed:   1,
-			})
+			})).RunQueue()
 			if err != nil {
 				t.Fatalf("policy %v: %v", p, err)
 			}
@@ -159,7 +167,7 @@ func TestStartQueueOnlineThroughPublicAPI(t *testing.T) {
 	if _, err := q.Submit(rocket.QueueJob{App: forensics.New(forensics.Params{N: 8, Seed: 9})}); !errors.Is(err, rocket.ErrShuttingDown) {
 		t.Fatalf("submit after shutdown: %v, want ErrShuttingDown", err)
 	}
-	replay, err := rocket.RunQueue(q.ReplayConfig())
+	replay, err := rocket.New(rocket.WithQueueConfig(q.ReplayConfig())).RunQueue()
 	if err != nil {
 		t.Fatal(err)
 	}

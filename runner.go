@@ -34,6 +34,20 @@ type FleetConfig = fleet.Config
 // FleetResult is a fleet run's deterministic summary.
 type FleetResult = fleet.Result
 
+// Elasticity parameterizes seeded membership churn for fleet runs: a
+// join wave (instant/linear/exponential/wave arrivals with cold-start
+// jitter) plus spot-style preemptions, all a pure function of the seed;
+// see rocket/internal/fault.
+type Elasticity = fault.Elasticity
+
+// Autoscale is the elastic-capacity policy of queue runs: a slot pool
+// that grows against queue depth and deadline pressure and shrinks on
+// idle timeout; see rocket/internal/sched.
+type Autoscale = sched.Autoscale
+
+// Preemption is one scheduled spot reclaim of an autoscaled slot.
+type Preemption = sched.Preemption
+
 // An Option configures a Runner; pass options to New.
 type Option func(*Runner)
 
@@ -60,9 +74,10 @@ type Runner struct {
 	cluster     *Cluster
 	clusterUsed bool
 
-	queue  QueueConfig
-	shards int
-	err    error
+	queue   QueueConfig
+	elastic *Elasticity
+	shards  int
+	err     error
 }
 
 // New builds a Runner from functional options. Option errors (an invalid
@@ -230,6 +245,23 @@ func WithPairStore(s *PairStore) Option {
 	return func(r *Runner) { r.queue.Store = s }
 }
 
+// WithElasticity drives fleet runs (RunFleet) with seeded membership
+// churn: nodes join along the configured arrival pattern and spot
+// preemptions drain victims mid-run. Zero-valued Seed, Nodes, and
+// Duration fields are filled from the Runner's seed, topology size, and
+// fleet duration. Churn-free runs are unaffected.
+func WithElasticity(e *Elasticity) Option {
+	return func(r *Runner) { r.elastic = e }
+}
+
+// WithAutoscaler attaches an elastic-capacity policy to queue runs
+// (RunQueue): the fleet starts at BootNodes, grows against queue depth
+// and deadline pressure, shrinks after IdleTimeout, and loses slots to
+// scheduled Preemptions. Nil restores the fixed max-size fleet.
+func WithAutoscaler(a *Autoscale) Option {
+	return func(r *Runner) { r.queue.Elastic = a }
+}
+
 // WithQueuePolicy selects the placement order of queued jobs.
 func WithQueuePolicy(p QueuePolicy) Option {
 	return func(r *Runner) { r.queue.Policy = p }
@@ -348,6 +380,7 @@ func (r *Runner) RunFleet(fn func(*FleetConfig)) (FleetResult, error) {
 		}
 	}
 	cfg.GPUs = gpus
+	cfg.Elastic = r.elastic
 	if fn != nil {
 		fn(&cfg)
 	}

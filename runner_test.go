@@ -9,17 +9,21 @@ import (
 	"rocket/internal/apps/microscopy"
 )
 
-// TestRunnerMatchesDeprecatedRun is the API-migration equivalence gate:
-// the options builder must produce bit-identical Metrics to the
-// deprecated positional rocket.Run(Config) path for the same settings.
-func TestRunnerMatchesDeprecatedRun(t *testing.T) {
+// TestRunnerClusterMatchesTopology is the platform-equivalence gate: an
+// explicitly built cluster and a topology-derived one must produce
+// bit-identical Metrics for the same settings.
+func TestRunnerClusterMatchesTopology(t *testing.T) {
 	app := microscopy.New(microscopy.Params{N: 24, Seed: 1})
 
 	cl, err := rocket.Homogeneous(2, rocket.DAS5Node(rocket.TitanXMaxwell))
 	if err != nil {
 		t.Fatal(err)
 	}
-	old, err := rocket.Run(rocket.Config{App: app, Cluster: cl, DistCache: true, Seed: 1}) //nolint:staticcheck // equivalence test of the deprecated path
+	old, err := rocket.New(
+		rocket.WithCluster(cl),
+		rocket.WithDistCache(true),
+		rocket.WithSeed(1),
+	).Run(app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +38,7 @@ func TestRunnerMatchesDeprecatedRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(old, neu) {
-		t.Fatalf("Runner.Run diverged from deprecated rocket.Run:\nold: %+v\nnew: %+v", old, neu)
+		t.Fatalf("explicit cluster diverged from topology build:\nold: %+v\nnew: %+v", old, neu)
 	}
 }
 
@@ -122,9 +126,10 @@ func TestRunnerTopologyAccessor(t *testing.T) {
 	}
 }
 
-// TestRunnerQueueMatchesDeprecatedRunQueue: queue scheduling through the
-// builder must match the deprecated rocket.RunQueue shim bit for bit.
-func TestRunnerQueueMatchesDeprecatedRunQueue(t *testing.T) {
+// TestRunnerQueueEquivalentForms: the three ways of feeding the queue —
+// pre-loaded cfg.Jobs, argument append, and a topology-derived fleet —
+// must produce bit-identical reports.
+func TestRunnerQueueEquivalentForms(t *testing.T) {
 	jobs := []rocket.QueueJob{
 		{App: forensics.New(forensics.Params{N: 16, Seed: 2}), Nodes: 2},
 		{App: microscopy.New(microscopy.Params{N: 12, Seed: 3}), Nodes: 1},
@@ -132,16 +137,9 @@ func TestRunnerQueueMatchesDeprecatedRunQueue(t *testing.T) {
 	}
 	cfg := rocket.QueueConfig{Jobs: jobs, Nodes: 3, Seed: 11, Policy: rocket.PolicySJF}
 
-	old, err := rocket.RunQueue(cfg) //nolint:staticcheck // equivalence test of the deprecated path
+	ref, err := rocket.New(rocket.WithQueueConfig(cfg)).RunQueue()
 	if err != nil {
 		t.Fatal(err)
-	}
-	neu, err := rocket.New(rocket.WithQueueConfig(cfg)).RunQueue()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if old.Report() != neu.Report() {
-		t.Fatalf("Runner.RunQueue diverged from deprecated rocket.RunQueue:\nold:\n%s\nnew:\n%s", old.Report(), neu.Report())
 	}
 
 	// Jobs passed as arguments append to the configured queue.
@@ -150,7 +148,7 @@ func TestRunnerQueueMatchesDeprecatedRunQueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if argd.Report() != old.Report() {
+	if argd.Report() != ref.Report() {
 		t.Fatal("RunQueue(jobs...) diverged from pre-loaded cfg.Jobs")
 	}
 
@@ -163,7 +161,50 @@ func TestRunnerQueueMatchesDeprecatedRunQueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if topo.Report() != old.Report() {
+	if topo.Report() != ref.Report() {
 		t.Fatal("topology-derived RunQueue diverged")
+	}
+}
+
+// TestRunnerElasticOptions drives both elastic surfaces through the
+// public API: WithElasticity churns a fleet run, and WithAutoscaler puts
+// queue runs on a pay-per-use bill.
+func TestRunnerElasticOptions(t *testing.T) {
+	r := rocket.New(
+		rocket.WithHomogeneous(16, rocket.DAS5Node(rocket.TitanXMaxwell)),
+		rocket.WithSeed(3),
+		rocket.WithShards(2),
+		rocket.WithElasticity(&rocket.Elasticity{
+			InitialNodes:    4,
+			Arrival:         "wave",
+			Waves:           2,
+			PreemptFraction: 0.25,
+		}),
+	)
+	res, err := r.RunFleet(func(c *rocket.FleetConfig) { c.Duration = 4e6 }) // 4ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Joins == 0 || res.Preempts == 0 {
+		t.Fatalf("elastic fleet saw no churn: %+v", res)
+	}
+
+	jobs := []rocket.QueueJob{
+		{App: forensics.New(forensics.Params{N: 12, Seed: 2})},
+		{App: forensics.New(forensics.Params{N: 12, Seed: 3})},
+	}
+	m, err := rocket.New(
+		rocket.WithSeed(5),
+		rocket.WithQueueConfig(rocket.QueueConfig{Nodes: 4, Seed: 5}),
+		rocket.WithAutoscaler(&rocket.Autoscale{MinNodes: 1, IdleTimeout: 1e9}),
+	).RunQueue(jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Elastic || m.Completed != 2 {
+		t.Fatalf("autoscaled queue: elastic=%v completed=%d", m.Elastic, m.Completed)
+	}
+	if m.NodeSeconds >= float64(m.TotalNodes)*m.Makespan.Seconds() {
+		t.Fatalf("autoscaler bill %.3f not below fixed fleet", m.NodeSeconds)
 	}
 }
