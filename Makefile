@@ -7,10 +7,10 @@
 GO ?= go
 ROCKET_SCALE ?= 50
 BENCH_RUN ?= local
-BENCH_BASELINE ?= BENCH_pr8.json
+BENCH_BASELINE ?= BENCH_pr9.json
 COVERAGE_FLOOR ?= 75.0
 
-.PHONY: build test race-stress bench bench-sim bench-shards bench-json bench-gate coverage smoke smoke-scenarios smoke-elastic smoke-incremental fuzz-smoke lint ci fmt
+.PHONY: build test race-stress bench bench-sim bench-shards bench-json bench-gate coverage smoke smoke-scenarios smoke-elastic smoke-incremental smoke-pairstore fuzz-smoke lint ci fmt
 
 build:
 	$(GO) build ./...
@@ -131,6 +131,7 @@ smoke-elastic:
 smoke-incremental:
 	$(GO) build -o /tmp/rocket-incr-rocketd ./cmd/rocketd
 	rm -f /tmp/rocket-incr-store.json /tmp/rocket-incr-store.json.datasets
+	rm -rf /tmp/rocket-incr-store.json.segments
 	/tmp/rocket-incr-rocketd -addr 127.0.0.1:18081 -nodes 4 -time-scale 0 \
 		-log /tmp/rocket-incr-served.json -store /tmp/rocket-incr-store.json \
 		-store-stats /tmp/rocket-incr-store-stats.json > /tmp/rocket-incr-report.txt & \
@@ -153,10 +154,24 @@ smoke-incremental:
 	test -s /tmp/rocket-incr-store.json
 	test -s /tmp/rocket-incr-store-stats.json
 
-# Mirrors the workflow's fuzz step: a short go-native fuzz run over the
-# manifest codec (seed corpus committed under internal/jobspec/testdata).
+# Mirrors the workflow's smoke-pairstore step: the columnar store's full
+# lifecycle at a million pairs — auto-sealed ingestion, Seal, Compact,
+# Save, Load, then a 10% delta plan — run twice; the two plans must be
+# byte-identical and the store must hold ≤8 bytes/pair on disk. Per-run
+# figures land in /tmp/rocket-store-stats.json (uploaded as a CI
+# artifact).
+smoke-pairstore:
+	$(GO) run ./cmd/rocketstore -pairs 1000000 -seed 1 -runs 2 -stats /tmp/rocket-store-stats.json
+	test -s /tmp/rocket-store-stats.json
+
+# Mirrors the workflow's fuzz step: short go-native fuzz runs over the
+# manifest codec (seed corpus under internal/jobspec/testdata) and the
+# columnar segment codec (seed corpus under internal/pairstore/testdata)
+# — truncated or bit-flipped segment files must fail with a structured
+# *CorruptError, never a panic.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzManifestRoundTrip -fuzztime=10s ./internal/jobspec/
+	$(GO) test -run='^$$' -fuzz=FuzzSegmentRoundTrip -fuzztime=10s ./internal/pairstore/
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -179,3 +194,4 @@ ci: lint build test race-stress
 	$(MAKE) smoke-scenarios
 	$(MAKE) smoke-elastic
 	$(MAKE) smoke-incremental
+	$(MAKE) smoke-pairstore

@@ -97,3 +97,49 @@ func BenchmarkIncremental(b *testing.B) { benchExperiment(b, "incremental") }
 // strictly lower bill for the warm pool).
 
 func BenchmarkElasticity(b *testing.B) { benchExperiment(b, "elasticity") }
+
+// Columnar pairstore subsystem: the storage-scaling sweep. Each point
+// builds an all-pairs store of the given size through the full
+// lifecycle (auto-sealed ingestion, compaction, persistence, reload)
+// and plans a 10% delta against the reloaded snapshot, reporting
+// on-disk bytes/pair, the resident probe-index footprint, and the plan
+// latency. The 10^6-pair point is the gated capability (≤8 bytes/pair,
+// plan without a resident per-pair index — see BENCH_pr9.json and
+// cmd/benchgate); 10^7 is the local headroom check.
+//
+//	go test -bench BenchmarkPairstoreScale -benchtime 1x .
+func BenchmarkPairstoreScale(b *testing.B) {
+	for _, pairs := range []int64{100_000, 1_000_000, 10_000_000} {
+		b.Run(fmt.Sprintf("pairs=%d", pairs), func(b *testing.B) {
+			// The 10^7 headroom point takes tens of seconds per iteration;
+			// smoke runs (ROCKET_SCALE > 10, as CI sets) stop at the gated
+			// 10^6 capability and leave 10^7 to full-scale local runs.
+			if pairs > 1_000_000 && benchOptions().Scale > 10 {
+				b.Skipf("skipping %d-pair headroom point at smoke scale", pairs)
+			}
+			for i := 0; i < b.N; i++ {
+				sr, err := experiments.MeasureStorageTemp(pairs, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sr.Served != sr.Pairs {
+					b.Fatalf("plan served %d of %d resident pairs", sr.Served, sr.Pairs)
+				}
+				if sr.Pairs >= 1_000_000 && sr.BytesPerPair > 8 {
+					b.Fatalf("%.2f bytes/pair at %d pairs exceeds the 8 bytes/pair floor",
+						sr.BytesPerPair, sr.Pairs)
+				}
+				// The plan must run off the bounded probe index, not a
+				// resident per-pair structure: fences + dictionary + bloom
+				// land around 1.3 bytes/pair; 4 is generous headroom.
+				if sr.IndexResidentBytes > 4*sr.Pairs {
+					b.Fatalf("resident index %d bytes for %d pairs — planning is not index-bounded",
+						sr.IndexResidentBytes, sr.Pairs)
+				}
+				b.ReportMetric(sr.BytesPerPair, "bytes/pair")
+				b.ReportMetric(float64(sr.IndexResidentBytes), "index-bytes")
+				b.ReportMetric(float64(sr.PlanNs), "plan-ns")
+			}
+		})
+	}
+}

@@ -15,7 +15,13 @@
 //   - performance (warning by default, fatal with -strict-perf): each
 //     experiment's ns_per_op may grow at most -max-regress (default 25%).
 //     Wall time on shared CI runners is noisy, which is why timing alone
-//     does not fail the build unless asked to.
+//     does not fail the build unless asked to;
+//   - storage (always fatal where deterministic): the pairstore scaling
+//     trajectory's bytes/pair must stay under the 8 bytes/pair capability
+//     floor at 10^6+ pairs and within 10% of the baseline at matched
+//     sizes, and the delta-plan hash must match the baseline exactly.
+//     Plan latency is wall-clock and therefore tracked like performance:
+//     a drift beyond -max-regress warns (fails under -strict-perf).
 //
 // -summary appends a markdown table to the given file (pass
 // $GITHUB_STEP_SUMMARY in CI to surface the diff on the job page).

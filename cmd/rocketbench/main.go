@@ -147,6 +147,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "shard trajectory: shards=%d %12v %10d events %14.0f events/sec hash=%016x\n",
 				k, wall.Round(time.Millisecond), fr.Events, float64(fr.Events)/wall.Seconds(), fr.StateHash)
 		}
+		// And the storage trajectory: the columnar pairstore built to
+		// 10^5 and 10^6 pairs, persisted and reloaded, then planning a
+		// 10% delta — bytes/pair and the plan hash gate hard (both are
+		// deterministic), plan latency is tracked. The 10^7 point lives
+		// in BenchmarkPairstoreScale for local runs; it is too slow for
+		// every CI bench run.
+		for _, pairs := range []int64{100_000, 1_000_000} {
+			sr, err := experiments.MeasureStorageTemp(pairs, opts.Seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "storage trajectory pairs=%d: %v\n", pairs, err)
+				os.Exit(1)
+			}
+			report.StorageTrajectory = append(report.StorageTrajectory, benchfmt.StoragePoint{
+				Items:              sr.Items,
+				Pairs:              sr.Pairs,
+				BytesPerPair:       sr.BytesPerPair,
+				DiskBytes:          sr.DiskBytes,
+				IndexResidentBytes: sr.IndexResidentBytes,
+				PlanNsPerOp:        sr.PlanNs,
+				PlanHash:           sr.PlanHash,
+				BloomHitRate:       sr.BloomHitRate,
+			})
+			fmt.Fprintf(os.Stderr, "storage trajectory: pairs=%-9d %6.2f bytes/pair  plan %8v  index %8d B  hash=%.16s\n",
+				sr.Pairs, sr.BytesPerPair, time.Duration(sr.PlanNs).Round(time.Millisecond),
+				sr.IndexResidentBytes, sr.PlanHash)
+		}
 		path := "BENCH_" + *jsonRun + ".json"
 		if err := report.Write(path); err != nil {
 			fmt.Fprintln(os.Stderr, err)

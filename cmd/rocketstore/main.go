@@ -1,0 +1,115 @@
+// Command rocketstore is the pairstore lifecycle smoke check: it
+// builds an all-pairs store of the requested size through the full
+// columnar pipeline (auto-sealed ingestion → Seal → Compact → Save →
+// Load), plans a 10% delta against the reloaded snapshot, and repeats
+// the whole lifecycle to assert the plan is byte-identical across
+// runs — the determinism the scheduler's replay guarantee leans on.
+//
+// Usage:
+//
+//	rocketstore -pairs 1000000 -seed 1 -runs 2 -stats store-stats.json
+//
+// Exit status is non-zero when any run violates the storage
+// capabilities (plan hash drift between runs, a base pair not served,
+// bytes/pair above the gate floor at 10^6+ pairs). -stats writes the
+// per-run figures as JSON (CI uploads it as the smoke artifact).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rocket/internal/experiments"
+)
+
+// maxBytesPerPair mirrors the benchgate capability floor (see
+// internal/benchfmt.gateStorage): at a million pairs and beyond the
+// columnar store must keep a pair under 8 on-disk bytes.
+const (
+	maxBytesPerPair = 8.0
+	scaleFloor      = 1_000_000
+)
+
+// runDoc is one lifecycle run's record in the -stats artifact.
+type runDoc struct {
+	Run                int     `json:"run"`
+	Items              int     `json:"items"`
+	Pairs              int64   `json:"pairs"`
+	DiskBytes          int64   `json:"disk_bytes"`
+	BytesPerPair       float64 `json:"bytes_per_pair"`
+	IndexResidentBytes int64   `json:"index_resident_bytes"`
+	PlanNs             int64   `json:"plan_ns"`
+	PlanHash           string  `json:"plan_hash"`
+	Served             int64   `json:"served"`
+	BloomHitRate       float64 `json:"bloom_hit_rate"`
+	Seals              uint64  `json:"seals"`
+	Levels             int     `json:"levels"`
+	Segments           int     `json:"segments"`
+}
+
+func run() error {
+	var (
+		pairs = flag.Int64("pairs", 1_000_000, "target all-pairs store size")
+		seed  = flag.Uint64("seed", 1, "dataset lineage seed")
+		runs  = flag.Int("runs", 2, "full lifecycle repetitions (plans must be byte-identical)")
+		stats = flag.String("stats", "", "write per-run stats JSON to this file")
+	)
+	flag.Parse()
+
+	var docs []runDoc
+	var firstHash string
+	for i := 0; i < *runs; i++ {
+		sr, err := experiments.MeasureStorageTemp(*pairs, *seed)
+		if err != nil {
+			return err
+		}
+		docs = append(docs, runDoc{
+			Run: i + 1, Items: sr.Items, Pairs: sr.Pairs,
+			DiskBytes: sr.DiskBytes, BytesPerPair: sr.BytesPerPair,
+			IndexResidentBytes: sr.IndexResidentBytes,
+			PlanNs:             sr.PlanNs, PlanHash: sr.PlanHash, Served: sr.Served,
+			BloomHitRate: sr.BloomHitRate, Seals: sr.Seals, Levels: sr.Levels,
+			Segments: sr.Segments,
+		})
+		fmt.Printf("run %d: %d pairs over %d items  %.2f bytes/pair  %d seals -> %d segments in %d levels\n",
+			i+1, sr.Pairs, sr.Items, sr.BytesPerPair, sr.Seals, sr.Segments, sr.Levels)
+		fmt.Printf("run %d: plan %.0fms over %d resident index bytes, served %d/%d, bloom hit rate %.0f%%, hash %.16s\n",
+			i+1, float64(sr.PlanNs)/1e6, sr.IndexResidentBytes, sr.Served, sr.Pairs,
+			100*sr.BloomHitRate, sr.PlanHash)
+
+		if sr.Served != sr.Pairs {
+			return fmt.Errorf("run %d: plan served %d of %d resident pairs", i+1, sr.Served, sr.Pairs)
+		}
+		if sr.Pairs >= scaleFloor && sr.BytesPerPair > maxBytesPerPair {
+			return fmt.Errorf("run %d: %.2f bytes/pair exceeds the %.0f bytes/pair floor",
+				i+1, sr.BytesPerPair, maxBytesPerPair)
+		}
+		if i == 0 {
+			firstHash = sr.PlanHash
+		} else if sr.PlanHash != firstHash {
+			return fmt.Errorf("run %d: plan hash %.16s differs from run 1 (%.16s): lifecycle is not deterministic",
+				i+1, sr.PlanHash, firstHash)
+		}
+	}
+	fmt.Printf("%d runs, plans byte-identical\n", *runs)
+
+	if *stats != "" {
+		buf, err := json.MarshalIndent(docs, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*stats, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rocketstore:", err)
+		os.Exit(1)
+	}
+}

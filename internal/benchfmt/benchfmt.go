@@ -42,6 +42,35 @@ type ShardPoint struct {
 	StateHash    string  `json:"state_hash"`
 }
 
+// StoragePoint is one dataset size of the pairstore scaling
+// trajectory (BenchmarkPairstoreScale's workload): an all-pairs store
+// built to Pairs entries, sealed, compacted, and persisted, then asked
+// to plan a 10% item delta against a fresh snapshot.
+type StoragePoint struct {
+	// Items and Pairs describe the dataset: Pairs = Items·(Items−1)/2.
+	Items int   `json:"items"`
+	Pairs int64 `json:"pairs"`
+	// BytesPerPair is the persisted columnar size per pair — the
+	// storage-efficiency capability the gate enforces (≤ 8 at 10^6
+	// pairs, and within 10% of baseline).
+	BytesPerPair float64 `json:"bytes_per_pair"`
+	DiskBytes    int64   `json:"disk_bytes"`
+	// IndexResidentBytes is the in-memory probe-index footprint (fences,
+	// dictionaries, bloom filters) the plan ran against — the evidence
+	// that planning does not need a resident per-pair index.
+	IndexResidentBytes int64 `json:"index_resident_bytes"`
+	// PlanNsPerOp is the wall time of planning the 10% delta (probing
+	// the full base region against the snapshot). Wall-clock, so
+	// tracked with a drift warning rather than gated hard.
+	PlanNsPerOp int64 `json:"plan_ns_per_op"`
+	// PlanHash fingerprints the planned residency bitmap; it depends
+	// only on (seed, items, base), so any drift is a determinism bug.
+	PlanHash string `json:"plan_hash"`
+	// BloomHitRate is the share of segment probes the bloom filters
+	// answered without a block decode during planning.
+	BloomHitRate float64 `json:"bloom_hit_rate"`
+}
+
 // Report is the top-level BENCH_<run>.json document.
 type Report struct {
 	Run         string      `json:"run"`
@@ -58,6 +87,9 @@ type Report struct {
 	// ShardTrajectory is the fleet benchmark measured at widths 1, 2, 4, 8
 	// (absent from reports predating the sharded engine).
 	ShardTrajectory []ShardPoint `json:"shard_trajectory,omitempty"`
+	// StorageTrajectory is the pairstore scaling sweep (absent from
+	// reports predating the columnar store).
+	StorageTrajectory []StoragePoint `json:"storage_trajectory,omitempty"`
 }
 
 // ShardSpeedup returns the trajectory's events/sec at its widest point

@@ -36,6 +36,24 @@ type GateResult struct {
 	// ShardNote summarizes the shard-scaling trajectory comparison (empty
 	// when the candidate has no trajectory).
 	ShardNote string
+	// StorageNote summarizes the storage trajectory comparison (empty
+	// when the candidate has no trajectory).
+	StorageNote string
+	// StorageRows compares the storage trajectory point by point.
+	StorageRows []StorageGateRow
+}
+
+// StorageGateRow is one dataset size's storage comparison.
+type StorageGateRow struct {
+	Pairs         int64
+	BaselineBPP   float64 // baseline bytes/pair (0 when the point is new)
+	CandidateBPP  float64
+	BaselinePlan  int64 // baseline plan ns
+	CandidatePlan int64
+	IndexBytes    int64
+	// Verdict is "ok", "new", "bloat" (bytes/pair gate), "drift" (plan
+	// hash), or "slower" (plan latency beyond MaxRegress).
+	Verdict string
 }
 
 // Failed reports whether the gate should fail the build.
@@ -100,6 +118,7 @@ func Gate(baseline, candidate Report, opts GateOptions) GateResult {
 		}
 	}
 	gateShards(baseline, candidate, opts, &g)
+	gateStorage(baseline, candidate, opts, &g)
 	return g
 }
 
@@ -145,6 +164,124 @@ func gateShards(baseline, candidate Report, opts GateOptions, g *GateResult) {
 	}
 }
 
+// maxBytesPerPairAtScale is the absolute storage-efficiency floor: at
+// a million pairs and beyond, a columnar segment store that cannot
+// keep a pair under 8 on-disk bytes has lost the capability this
+// repo's scaling claim rests on, regardless of what the baseline did.
+const (
+	maxBytesPerPairAtScale = 8.0
+	bytesPerPairScaleFloor = 1_000_000
+	// maxBytesPerPairRegress is the tolerated relative bytes/pair growth
+	// vs baseline at a matched dataset size — always fatal, unlike wall
+	// time: on-disk size is deterministic, so any growth is a real
+	// encoding regression, and 10% is the agreed budget.
+	maxBytesPerPairRegress = 0.10
+)
+
+// gateStorage checks the pairstore scaling trajectory. Three
+// properties:
+//
+//  1. Determinism (always fatal): the planned-residency hash at a
+//     matched dataset size must equal the baseline's, and a trajectory
+//     present in the baseline must not vanish.
+//  2. Bytes/pair (always fatal): ≤ maxBytesPerPairAtScale at 10^6+
+//     pairs, and within maxBytesPerPairRegress of the baseline at
+//     matched sizes. Disk bytes are noise-free, so this gates hard
+//     where wall time cannot.
+//  3. Plan latency (tracked): drift beyond opts.MaxRegress is a warning
+//     (or a failure under PerfIsFatal) — it shares a runner with every
+//     other wall-clock figure.
+func gateStorage(baseline, candidate Report, opts GateOptions, g *GateResult) {
+	if len(candidate.StorageTrajectory) == 0 {
+		if len(baseline.StorageTrajectory) > 0 {
+			g.Failures = append(g.Failures,
+				"storage trajectory present in baseline but missing from candidate run")
+		}
+		return
+	}
+	base := make(map[int64]StoragePoint, len(baseline.StorageTrajectory))
+	for _, p := range baseline.StorageTrajectory {
+		base[p.Pairs] = p
+	}
+	var widest StoragePoint
+	for _, c := range candidate.StorageTrajectory {
+		if c.Pairs > widest.Pairs {
+			widest = c
+		}
+		row := StorageGateRow{
+			Pairs:         c.Pairs,
+			CandidateBPP:  c.BytesPerPair,
+			CandidatePlan: c.PlanNsPerOp,
+			IndexBytes:    c.IndexResidentBytes,
+			Verdict:       "ok",
+		}
+		if c.Pairs >= bytesPerPairScaleFloor && c.BytesPerPair > maxBytesPerPairAtScale {
+			row.Verdict = "bloat"
+			g.Failures = append(g.Failures, fmt.Sprintf(
+				"storage: %.2f bytes/pair at %d pairs exceeds the %.0f bytes/pair capability floor",
+				c.BytesPerPair, c.Pairs, maxBytesPerPairAtScale))
+		}
+		b, ok := base[c.Pairs]
+		if !ok {
+			row.Verdict = "new"
+			g.StorageRows = append(g.StorageRows, row)
+			continue
+		}
+		row.BaselineBPP = b.BytesPerPair
+		row.BaselinePlan = b.PlanNsPerOp
+		if b.PlanHash != "" && c.PlanHash != b.PlanHash {
+			row.Verdict = "drift"
+			g.Failures = append(g.Failures, fmt.Sprintf(
+				"storage: plan hash at %d pairs drifted (%.12s… -> %.12s…): delta planning is no longer deterministic",
+				c.Pairs, b.PlanHash, c.PlanHash))
+		}
+		if b.BytesPerPair > 0 && c.BytesPerPair > b.BytesPerPair*(1+maxBytesPerPairRegress) {
+			row.Verdict = "bloat"
+			g.Failures = append(g.Failures, fmt.Sprintf(
+				"storage: bytes/pair at %d pairs regressed %.1f%% (%.2f -> %.2f, limit %.0f%%)",
+				c.Pairs, 100*(c.BytesPerPair/b.BytesPerPair-1), b.BytesPerPair, c.BytesPerPair,
+				100*maxBytesPerPairRegress))
+		}
+		if b.PlanNsPerOp > 0 {
+			ratio := float64(c.PlanNsPerOp) / float64(b.PlanNsPerOp)
+			if ratio > 1+opts.MaxRegress {
+				if row.Verdict == "ok" {
+					row.Verdict = "slower"
+				}
+				msg := fmt.Sprintf(
+					"storage: plan latency at %d pairs drifted %.0f%% (%.2fms -> %.2fms, limit %.0f%%)",
+					c.Pairs, 100*(ratio-1), float64(b.PlanNsPerOp)/1e6, float64(c.PlanNsPerOp)/1e6,
+					100*opts.MaxRegress)
+				if opts.PerfIsFatal {
+					g.Failures = append(g.Failures, msg)
+				} else {
+					g.Warnings = append(g.Warnings, msg)
+				}
+			}
+		}
+		g.StorageRows = append(g.StorageRows, row)
+	}
+	if widest.Pairs > 0 {
+		g.StorageNote = fmt.Sprintf(
+			"storage: %.2f bytes/pair at %d pairs, plan %.2fms over %s resident index, bloom hit rate %.0f%%",
+			widest.BytesPerPair, widest.Pairs, float64(widest.PlanNsPerOp)/1e6,
+			humanBytes(widest.IndexResidentBytes), 100*widest.BloomHitRate)
+	}
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
 // Markdown renders the gate outcome as a GitHub job-summary table.
 func (g GateResult) Markdown() string {
 	var b strings.Builder
@@ -175,6 +312,23 @@ func (g GateResult) Markdown() string {
 	if g.ShardNote != "" {
 		fmt.Fprintf(&b, "\n%s\n", g.ShardNote)
 	}
+	if len(g.StorageRows) > 0 {
+		b.WriteString("\n### storage trajectory\n\n")
+		b.WriteString("| pairs | baseline bytes/pair | candidate bytes/pair | baseline plan ms | candidate plan ms | resident index | verdict |\n")
+		b.WriteString("|---:|---:|---:|---:|---:|---:|---|\n")
+		for _, r := range g.StorageRows {
+			bpp := "-"
+			if r.BaselineBPP > 0 {
+				bpp = fmt.Sprintf("%.2f", r.BaselineBPP)
+			}
+			fmt.Fprintf(&b, "| %d | %s | %.2f | %s | %s | %s | %s |\n",
+				r.Pairs, bpp, r.CandidateBPP, ms(r.BaselinePlan), ms(r.CandidatePlan),
+				humanBytes(r.IndexBytes), r.Verdict)
+		}
+	}
+	if g.StorageNote != "" {
+		fmt.Fprintf(&b, "\n%s\n", g.StorageNote)
+	}
 	return b.String()
 }
 
@@ -197,6 +351,17 @@ func (g GateResult) Text() string {
 	}
 	if g.ShardNote != "" {
 		fmt.Fprintf(&b, "%s\n", g.ShardNote)
+	}
+	for _, r := range g.StorageRows {
+		base := "      -"
+		if r.BaselineBPP > 0 {
+			base = fmt.Sprintf("%7.2f", r.BaselineBPP)
+		}
+		fmt.Fprintf(&b, "storage %-10d %s -> %7.2f bytes/pair  plan %8s -> %8s ms  %s\n",
+			r.Pairs, base, r.CandidateBPP, ms(r.BaselinePlan), ms(r.CandidatePlan), r.Verdict)
+	}
+	if g.StorageNote != "" {
+		fmt.Fprintf(&b, "%s\n", g.StorageNote)
 	}
 	for _, w := range g.Warnings {
 		fmt.Fprintf(&b, "WARN: %s\n", w)

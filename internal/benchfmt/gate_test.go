@@ -174,3 +174,98 @@ func TestGateShardSpeedupTracked(t *testing.T) {
 		t.Fatalf("ShardSpeedup = %v, want 4", got)
 	}
 }
+
+func storagePoint(pairs int64, bpp float64, planNs int64, hash string) StoragePoint {
+	return StoragePoint{
+		Pairs: pairs, Items: int(pairs / 100), BytesPerPair: bpp,
+		DiskBytes: int64(bpp * float64(pairs)), IndexResidentBytes: pairs,
+		PlanNsPerOp: planNs, PlanHash: hash,
+	}
+}
+
+func TestGateStorageIdenticalPasses(t *testing.T) {
+	b := report(exp("fig6", 100, "aa"))
+	b.StorageTrajectory = []StoragePoint{storagePoint(1_000_000, 2.5, 5e8, "h1")}
+	g := Gate(b, b, GateOptions{MaxRegress: 0.25})
+	if g.Failed() || len(g.Warnings) != 0 {
+		t.Fatalf("identical storage trajectories gated: %+v", g)
+	}
+	if len(g.StorageRows) != 1 || g.StorageRows[0].Verdict != "ok" {
+		t.Fatalf("storage rows = %+v", g.StorageRows)
+	}
+	if g.StorageNote == "" || !strings.Contains(g.Markdown(), "storage trajectory") {
+		t.Fatal("storage summary missing from markdown")
+	}
+}
+
+func TestGateStorageBytesPerPairRegressionFails(t *testing.T) {
+	b := report(exp("fig6", 100, "aa"))
+	b.StorageTrajectory = []StoragePoint{storagePoint(1_000_000, 2.5, 5e8, "h1")}
+	c := report(exp("fig6", 100, "aa"))
+	// 2.9 is >10% over 2.5 but still under the absolute 8-byte floor:
+	// the relative gate must catch it on its own.
+	c.StorageTrajectory = []StoragePoint{storagePoint(1_000_000, 2.9, 5e8, "h1")}
+	g := Gate(b, c, GateOptions{MaxRegress: 0.25})
+	if !g.Failed() {
+		t.Fatalf("16%% bytes/pair regression passed: %+v", g)
+	}
+	if g.StorageRows[0].Verdict != "bloat" {
+		t.Fatalf("verdict = %q, want bloat", g.StorageRows[0].Verdict)
+	}
+}
+
+func TestGateStorageAbsoluteFloorFails(t *testing.T) {
+	b := report(exp("fig6", 100, "aa"))
+	c := report(exp("fig6", 100, "aa"))
+	// No baseline point to compare against — the 8 bytes/pair capability
+	// floor must still fail a 10^6-pair candidate on its own.
+	c.StorageTrajectory = []StoragePoint{storagePoint(1_000_000, 9.5, 5e8, "h1")}
+	g := Gate(b, c, GateOptions{MaxRegress: 0.25})
+	if !g.Failed() {
+		t.Fatalf("9.5 bytes/pair at 1e6 pairs passed: %+v", g)
+	}
+	// Below the scale floor the same figure is fine (small stores have
+	// amortization overhead).
+	c.StorageTrajectory = []StoragePoint{storagePoint(100_000, 9.5, 5e7, "h2")}
+	if g := Gate(b, c, GateOptions{MaxRegress: 0.25}); g.Failed() {
+		t.Fatalf("9.5 bytes/pair at 1e5 pairs failed: %+v", g)
+	}
+}
+
+func TestGateStoragePlanHashDriftFails(t *testing.T) {
+	b := report(exp("fig6", 100, "aa"))
+	b.StorageTrajectory = []StoragePoint{storagePoint(1_000_000, 2.5, 5e8, "h1")}
+	c := report(exp("fig6", 100, "aa"))
+	c.StorageTrajectory = []StoragePoint{storagePoint(1_000_000, 2.5, 5e8, "h2")}
+	g := Gate(b, c, GateOptions{MaxRegress: 0.25})
+	if !g.Failed() || g.StorageRows[0].Verdict != "drift" {
+		t.Fatalf("plan hash drift not fatal: %+v", g)
+	}
+}
+
+func TestGateStoragePlanLatencyWarnsThenFails(t *testing.T) {
+	b := report(exp("fig6", 100, "aa"))
+	b.StorageTrajectory = []StoragePoint{storagePoint(1_000_000, 2.5, 5e8, "h1")}
+	c := report(exp("fig6", 100, "aa"))
+	c.StorageTrajectory = []StoragePoint{storagePoint(1_000_000, 2.5, 9e8, "h1")}
+	g := Gate(b, c, GateOptions{MaxRegress: 0.25})
+	if g.Failed() || len(g.Warnings) != 1 {
+		t.Fatalf("80%% plan drift should warn: %+v", g)
+	}
+	if g.StorageRows[0].Verdict != "slower" {
+		t.Fatalf("verdict = %q, want slower", g.StorageRows[0].Verdict)
+	}
+	if g = Gate(b, c, GateOptions{MaxRegress: 0.25, PerfIsFatal: true}); !g.Failed() {
+		t.Fatalf("strict-perf plan drift should fail: %+v", g)
+	}
+}
+
+func TestGateStorageTrajectoryMustNotVanish(t *testing.T) {
+	b := report(exp("fig6", 100, "aa"))
+	b.StorageTrajectory = []StoragePoint{storagePoint(1_000_000, 2.5, 5e8, "h1")}
+	c := report(exp("fig6", 100, "aa"))
+	g := Gate(b, c, GateOptions{MaxRegress: 0.25})
+	if !g.Failed() {
+		t.Fatalf("vanished storage trajectory passed: %+v", g)
+	}
+}

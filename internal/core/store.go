@@ -66,6 +66,10 @@ func buildStorePlan(cfg Config) (*storePlan, error) {
 		p.missing = make(map[pairIJ]struct{})
 		// Probe the snapshot in chunks so the store lock is taken once
 		// per batch, not once per pair (the base region is O(base²)).
+		// HasMany sorts each chunk internally and resolves it against
+		// sealed columnar segments with one merge-walk per segment —
+		// predicate pushdown by fence and bloom — so larger chunks also
+		// mean fewer block decodes per resident pair.
 		const probeChunk = 4096
 		var (
 			keys = make([]pairstore.Key, 0, probeChunk)

@@ -1,6 +1,8 @@
 // Package pairstore is the persistent all-pairs result store: a
 // content-addressed map from item-digest pairs to comparison results,
-// organized as an append-only segment log with an in-memory index.
+// organized as a log-structured store — a small mutable log (memtable)
+// in front of tiers of immutable, digest-sorted, columnar,
+// block-compressed segments (see segment.go for the layout).
 //
 // The store is what turns repeated all-pairs workloads into incremental
 // ones. The paper's domains — forensics corpora, sequence databases,
@@ -12,6 +14,16 @@
 // reads and writes through the same virtual-time cost model as ordinary
 // I/O, and emits the pairs it did compute into a Batch that the
 // scheduler merges back at a deterministic point.
+//
+// Scale. Billion-pair datasets rule out a fully resident per-pair
+// index. Sealed segments keep only a bounded fence index in memory
+// (per-block min/max keys, the digest dictionary, a bloom filter —
+// O(√pairs + pairs/blockRows), not O(pairs)); probes push the predicate
+// down, skipping whole segments by fence and bloom and whole blocks by
+// fence, and decode at most one block per hit. Seal promotes the
+// memtable into a sorted L0 segment; tiered compaction merges a level
+// once it holds compactFanout segments, eliminating superseded entries
+// and — when the merge produces the bottom-most segment — tombstones.
 //
 // Keying. An entry is addressed by the pair of item digests, where a
 // digest identifies one item's content within a dataset lineage: it is
@@ -26,7 +38,10 @@
 // dataset must not invalidate old results.
 //
 // Determinism. Store contents influence a run only through the Snapshot
-// handed to it, and Snapshots are immutable. The scheduler snapshots at
+// handed to it, and Snapshots are immutable: a snapshot pins the
+// memtable prefix and the segment list as of its creation, and neither
+// later appends nor Seal/Compact (which only add or replace whole
+// immutable segments) change what it reports. The scheduler snapshots at
 // job placement and merges batches at job completion, both inside its
 // deterministic virtual-time loop, so a served fleet and its offline
 // replay observe identical store states at every decision point.
@@ -34,8 +49,6 @@ package pairstore
 
 import (
 	"encoding/json"
-	"fmt"
-	"os"
 	"sort"
 	"sync"
 )
@@ -60,11 +73,18 @@ type Entry struct {
 	// Value is the JSON-encoded comparison result; empty for cost-model
 	// runs, which store only the fact of completion.
 	Value json.RawMessage `json:"value,omitempty"`
+	// Tombstone marks a deletion record: the key was retracted and reads
+	// must report it absent until a newer entry revives it. Tombstones
+	// are eliminated when compaction reaches the bottom level.
+	Tombstone bool `json:"tombstone,omitempty"`
 }
 
 // EntryOverheadBytes is the modeled on-disk framing cost of one entry
 // (key, version, length prefix) used by the charged-I/O model: a store
-// entry costs the application's ResultSize plus this overhead.
+// entry costs the application's ResultSize plus this overhead. (The
+// physical columnar segments land far below this — see Stats.
+// BytesPerPair — but the charged model keeps the conservative figure so
+// experiment outputs stay comparable across storage engines.)
 const EntryOverheadBytes = 24
 
 // DigestItem derives the content digest of one item. ref is the store
@@ -118,19 +138,42 @@ func PairKey(digest func(int) Digest, i, j int) Key {
 
 // Stats is a point-in-time summary of the store.
 type Stats struct {
-	// Entries is the number of distinct keys resident (index size).
+	// Entries is the number of distinct live keys.
 	Entries int `json:"entries"`
-	// Segments is the number of log segments (sealed + active).
+	// Segments is the number of log segments (sealed segments plus the
+	// mutable log when it holds entries; an empty store reports one, its
+	// open log).
 	Segments int `json:"segments"`
-	// LogEntries counts entries across all segments, including
-	// duplicates superseded in the index but not yet compacted away.
+	// Levels is the number of non-empty compaction tiers.
+	Levels int `json:"levels"`
+	// LogEntries counts entries across the mutable log and all sealed
+	// segments, including superseded entries and tombstones not yet
+	// compacted away.
 	LogEntries int `json:"log_entries"`
-	// Bytes is the modeled log size (values + per-entry overhead).
+	// Bytes is the modeled log size (values + per-entry overhead), the
+	// figure the charged-I/O model uses.
 	Bytes int64 `json:"bytes"`
+	// DiskBytes is the physical size of the persisted segment files
+	// (columnar, compressed); 0 for segments not yet saved.
+	DiskBytes int64 `json:"disk_bytes"`
+	// BytesPerPair is DiskBytes divided by the entries resident in
+	// persisted segments — the storage-efficiency figure the bench gate
+	// tracks.
+	BytesPerPair float64 `json:"bytes_per_pair"`
+	// IndexResidentBytes is the in-memory footprint of the sealed
+	// segments' probe structures (fence indexes, digest dictionaries,
+	// bloom filters) — bounded, unlike a per-pair map.
+	IndexResidentBytes int64 `json:"index_resident_bytes"`
 	// Puts counts accepted appends; DupPuts appends ignored because the
-	// key was already resident.
+	// key was already live.
 	Puts    uint64 `json:"puts"`
 	DupPuts uint64 `json:"dup_puts"`
+	// Deletes counts accepted deletions; Tombstones the deletion records
+	// still present in the log.
+	Deletes    uint64 `json:"deletes,omitempty"`
+	Tombstones int    `json:"tombstones,omitempty"`
+	// Seals counts memtable promotions into L0 segments.
+	Seals uint64 `json:"seals"`
 	// ServedPairs and MissedPairs aggregate runtime outcomes reported
 	// back by the scheduler: pairs skipped because they were resident,
 	// and planned-resident pairs that had to be recomputed.
@@ -139,47 +182,108 @@ type Stats struct {
 	// ReadBytes and WriteBytes total the charged store I/O.
 	ReadBytes  int64 `json:"read_bytes"`
 	WriteBytes int64 `json:"write_bytes"`
-	// Compactions counts Compact calls; CompactedAway the duplicate
-	// entries they dropped.
+	// Compactions counts merge operations (tier merges and full
+	// Compact calls); CompactedAway the rows they dropped (superseded
+	// entries plus eliminated tombstones).
 	Compactions   uint64 `json:"compactions"`
 	CompactedAway uint64 `json:"compacted_away"`
+	// BloomProbes counts segment point probes that consulted a bloom
+	// filter; BloomNegatives the probes the filter answered "definitely
+	// absent" without decoding a block; BloomFalsePositives the probes
+	// that decoded a block (or searched the dictionary) and found
+	// nothing. BloomHitRate is BloomNegatives / BloomProbes.
+	BloomProbes         uint64  `json:"bloom_probes"`
+	BloomNegatives      uint64  `json:"bloom_negatives"`
+	BloomFalsePositives uint64  `json:"bloom_false_positives"`
+	BloomHitRate        float64 `json:"bloom_hit_rate"`
 }
 
-// segment is one run of the append-only log. Sealed segments are
-// immutable; only the last segment accepts appends.
-type segment struct {
-	ID      int     `json:"id"`
-	Sealed  bool    `json:"sealed"`
-	Entries []Entry `json:"entries"`
-	Bytes   int64   `json:"bytes"`
+// memEntry is one mutable-log slot: the entry plus a link to the
+// previous occurrence of the same key (−1 if none), which is what lets
+// snapshots resolve a key against their pinned prefix.
+type memEntry struct {
+	e    Entry
+	prev int
 }
 
-// idxEntry is one index slot: the entry plus its insertion sequence
-// number, which is what snapshots filter on.
-type idxEntry struct {
-	e   Entry
-	seq uint64
+// memtable is the mutable log: entries in append order plus an index
+// to each key's latest occurrence. It is never mutated after Seal
+// swaps it out, so snapshots can keep reading their pinned prefix.
+type memtable struct {
+	entries []memEntry
+	index   map[Key]int
+	modeled int64
+	tombs   int
 }
+
+func newMemtable() *memtable {
+	return &memtable{index: make(map[Key]int)}
+}
+
+func (m *memtable) add(e Entry) {
+	prev := -1
+	if p, ok := m.index[e.Key]; ok {
+		prev = p
+	}
+	m.entries = append(m.entries, memEntry{e: e, prev: prev})
+	m.index[e.Key] = len(m.entries) - 1
+	m.modeled += entryBytes(e)
+	if e.Tombstone {
+		m.tombs++
+	}
+}
+
+// lookup returns the latest occurrence of k among the first limit
+// entries. The caller distinguishes live entries from tombstones.
+func (m *memtable) lookup(k Key, limit int) (Entry, bool) {
+	pos, ok := m.index[k]
+	for ok && pos >= limit {
+		pos = m.entries[pos].prev
+		ok = pos >= 0
+	}
+	if !ok {
+		return Entry{}, false
+	}
+	return m.entries[pos].e, true
+}
+
+const (
+	// defaultAutoSeal is the memtable size at which Put seals
+	// automatically, bounding the mutable log's memory footprint during
+	// bulk ingestion.
+	defaultAutoSeal = 1 << 20
+	// compactFanout is the tiering trigger: a level holding this many
+	// segments is merged into one segment on the next level.
+	compactFanout = 4
+)
 
 // Store is the mutable, lock-protected store. Runs never touch it
 // directly: they read an immutable Snapshot and write through a Batch.
 type Store struct {
 	mu       sync.Mutex
-	segments []*segment
-	index    map[Key]idxEntry
-	// seq counts successful appends; because the store is append-only
-	// and first-write-wins (no deletes, no overwrites), the first seq
-	// entries are exactly the state after the seq-th append — which is
-	// what makes an O(1) watermark Snapshot sound.
-	seq   uint64
-	stats Stats
+	mem      *memtable
+	levels   [][]*segment // levels[0] = L0 (seal order, oldest first); deeper = older
+	nextSeg  uint64
+	live     int // distinct keys visible (puts − deletes)
+	autoSeal int
+	stats    Stats
 }
 
-// New returns an empty store with one open segment.
+// New returns an empty store with one open mutable log.
 func New() *Store {
-	s := &Store{index: make(map[Key]idxEntry)}
-	s.segments = []*segment{{ID: 0}}
-	return s
+	return &Store{mem: newMemtable(), autoSeal: defaultAutoSeal}
+}
+
+// SetAutoSealThreshold overrides the memtable size at which Put seals
+// automatically (0 restores the default). Smaller thresholds bound
+// memory during bulk ingestion at the cost of more L0 segments.
+func (s *Store) SetAutoSealThreshold(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		n = defaultAutoSeal
+	}
+	s.autoSeal = n
 }
 
 // entryBytes is the modeled log footprint of one entry.
@@ -187,13 +291,45 @@ func entryBytes(e Entry) int64 {
 	return EntryOverheadBytes + int64(len(e.Value))
 }
 
-// active returns the open segment, under s.mu.
-func (s *Store) active() *segment {
-	return s.segments[len(s.segments)-1]
+// segmentsNewestFirst flattens the levels into probe order: L0 newest
+// seal first, then deeper (older) tiers.
+func (s *Store) segmentsNewestFirst() []*segment {
+	var out []*segment
+	for _, level := range s.levels {
+		for i := len(level) - 1; i >= 0; i-- {
+			out = append(out, level[i])
+		}
+	}
+	return out
+}
+
+// lookupLocked resolves k against the memtable and every segment,
+// newest first. found=false means no record at all.
+func (s *Store) lookupLocked(k Key) (Entry, bool) {
+	if e, ok := s.mem.lookup(k, len(s.mem.entries)); ok {
+		return e, true
+	}
+	for _, level := range s.levels {
+		for i := len(level) - 1; i >= 0; i-- {
+			if r, ok := level[i].get(k, &s.stats); ok {
+				return rowEntry(r), true
+			}
+		}
+	}
+	return Entry{}, false
+}
+
+func rowEntry(r row) Entry {
+	e := Entry{Key: r.key, Version: r.ver, Tombstone: r.tomb}
+	if len(r.val) > 0 {
+		e.Value = append(json.RawMessage(nil), r.val...)
+	}
+	return e
 }
 
 // Put appends one entry. The store is append-only: a key that is
-// already resident keeps its first value and Put reports false.
+// already live keeps its first value and Put reports false. (A deleted
+// key may be re-put; the new entry shadows the tombstone.)
 func (s *Store) Put(e Entry) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -201,16 +337,32 @@ func (s *Store) Put(e Entry) bool {
 }
 
 func (s *Store) putLocked(e Entry) bool {
-	if _, dup := s.index[e.Key]; dup {
+	if cur, ok := s.lookupLocked(e.Key); ok && !cur.Tombstone {
 		s.stats.DupPuts++
 		return false
 	}
-	seg := s.active()
-	seg.Entries = append(seg.Entries, e)
-	seg.Bytes += entryBytes(e)
-	s.seq++
-	s.index[e.Key] = idxEntry{e: e, seq: s.seq}
+	e.Tombstone = false
+	s.mem.add(e)
+	s.live++
 	s.stats.Puts++
+	if len(s.mem.entries) >= s.autoSeal {
+		s.sealLocked()
+	}
+	return true
+}
+
+// Delete retracts a live key by appending a tombstone, reporting
+// whether anything was deleted. The record is physically removed when
+// compaction reaches the bottom level.
+func (s *Store) Delete(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.lookupLocked(k); !ok || cur.Tombstone {
+		return false
+	}
+	s.mem.add(Entry{Key: k, Tombstone: true})
+	s.live--
+	s.stats.Deletes++
 	return true
 }
 
@@ -231,70 +383,223 @@ func (s *Store) Merge(b *Batch) int {
 	return added
 }
 
-// Get returns the entry for k, if resident.
+// Get returns the entry for k, if live.
 func (s *Store) Get(k Key) (Entry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ie, ok := s.index[k]
-	return ie.e, ok
+	e, ok := s.lookupLocked(k)
+	if !ok || e.Tombstone {
+		return Entry{}, false
+	}
+	return e, true
 }
 
-// Has reports whether k is resident.
+// Has reports whether k is live.
 func (s *Store) Has(k Key) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.index[k]
-	return ok
+	e, ok := s.lookupLocked(k)
+	return ok && !e.Tombstone
 }
 
-// Len returns the number of distinct resident keys.
+// Len returns the number of distinct live keys.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.index)
+	return s.live
 }
 
-// Seal closes the active segment and opens a fresh one, so subsequent
-// appends land in a new log run. Sealing an empty segment is a no-op.
+// Seal promotes the mutable log into a sorted L0 segment, so
+// subsequent appends start a fresh log run and probes against the
+// sealed entries go through the columnar fast path. Sealing an empty
+// log is a no-op. Sealing cascades tier merges: a level reaching
+// compactFanout segments is merged into the next level.
 func (s *Store) Seal() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sealLocked()
 }
 
-func (s *Store) sealLocked() {
-	seg := s.active()
-	if len(seg.Entries) == 0 {
-		return
+// MaybeSeal seals when the mutable log has reached the auto-seal
+// threshold — the entry point background maintenance (the scheduler's
+// merge points, rocketd idle moments) calls opportunistically.
+func (s *Store) MaybeSeal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.mem.entries) >= s.autoSeal {
+		s.sealLocked()
 	}
-	seg.Sealed = true
-	s.segments = append(s.segments, &segment{ID: seg.ID + 1})
 }
 
-// Compact merges the whole log into a single segment, dropping
-// duplicate appends (first write wins, matching the index), and returns
-// the number of entries dropped. Entry order is preserved.
+func (s *Store) sealLocked() {
+	if len(s.mem.entries) == 0 {
+		return
+	}
+	// Collapse per-key chains: the latest occurrence wins. Tombstones
+	// survive only if an older segment could hold a shadowed entry.
+	anySegments := false
+	for _, level := range s.levels {
+		if len(level) > 0 {
+			anySegments = true
+			break
+		}
+	}
+	rows := make([]row, 0, len(s.mem.index))
+	dropped := 0
+	for k, pos := range s.mem.index {
+		e := s.mem.entries[pos].e
+		for p := s.mem.entries[pos].prev; p >= 0; p = s.mem.entries[p].prev {
+			dropped++ // superseded occurrence collapsed away
+		}
+		if e.Tombstone && !anySegments {
+			dropped++
+			continue
+		}
+		rows = append(rows, row{key: k, ver: e.Version, tomb: e.Tombstone, val: e.Value})
+	}
+	s.stats.CompactedAway += uint64(dropped)
+	if len(rows) > 0 {
+		seg := buildSegment(s.nextSeg, rows)
+		s.nextSeg++
+		if len(s.levels) == 0 {
+			s.levels = append(s.levels, nil)
+		}
+		s.levels[0] = append(s.levels[0], seg)
+	}
+	s.mem = newMemtable()
+	s.stats.Seals++
+	s.maybeTierLocked()
+}
+
+// maybeTierLocked merges any level that reached the fanout into the
+// next level, cascading upward.
+func (s *Store) maybeTierLocked() {
+	for l := 0; l < len(s.levels); l++ {
+		if len(s.levels[l]) < compactFanout {
+			continue
+		}
+		inputs := s.levels[l]
+		s.levels[l] = nil
+		if l+1 == len(s.levels) {
+			s.levels = append(s.levels, nil)
+		}
+		// Tombstones can be eliminated only when the merge output becomes
+		// the bottom-most segment (nothing older can hold shadowed keys).
+		dropTombs := len(s.levels[l+1]) == 0
+		for d := l + 2; d < len(s.levels); d++ {
+			if len(s.levels[d]) > 0 {
+				dropTombs = false
+			}
+		}
+		merged, dropped := mergeSegments(s.nextSeg, inputs, dropTombs)
+		s.nextSeg++
+		if merged != nil {
+			s.levels[l+1] = append(s.levels[l+1], merged)
+		}
+		s.stats.Compactions++
+		s.stats.CompactedAway += uint64(dropped)
+	}
+}
+
+// Compact merges the entire store — mutable log included — into a
+// single bottom-level segment, dropping superseded entries and
+// eliminating tombstones, and returns the number of rows dropped.
 func (s *Store) Compact() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	merged := &segment{ID: s.active().ID + 1}
-	seen := make(map[Key]struct{}, len(s.index))
+	sealDrop := s.stats.CompactedAway
+	if len(s.mem.entries) > 0 {
+		s.sealLocked()
+	}
+	sealDropped := int(s.stats.CompactedAway - sealDrop)
+	inputs := make([]*segment, 0)
+	for i := len(s.levels) - 1; i >= 0; i-- { // oldest level first
+		inputs = append(inputs, s.levels[i]...)
+	}
+	s.stats.Compactions++
+	if len(inputs) == 0 {
+		s.levels = nil
+		return sealDropped
+	}
+	if len(inputs) == 1 && inputs[0].tombs == 0 {
+		// Single-segment compaction with nothing to eliminate: keep the
+		// segment as-is (no rewrite, no new identity).
+		s.levels = [][]*segment{{inputs[0]}}
+		return sealDropped
+	}
+	merged, dropped := mergeSegments(s.nextSeg, inputs, true)
+	s.nextSeg++
+	if merged != nil {
+		s.levels = [][]*segment{{merged}}
+	} else {
+		s.levels = nil
+	}
+	s.stats.CompactedAway += uint64(dropped)
+	return sealDropped + dropped
+}
+
+// mergeSegments k-way-merges the inputs (ordered oldest first) into
+// one segment with the given id. Among same-key rows the newest input
+// wins; dropTombs eliminates tombstones from the output. Returns nil
+// when everything merged away.
+func mergeSegments(id uint64, inputs []*segment, dropTombs bool) (*segment, int) {
+	// Dictionary: sorted union of the input dictionaries. Dedup below
+	// may leave a few unreferenced digests — harmless (the dictionary is
+	// O(items), a vanishing fraction of the file).
+	var dict []uint64
+	for _, in := range inputs {
+		dict = append(dict, in.dict...)
+	}
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	dict = dedupU64(dict)
+
+	est := 0
+	iters := make([]*segIter, len(inputs))
+	heads := make([]row, len(inputs))
+	ok := make([]bool, len(inputs))
+	for i, in := range inputs {
+		est += in.rows
+		iters[i] = newSegIter(in)
+		heads[i], ok[i] = iters[i].next()
+	}
+	b := newSegBuilder(id, dict, est)
 	dropped := 0
-	for _, seg := range s.segments {
-		for _, e := range seg.Entries {
-			if _, dup := seen[e.Key]; dup {
-				dropped++
+	for {
+		// Smallest head key; ties resolved toward the newest input
+		// (highest index), which holds the winning row.
+		win := -1
+		for i := range heads {
+			if !ok[i] {
 				continue
 			}
-			seen[e.Key] = struct{}{}
-			merged.Entries = append(merged.Entries, e)
-			merged.Bytes += entryBytes(e)
+			if win < 0 || keyLess(heads[i].key, heads[win].key) ||
+				(!keyLess(heads[win].key, heads[i].key) && i > win) {
+				win = i
+			}
 		}
+		if win < 0 {
+			break
+		}
+		r := heads[win]
+		// Advance every input sitting on the same key; losers drop.
+		for i := range heads {
+			if ok[i] && heads[i].key == r.key {
+				if i != win {
+					dropped++
+				}
+				heads[i], ok[i] = iters[i].next()
+			}
+		}
+		if r.tomb && dropTombs {
+			dropped++
+			continue
+		}
+		b.add(r)
 	}
-	s.segments = []*segment{merged}
-	s.stats.Compactions++
-	s.stats.CompactedAway += uint64(dropped)
-	return dropped
+	if b.rows == 0 {
+		return nil, dropped
+	}
+	return b.finish(), dropped
 }
 
 // RecordServe folds one run's store outcome into the stats: pairs
@@ -314,50 +619,113 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
-	st.Entries = len(s.index)
-	st.Segments = len(s.segments)
-	for _, seg := range s.segments {
-		st.LogEntries += len(seg.Entries)
-		st.Bytes += seg.Bytes
+	st.Entries = s.live
+	st.LogEntries = len(s.mem.entries)
+	st.Bytes = s.mem.modeled
+	st.Tombstones = s.mem.tombs
+	segCount, diskRows := 0, 0
+	for _, level := range s.levels {
+		if len(level) > 0 {
+			st.Levels++
+		}
+		for _, seg := range level {
+			segCount++
+			st.LogEntries += seg.rows
+			st.Bytes += seg.modeled
+			st.Tombstones += seg.tombs
+			st.IndexResidentBytes += seg.indexBytes()
+			if seg.diskBytes > 0 {
+				st.DiskBytes += seg.diskBytes
+				diskRows += seg.rows
+			}
+		}
+	}
+	st.Segments = segCount
+	if len(s.mem.entries) > 0 || segCount == 0 {
+		st.Segments++ // the open mutable log
+	}
+	if diskRows > 0 {
+		st.BytesPerPair = float64(st.DiskBytes) / float64(diskRows)
+	}
+	if st.BloomProbes > 0 {
+		st.BloomHitRate = float64(st.BloomNegatives) / float64(st.BloomProbes)
 	}
 	return st
 }
 
-// Snapshot returns an immutable view of the current index. Runs consult
-// the snapshot only; concurrent appends to the store never change what
-// a snapshot reports. Taking a snapshot is O(1): because the store is
-// append-only with first-write-wins semantics, recording the current
-// append sequence number fully determines the visible entry set —
-// entries are never mutated or removed, so filtering lookups by that
-// watermark reproduces the exact state at snapshot time.
+// Snapshot returns an immutable view of the store. Runs consult the
+// snapshot only; concurrent appends, seals, and compactions never
+// change what a snapshot reports. Taking a snapshot is O(segments): it
+// pins the current mutable-log prefix and the current segment list —
+// both never mutated afterward (appends go past the prefix, Seal swaps
+// in a fresh log, compaction builds new segments).
 func (s *Store) Snapshot() *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return &Snapshot{s: s, watermark: s.seq}
+	return &Snapshot{
+		s:      s,
+		mem:    s.mem,
+		memLen: len(s.mem.entries),
+		segs:   s.segmentsNewestFirst(),
+		live:   s.live,
+	}
 }
 
-// Snapshot is an immutable point-in-time view of a store's index. The
-// zero value is an empty snapshot.
+// Snapshot is an immutable point-in-time view of a store. The zero
+// value is an empty snapshot.
 type Snapshot struct {
-	s         *Store
-	watermark uint64
+	s      *Store
+	mem    *memtable
+	memLen int
+	segs   []*segment // newest first
+	live   int
 }
 
-// Has reports whether k was resident when the snapshot was taken.
+// resolve returns the winning record for k at snapshot time.
+func (sn *Snapshot) resolve(k Key) (Entry, bool) {
+	if e, ok := sn.mem.lookup(k, sn.memLen); ok {
+		return e, true
+	}
+	for _, seg := range sn.segs {
+		if r, ok := seg.get(k, &sn.s.stats); ok {
+			return rowEntry(r), true
+		}
+	}
+	return Entry{}, false
+}
+
+// Has reports whether k was live when the snapshot was taken.
 func (sn *Snapshot) Has(k Key) bool {
 	if sn == nil || sn.s == nil {
 		return false
 	}
 	sn.s.mu.Lock()
 	defer sn.s.mu.Unlock()
-	ie, ok := sn.s.index[k]
-	return ok && ie.seq <= sn.watermark
+	e, ok := sn.resolve(k)
+	return ok && !e.Tombstone
 }
 
-// HasMany reports, for each key, whether it was resident at snapshot
-// time, writing into out (which must be at least len(keys) long). It
-// takes the store lock once for the whole batch — delta planners probe
-// O(base²) keys at job start, where per-key locking would dominate.
+// Get returns the entry for k, if live at snapshot time.
+func (sn *Snapshot) Get(k Key) (Entry, bool) {
+	if sn == nil || sn.s == nil {
+		return Entry{}, false
+	}
+	sn.s.mu.Lock()
+	defer sn.s.mu.Unlock()
+	e, ok := sn.resolve(k)
+	if !ok || e.Tombstone {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// HasMany reports, for each key, whether it was live at snapshot time,
+// writing into out (which must be at least len(keys) long). It takes
+// the store lock once for the whole batch — delta planners probe
+// O(base²) keys at job start, where per-key locking would dominate —
+// and probes sealed segments with one sorted merge-walk each, so every
+// needed block is decoded at most once per segment (predicate pushdown:
+// segments are skipped by fence and bloom, blocks by fence).
 func (sn *Snapshot) HasMany(keys []Key, out []bool) {
 	if sn == nil || sn.s == nil {
 		for i := range keys {
@@ -367,34 +735,104 @@ func (sn *Snapshot) HasMany(keys []Key, out []bool) {
 	}
 	sn.s.mu.Lock()
 	defer sn.s.mu.Unlock()
+
+	// The mutable log resolves by map lookup; unresolved keys fall
+	// through to the sealed segments.
+	var pending []int
 	for i, k := range keys {
-		ie, ok := sn.s.index[k]
-		out[i] = ok && ie.seq <= sn.watermark
+		if e, ok := sn.mem.lookup(k, sn.memLen); ok {
+			out[i] = !e.Tombstone
+		} else {
+			out[i] = false
+			if len(sn.segs) > 0 {
+				pending = append(pending, i)
+			}
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	// Sort the unresolved probes once; each segment is then a single
+	// ordered merge-walk, newest segment first (first record wins).
+	sort.Slice(pending, func(a, b int) bool {
+		return keyLess(keys[pending[a]], keys[pending[b]])
+	})
+	for _, seg := range sn.segs {
+		if len(pending) == 0 {
+			break
+		}
+		next := pending[:0]
+		seg.probeSorted(keys, pending, &sn.s.stats, func(i int, r row, found bool) {
+			if found {
+				out[i] = !r.tomb
+			} else {
+				next = append(next, i)
+			}
+		})
+		pending = next
 	}
 }
 
-// Get returns the entry for k, if resident at snapshot time.
-func (sn *Snapshot) Get(k Key) (Entry, bool) {
-	if sn == nil || sn.s == nil {
-		return Entry{}, false
-	}
-	sn.s.mu.Lock()
-	defer sn.s.mu.Unlock()
-	ie, ok := sn.s.index[k]
-	if !ok || ie.seq > sn.watermark {
-		return Entry{}, false
-	}
-	return ie.e, true
-}
-
-// Len returns the number of resident keys at snapshot time: exactly
-// the watermark, since every successful append adds one entry and
-// entries are never removed.
+// Len returns the number of live keys at snapshot time.
 func (sn *Snapshot) Len() int {
 	if sn == nil {
 		return 0
 	}
-	return int(sn.watermark)
+	return sn.live
+}
+
+// probeSorted resolves the given probe indices (pre-sorted by key)
+// against the segment: handle is called once per index, with the row
+// when the segment holds the key. Blocks are decoded at most once.
+func (s *segment) probeSorted(keys []Key, idx []int, st *Stats, handle func(i int, r row, found bool)) {
+	blk := 0
+	for _, i := range idx {
+		k := keys[i]
+		if keyLess(k, s.minKey) || keyLess(s.maxKey, k) {
+			handle(i, row{}, false)
+			continue
+		}
+		st.BloomProbes++
+		if !s.filter.test(k) {
+			st.BloomNegatives++
+			handle(i, row{}, false)
+			continue
+		}
+		for blk < len(s.blocks) && keyLess(s.blocks[blk].last, k) {
+			blk++
+		}
+		if blk == len(s.blocks) || keyLess(k, s.blocks[blk].first) {
+			st.BloomFalsePositives++
+			handle(i, row{}, false)
+			continue
+		}
+		ai := dictIndex(s.dict, k.A)
+		bi := dictIndex(s.dict, k.B)
+		if int(ai) >= len(s.dict) || s.dict[ai] != uint64(k.A) ||
+			int(bi) >= len(s.dict) || s.dict[bi] != uint64(k.B) {
+			st.BloomFalsePositives++
+			handle(i, row{}, false)
+			continue
+		}
+		d, err := s.decodeBlock(blk)
+		if err != nil {
+			handle(i, row{}, false)
+			continue
+		}
+		n := len(d.aIdx)
+		r := sort.Search(n, func(x int) bool {
+			if d.aIdx[x] != ai {
+				return d.aIdx[x] > ai
+			}
+			return d.bIdx[x] >= bi
+		})
+		if r == n || d.aIdx[r] != ai || d.bIdx[r] != bi {
+			st.BloomFalsePositives++
+			handle(i, row{}, false)
+			continue
+		}
+		handle(i, s.rowAt(d, r), true)
+	}
 }
 
 // Batch collects the entries one run emits, in completion order. It is
@@ -428,105 +866,6 @@ func (b *Batch) Bytes() int64 {
 		total += entryBytes(e)
 	}
 	return total
-}
-
-// snapshotDoc is the persisted store form: the full segment log plus
-// the cumulative counters, so a reloaded store reports continuous
-// stats.
-type snapshotDoc struct {
-	Format   int       `json:"format"`
-	Segments []segment `json:"segments"`
-	Stats    Stats     `json:"stats"`
-}
-
-const snapshotFormat = 1
-
-// Save writes the store (segment log and counters) to path as JSON,
-// atomically via a temp file in the same directory.
-func (s *Store) Save(path string) error {
-	s.mu.Lock()
-	doc := snapshotDoc{Format: snapshotFormat, Stats: s.stats}
-	for _, seg := range s.segments {
-		doc.Segments = append(doc.Segments, *seg)
-	}
-	s.mu.Unlock()
-	// Compact marshaling keeps embedded raw values byte-identical across
-	// a Save/Load round trip (indentation would reformat them).
-	buf, err := json.Marshal(doc)
-	if err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-// Load reads a store saved with Save and rebuilds the index. The log is
-// replayed in segment order, first write per key winning, exactly as
-// the live store built it.
-func Load(path string) (*Store, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var doc snapshotDoc
-	if err := json.Unmarshal(raw, &doc); err != nil {
-		return nil, fmt.Errorf("pairstore: %s: %w", path, err)
-	}
-	if doc.Format != snapshotFormat {
-		return nil, fmt.Errorf("pairstore: %s: unknown format %d", path, doc.Format)
-	}
-	s := &Store{index: make(map[Key]idxEntry)}
-	sort.SliceStable(doc.Segments, func(i, j int) bool {
-		return doc.Segments[i].ID < doc.Segments[j].ID
-	})
-	for i := range doc.Segments {
-		seg := doc.Segments[i]
-		s.segments = append(s.segments, &seg)
-		for _, e := range seg.Entries {
-			if _, dup := s.index[e.Key]; !dup {
-				s.seq++
-				s.index[e.Key] = idxEntry{e: e, seq: s.seq}
-			}
-		}
-	}
-	if len(s.segments) == 0 {
-		s.segments = []*segment{{ID: 0}}
-	} else if last := s.active(); last.Sealed {
-		s.segments = append(s.segments, &segment{ID: last.ID + 1})
-	}
-	s.stats = doc.Stats
-	// Derived fields are recomputed by Stats(); persisted values of the
-	// derived fields are ignored.
-	s.stats.Entries = 0
-	s.stats.Segments = 0
-	s.stats.LogEntries = 0
-	s.stats.Bytes = 0
-	return s, nil
-}
-
-// LoadOrNew loads the store at path, or returns a fresh one (loaded =
-// false) when no file exists there yet — the start-of-session half of
-// the CLI persistence lifecycle.
-func LoadOrNew(path string) (s *Store, loaded bool, err error) {
-	s, err = Load(path)
-	if os.IsNotExist(err) {
-		return New(), false, nil
-	}
-	if err != nil {
-		return nil, false, err
-	}
-	return s, true, nil
-}
-
-// SealAndSave seals the active segment (so the next session appends
-// into a fresh log run) and persists the store — the end-of-session
-// half of the CLI persistence lifecycle.
-func (s *Store) SealAndSave(path string) error {
-	s.Seal()
-	return s.Save(path)
 }
 
 // DeltaPairs returns how many pairs a delta job over n items with base

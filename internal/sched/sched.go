@@ -665,6 +665,13 @@ func (s *scheduler) run(f frontier) error {
 						s.store.RecordServe(js.inner.StoreHits, js.inner.StoreMisses,
 							js.inner.StoreReadBytes, js.inner.StoreWriteBytes)
 					}
+					// Background maintenance rides the merge point: once
+					// the mutable log crosses the auto-seal threshold it
+					// is promoted to a sorted columnar segment (and tier
+					// merges cascade), keeping planner probes on the
+					// pushdown fast path. Deterministic — it depends only
+					// on merged-entry counts, not wall-clock.
+					s.store.MaybeSeal()
 				}
 				if js.retry {
 					js.resetForRetry()

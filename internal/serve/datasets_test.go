@@ -145,8 +145,17 @@ func TestIncrementalServeAndReplay(t *testing.T) {
 	var buf bytes.Buffer
 	buf.ReadFrom(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(buf.String(), "rocketd_store_served_pairs_total 45") {
-		t.Fatalf("store gauges missing from /metrics:\n%s", buf.String())
+	for _, gauge := range []string{
+		"rocketd_store_served_pairs_total 45",
+		"rocketd_store_levels ",
+		"rocketd_store_bytes_per_pair ",
+		"rocketd_store_index_resident_bytes ",
+		"rocketd_store_seals_total ",
+		"rocketd_store_compactions_total ",
+	} {
+		if !strings.Contains(buf.String(), gauge) {
+			t.Fatalf("store gauge %q missing from /metrics:\n%s", gauge, buf.String())
+		}
 	}
 
 	// Drain and replay the log offline: byte-identical docs.

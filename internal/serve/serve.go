@@ -401,10 +401,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "rocketd_datasets %d\n", datasets)
 	fmt.Fprintf(w, "# HELP rocketd_store_entries Distinct pair results resident in the store.\n# TYPE rocketd_store_entries gauge\n")
 	fmt.Fprintf(w, "rocketd_store_entries %d\n", st.Entries)
-	fmt.Fprintf(w, "# HELP rocketd_store_segments Segments of the store's append-only log.\n# TYPE rocketd_store_segments gauge\n")
+	fmt.Fprintf(w, "# HELP rocketd_store_segments Segments of the store's log (mutable log plus sealed columnar segments).\n# TYPE rocketd_store_segments gauge\n")
 	fmt.Fprintf(w, "rocketd_store_segments %d\n", st.Segments)
+	fmt.Fprintf(w, "# HELP rocketd_store_levels Non-empty compaction tiers of sealed segments.\n# TYPE rocketd_store_levels gauge\n")
+	fmt.Fprintf(w, "rocketd_store_levels %d\n", st.Levels)
 	fmt.Fprintf(w, "# HELP rocketd_store_log_bytes Modeled size of the segment log.\n# TYPE rocketd_store_log_bytes gauge\n")
 	fmt.Fprintf(w, "rocketd_store_log_bytes %d\n", st.Bytes)
+	fmt.Fprintf(w, "# HELP rocketd_store_disk_bytes Physical size of persisted columnar segment files.\n# TYPE rocketd_store_disk_bytes gauge\n")
+	fmt.Fprintf(w, "rocketd_store_disk_bytes %d\n", st.DiskBytes)
+	fmt.Fprintf(w, "# HELP rocketd_store_bytes_per_pair On-disk bytes per pair across persisted segments.\n# TYPE rocketd_store_bytes_per_pair gauge\n")
+	fmt.Fprintf(w, "rocketd_store_bytes_per_pair %g\n", st.BytesPerPair)
+	fmt.Fprintf(w, "# HELP rocketd_store_index_resident_bytes Resident probe-index footprint (fences, dictionaries, bloom filters).\n# TYPE rocketd_store_index_resident_bytes gauge\n")
+	fmt.Fprintf(w, "rocketd_store_index_resident_bytes %d\n", st.IndexResidentBytes)
+	fmt.Fprintf(w, "# HELP rocketd_store_bloom_hit_rate Share of segment probes answered absent by bloom filters without a block decode.\n# TYPE rocketd_store_bloom_hit_rate gauge\n")
+	fmt.Fprintf(w, "rocketd_store_bloom_hit_rate %g\n", st.BloomHitRate)
+	fmt.Fprintf(w, "# HELP rocketd_store_seals_total Mutable-log promotions into sorted columnar segments.\n# TYPE rocketd_store_seals_total counter\n")
+	fmt.Fprintf(w, "rocketd_store_seals_total %d\n", st.Seals)
+	fmt.Fprintf(w, "# HELP rocketd_store_compactions_total Tier merges and full compactions.\n# TYPE rocketd_store_compactions_total counter\n")
+	fmt.Fprintf(w, "rocketd_store_compactions_total %d\n", st.Compactions)
 	fmt.Fprintf(w, "# HELP rocketd_store_served_pairs_total Pairs served from the store instead of computed.\n# TYPE rocketd_store_served_pairs_total counter\n")
 	fmt.Fprintf(w, "rocketd_store_served_pairs_total %d\n", st.ServedPairs)
 	fmt.Fprintf(w, "# HELP rocketd_store_missed_pairs_total Planned-resident pairs recomputed because they were absent.\n# TYPE rocketd_store_missed_pairs_total counter\n")
