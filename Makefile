@@ -10,7 +10,7 @@ BENCH_RUN ?= local
 BENCH_BASELINE ?= BENCH_pr9.json
 COVERAGE_FLOOR ?= 75.0
 
-.PHONY: build test race-stress bench bench-sim bench-shards bench-json bench-gate coverage smoke smoke-scenarios smoke-elastic smoke-incremental smoke-pairstore fuzz-smoke lint ci fmt
+.PHONY: build test race-stress bench bench-sim bench-shards bench-json bench-gate coverage smoke smoke-scenarios smoke-elastic smoke-incremental smoke-pairstore smoke-trace fuzz-smoke lint ci fmt
 
 build:
 	$(GO) build ./...
@@ -164,6 +164,33 @@ smoke-pairstore:
 	$(GO) run ./cmd/rocketstore -pairs 1000000 -seed 1 -runs 2 -stats /tmp/rocket-store-stats.json
 	test -s /tmp/rocket-store-stats.json
 
+# Mirrors the workflow's smoke-trace step: the observability layer's
+# determinism and overhead gate. The quickstart and stress-1k scenarios
+# export Perfetto JSON twice each (stress-1k additionally at engine
+# width 4) and every pair must be byte-identical — the flight recorder's
+# canonical span ordering makes trace output a pure function of the
+# workload, independent of reruns and shard widths. Then fig6 runs with
+# and without the recorder attached and benchgate holds the line:
+# output_sha256 drift is fatal (recording must not change any reported
+# number) and >5% ns/op overhead warns. Exports land in
+# /tmp/rocket-trace-exports (uploaded as a CI artifact).
+smoke-trace:
+	$(GO) build -o /tmp/rocket-smoke-rockettrace ./cmd/rockettrace
+	rm -rf /tmp/rocket-trace-exports
+	mkdir -p /tmp/rocket-trace-exports
+	for sc in quickstart stress-1k; do \
+		/tmp/rocket-smoke-rockettrace export -scenario scenarios/$$sc.yaml -o /tmp/rocket-trace-exports/$$sc.json && \
+		/tmp/rocket-smoke-rockettrace export -scenario scenarios/$$sc.yaml -o /tmp/rocket-trace-exports/$$sc.rerun.json && \
+		cmp /tmp/rocket-trace-exports/$$sc.json /tmp/rocket-trace-exports/$$sc.rerun.json || exit 1; \
+	done
+	/tmp/rocket-smoke-rockettrace export -scenario scenarios/stress-1k.yaml -shards 4 -o /tmp/rocket-trace-exports/stress-1k.w4.json
+	cmp /tmp/rocket-trace-exports/stress-1k.json /tmp/rocket-trace-exports/stress-1k.w4.json
+	/tmp/rocket-smoke-rockettrace top -scenario scenarios/stress-1k.yaml > /dev/null
+	$(GO) run ./cmd/rocketbench -exp fig6 -scale 200 -seed 1 -json traceoff -q
+	$(GO) run ./cmd/rocketbench -exp fig6 -scale 200 -seed 1 -json traceon -trace -q
+	$(GO) run ./cmd/benchgate -baseline BENCH_traceoff.json -candidate BENCH_traceon.json -max-regress 0.05
+	rm -f BENCH_traceoff.json BENCH_traceon.json
+
 # Mirrors the workflow's fuzz step: short go-native fuzz runs over the
 # manifest codec (seed corpus under internal/jobspec/testdata) and the
 # columnar segment codec (seed corpus under internal/pairstore/testdata)
@@ -195,3 +222,4 @@ ci: lint build test race-stress
 	$(MAKE) smoke-elastic
 	$(MAKE) smoke-incremental
 	$(MAKE) smoke-pairstore
+	$(MAKE) smoke-trace

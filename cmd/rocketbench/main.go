@@ -42,6 +42,7 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		quiet      = flag.Bool("q", false, "suppress experiment output (timings only)")
+		traceOn    = flag.Bool("trace", false, "attach the flight recorder to every run (outputs must not change; benchgate watches the overhead)")
 	)
 	flag.Parse()
 
@@ -70,7 +71,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Shards: *shards}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Shards: *shards, Trace: *traceOn}
 	var toRun []experiments.Experiment
 	if *exp == "all" {
 		toRun = experiments.All()

@@ -54,6 +54,9 @@ func run() error {
 		logPath    = flag.String("log", "", "write the replayable arrival log here on shutdown")
 		storePath  = flag.String("store", "", "persistent pair store: loaded at start when present, saved on shutdown")
 		statsPath  = flag.String("store-stats", "", "write pair-store stats JSON here on shutdown")
+		trace      = flag.Bool("trace", false, "record scheduler spans and serve them as Perfetto JSON on /v1/trace")
+		traceCap   = flag.Int("trace-cap", 0, "flight-recorder span capacity (0 = 64Ki); oldest spans are overwritten")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (kept off the public API listener)")
 	)
 	flag.Parse()
 
@@ -89,20 +92,31 @@ func run() error {
 		}
 	}
 	srv, err := rocket.Serve(rocket.ServeConfig{
-		Nodes:      *nodes,
-		Policy:     pol,
-		MaxQueued:  *maxQueued,
-		MaxRunning: *maxRunning,
-		MaxRetries: *maxRetries,
-		Workers:    *workers,
-		Seed:       *seed,
-		TimeScale:  *timeScale,
-		Store:      store,
-		Datasets:   datasets,
-		Shards:     *shards,
+		Nodes:         *nodes,
+		Policy:        pol,
+		MaxQueued:     *maxQueued,
+		MaxRunning:    *maxRunning,
+		MaxRetries:    *maxRetries,
+		Workers:       *workers,
+		Seed:          *seed,
+		TimeScale:     *timeScale,
+		Store:         store,
+		Datasets:      datasets,
+		Shards:        *shards,
+		Trace:         *trace,
+		TraceCapacity: *traceCap,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		pln, err := startPprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer pln.Close()
+		fmt.Fprintf(os.Stderr, "rocketd: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// startPprof serves the net/http/pprof handlers on their own listener
+// and mux. The profiler is deliberately never mounted on the public API
+// mux: profiling endpoints can stall a handler goroutine for seconds
+// (profile?seconds=N) and expose process internals, so they bind to a
+// separate, typically loopback-only, address.
+func startPprof(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux)
+	return ln, nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestPprofListenerServesProfile: the -pprof listener answers a real
+// CPU-profile request (the smoke test the flag exists for) and stays
+// entirely off the public API mux.
+func TestPprofListenerServesProfile(t *testing.T) {
+	ln, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	url := fmt.Sprintf("http://%s/debug/pprof/profile?seconds=1", ln.Addr())
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("profile: status %d: %s", resp.StatusCode, body)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 {
+		t.Fatal("profile: empty body")
+	}
+	// pprof profiles are gzip-compressed protobufs; check the magic.
+	if body[0] != 0x1f || body[1] != 0x8b {
+		t.Fatalf("profile: not gzip (first bytes % x)", body[:2])
+	}
+}

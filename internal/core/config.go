@@ -5,6 +5,7 @@ import (
 
 	"rocket/internal/cluster"
 	"rocket/internal/fault"
+	"rocket/internal/obs"
 	"rocket/internal/pairstore"
 	"rocket/internal/sim"
 )
@@ -107,6 +108,11 @@ type Config struct {
 	// DetailedTrace retains every task interval for timeline rendering
 	// (the paper's profiling flag). Aggregate busy times are always kept.
 	DetailedTrace bool
+	// Spans, when non-nil, receives the run's task intervals as
+	// virtual-time spans in the flight recorder once at metrics
+	// aggregation (implies DetailedTrace). Nil — the default — keeps
+	// the observability layer entirely off the hot path.
+	Spans *obs.Recorder
 	// CollectResults stores comparison outputs (real-kernel runs).
 	CollectResults bool
 	// ThroughputWindow, when positive, records per-device completed-pair
@@ -165,6 +171,11 @@ func (cfg Config) normalize() (Config, error) {
 	}
 	if cfg.LeafPairs < 1 {
 		return cfg, fmt.Errorf("core: LeafPairs must be >= 1")
+	}
+	if cfg.Spans != nil {
+		// The flight recorder is fed from the detailed task list at
+		// aggregation time, so recording spans requires retaining it.
+		cfg.DetailedTrace = true
 	}
 	if cfg.StealBackoff == 0 {
 		cfg.StealBackoff = sim.Micros(100)

@@ -5,6 +5,7 @@ import (
 
 	"rocket/internal/cache"
 	"rocket/internal/dht"
+	"rocket/internal/obs"
 	"rocket/internal/sim"
 	"rocket/internal/stats"
 	"rocket/internal/trace"
@@ -179,5 +180,9 @@ func (rt *runtime) aggregate() *Metrics {
 	if rt.nodes[0].host != nil {
 		m.HostSlots = rt.nodes[0].host.Cap()
 	}
+	// Bridge the detailed task list into the flight recorder in one shot:
+	// the hot path keeps recording into the tracer exactly as before, so
+	// span collection adds zero per-event work inside the run.
+	obs.FromTasks(rt.cfg.Spans, 0, rt.tracer.Tasks())
 	return m
 }

@@ -23,6 +23,7 @@ import (
 	"rocket/internal/core"
 	"rocket/internal/gpu"
 	"rocket/internal/model"
+	"rocket/internal/obs"
 	"rocket/internal/sim"
 
 	"rocket/internal/apps/forensics"
@@ -45,6 +46,11 @@ type Options struct {
 	// point order, so every experiment's rendering is byte-identical at
 	// every width. 0 or 1 runs sequentially.
 	Shards int
+	// Trace attaches a flight recorder to every core run the experiment
+	// performs (rocketbench -trace). Recording must not change any
+	// reported number: CI compares each experiment's output sha256 with
+	// and without it, and benchgate watches the ns/op overhead.
+	Trace bool
 }
 
 func (o Options) normalized() Options {
@@ -69,6 +75,9 @@ type Setup struct {
 	DevSlots  int
 	HostSlots int
 	Seed      uint64
+	// Trace attaches a fresh flight recorder to each run (Options.Trace):
+	// the instrumentation overhead is real, the recording is discarded.
+	Trace bool
 }
 
 type meanCoster interface {
@@ -144,6 +153,7 @@ func ForensicsSetup(o Options) Setup {
 		DevSlots:  scaleSlots(291, o.Scale),
 		HostSlots: scaleSlots(1050, o.Scale),
 		Seed:      o.Seed,
+		Trace:     o.Trace,
 	}
 }
 
@@ -158,6 +168,7 @@ func PhyloSetup(o Options) Setup {
 		DevSlots:  scaleSlots(81, o.Scale),
 		HostSlots: scaleSlots(280, o.Scale),
 		Seed:      o.Seed,
+		Trace:     o.Trace,
 	}
 }
 
@@ -173,6 +184,7 @@ func CartesiusPhyloSetup(o Options) Setup {
 		DevSlots:  scaleSlots(82, o.Scale),  // 11 GiB K40m / 145.8 MB
 		HostSlots: scaleSlots(561, o.Scale), // 80 GiB / 145.8 MB
 		Seed:      o.Seed,
+		Trace:     o.Trace,
 	}
 }
 
@@ -189,6 +201,7 @@ func MicroscopySetup(o Options) Setup {
 		DevSlots:  256,
 		HostSlots: 256,
 		Seed:      o.Seed,
+		Trace:     o.Trace,
 	}
 }
 
@@ -264,6 +277,11 @@ func (s Setup) run(cl *cluster.Cluster, mutate func(*core.Config)) (*core.Metric
 		DeviceSlots: s.DevSlots,
 		HostSlots:   s.HostSlots,
 		Seed:        s.Seed,
+	}
+	if s.Trace {
+		// A fresh recorder per run: full instrumentation cost, nothing
+		// shared across concurrent sweep points, recording discarded.
+		cfg.Spans = obs.New(1, 0)
 	}
 	if mutate != nil {
 		mutate(&cfg)

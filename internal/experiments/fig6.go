@@ -19,7 +19,7 @@ import (
 // own threads.
 func Fig6(o Options) (string, error) {
 	o = o.normalized()
-	s := ForensicsSetup(Options{Scale: 100, Seed: o.Seed})
+	s := ForensicsSetup(Options{Scale: 100, Seed: o.Seed, Trace: o.Trace})
 	m, err := s.runDAS5(1, func(cfg *core.Config) {
 		cfg.DetailedTrace = true
 	})

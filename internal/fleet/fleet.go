@@ -18,9 +18,11 @@ package fleet
 
 import (
 	"fmt"
+	"strconv"
 
 	"rocket/internal/cluster"
 	"rocket/internal/fault"
+	"rocket/internal/obs"
 	"rocket/internal/sim"
 )
 
@@ -72,6 +74,15 @@ type Config struct {
 	// owning shard after the fault events of the same timestamp (scenario
 	// assertions). Nil leaves the event stream untouched.
 	Probes []fault.Probe
+	// Spans, when non-nil, records protocol activity (steal round trips,
+	// joins, preemption drains) and engine shard windows into the flight
+	// recorder. Every protocol span is a pure function of (Config, Seed)
+	// — virtual timestamps and payload counts only — so exported traces
+	// are width-invariant like the Result; window spans are the
+	// deliberate exception (the "engine" category) and exporters exclude
+	// them by default. Each shard writes only its own lane, so recording
+	// is race-free under parallel window execution.
+	Spans *obs.Recorder
 }
 
 // DefaultConfig returns a chatty fleet over the default DAS-5-style
@@ -198,6 +209,22 @@ type fleetSim struct {
 	net   *cluster.ShardedNet
 	inj   *fault.ShardedInjector
 	nodes []*node
+	// spans is the flight recorder (nil = off); shardOf maps a node to
+	// its owning shard, which is the lane its spans are recorded on (one
+	// writer per lane under parallel window execution).
+	spans   *obs.Recorder
+	shardOf func(int) int
+}
+
+// nodeSpan records a protocol span on n's owning shard's lane. All call
+// sites run on that shard's goroutine, inside virtual events whose times
+// are width-invariant.
+func (fs *fleetSim) nodeSpan(n *node, s obs.Span) {
+	if fs.spans == nil {
+		return
+	}
+	s.Track = "node" + strconv.Itoa(n.id)
+	fs.spans.Record(fs.shardOf(n.id), s)
 }
 
 // Run executes the workload and returns its deterministic summary.
@@ -261,15 +288,25 @@ func Run(cfg Config) (Result, error) {
 		faults = merged
 	}
 
-	env := sim.NewEnv(sim.WithShards(cfg.Shards), sim.WithSeed(cfg.Seed), sim.WithLookahead(cfg.NetLatency))
+	opts := []sim.EnvOption{sim.WithShards(cfg.Shards), sim.WithSeed(cfg.Seed), sim.WithLookahead(cfg.NetLatency)}
+	if cfg.Spans != nil {
+		rec := cfg.Spans
+		opts = append(opts, sim.WithWindowHook(func(shard int, start, end sim.Time, events uint64) {
+			rec.Record(shard, obs.Span{Start: start, End: end, Kind: obs.KindWindow,
+				Track: "shard" + strconv.Itoa(shard), Name: "window", Arg: int64(events)})
+		}))
+	}
+	env := sim.NewEnv(opts...)
 	ss := env.Sharded()
 	m := cluster.NewShardMap(cfg.Nodes, ss.NumShards())
 	fs := &fleetSim{
-		cfg:   cfg,
-		env:   env,
-		ss:    ss,
-		net:   cluster.NewShardedNet(ss, m, cfg.NetLatency, cfg.NetBandwidth),
-		nodes: make([]*node, cfg.Nodes),
+		cfg:     cfg,
+		env:     env,
+		ss:      ss,
+		net:     cluster.NewShardedNet(ss, m, cfg.NetLatency, cfg.NetBandwidth),
+		nodes:   make([]*node, cfg.Nodes),
+		spans:   cfg.Spans,
+		shardOf: m.ShardOf,
 	}
 	for i := range fs.nodes {
 		fs.nodes[i] = &node{
@@ -390,6 +427,8 @@ func Run(cfg Config) (Result, error) {
 func (fs *fleetSim) join(e *sim.Env, n *node) {
 	n.joins++
 	n.fold(0x4a, e.Now(), n.joins)
+	fs.nodeSpan(n, obs.Span{Start: e.Now(), End: e.Now(), Kind: obs.KindMark,
+		Name: "join", Arg: int64(n.joins)})
 	if !n.booted {
 		n.booted = true
 		e.After(n.rng.jitter(fs.cfg.HeartbeatPeriod), func() { fs.heartbeat(e, n) })
@@ -409,6 +448,8 @@ func (fs *fleetSim) drain(e *sim.Env, n *node) {
 	n.fold(0x50, e.Now(), n.preempts)
 	batch := n.queue
 	n.queue = 0
+	fs.nodeSpan(n, obs.Span{Start: e.Now(), End: e.Now(), Kind: obs.KindMark,
+		Name: "preempt", Arg: int64(batch)})
 	if batch == 0 {
 		return
 	}
@@ -503,6 +544,7 @@ func (fs *fleetSim) steal(e *sim.Env, n *node) {
 	if victim >= n.id {
 		victim++
 	}
+	reqAt := e.Now()
 	fs.net.Send(e, n.id, victim, workRequestBytes, func(de *sim.Env) {
 		v := fs.nodes[victim]
 		grant := v.queue / 2
@@ -510,6 +552,11 @@ func (fs *fleetSim) steal(e *sim.Env, n *node) {
 		size := int64(workGrantBytes + grant*64)
 		fs.net.Send(de, victim, n.id, size, func(ge *sim.Env) {
 			n.queue += grant
+			// The full request→grant round trip, recorded at grant
+			// delivery on the thief's own shard; Arg 0 marks a failed
+			// attempt (empty victim).
+			fs.nodeSpan(n, obs.Span{Start: reqAt, End: ge.Now(), Kind: obs.KindSteal,
+				Name: "steal", Arg: int64(grant), Arg2: int64(victim)})
 			if grant > 0 {
 				n.fold(0x53, ge.Now(), uint64(grant))
 				if !n.busy {

@@ -1,0 +1,51 @@
+package obs
+
+import "rocket/internal/trace"
+
+// kindFor maps a pipeline trace kind to the span kind it observes.
+func kindFor(k trace.Kind) Kind {
+	switch k {
+	case trace.KindPreprocess, trace.KindCompare:
+		return KindKernel
+	case trace.KindH2D, trace.KindD2H:
+		return KindCopy
+	case trace.KindParse, trace.KindPost:
+		return KindCPU
+	case trace.KindIO:
+		return KindIO
+	case trace.KindFetch:
+		return KindFetch
+	case trace.KindSteal:
+		return KindSteal
+	case trace.KindStoreRead, trace.KindStoreWrite:
+		return KindStore
+	default:
+		return KindMark
+	}
+}
+
+// FromTasks converts a detailed pipeline task list into spans on lane.
+// This is the single bridge between core's per-run tracer and the
+// flight recorder: core records into its existing trace.Tracer on the
+// hot path (unchanged) and the conversion happens once, at metrics
+// aggregation, so enabling spans adds no per-event work inside the run.
+func FromTasks(r *Recorder, lane int, tasks []trace.Task) {
+	if r == nil {
+		return
+	}
+	for _, t := range tasks {
+		item2 := int64(0)
+		if t.Item2 >= 0 {
+			item2 = int64(t.Item2) + 1
+		}
+		r.Record(lane, Span{
+			Start: t.Start,
+			End:   t.End,
+			Kind:  kindFor(t.Kind),
+			Track: t.Resource,
+			Name:  t.Kind.String(),
+			Arg:   int64(t.Item),
+			Arg2:  item2,
+		})
+	}
+}

@@ -267,6 +267,23 @@ type Store struct {
 	live     int // distinct keys visible (puts − deletes)
 	autoSeal int
 	stats    Stats
+	// onSeal/onCompact, when non-nil, observe maintenance: onSeal fires
+	// after each mutable-log seal with the number of rows promoted,
+	// onCompact after each tier merge or full compaction with the number
+	// of input segments. Both run with s.mu held and must not call back
+	// into the store. See SetMaintenanceHooks.
+	onSeal    func(rows int)
+	onCompact func(inputs int)
+}
+
+// SetMaintenanceHooks installs observers for seals and compactions (the
+// observability layer's storage feed). Either may be nil. Hooks are
+// invoked synchronously under the store's lock, so they must be cheap
+// and must not touch the store. Install before concurrent use.
+func (s *Store) SetMaintenanceHooks(onSeal func(rows int), onCompact func(inputs int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onSeal, s.onCompact = onSeal, onCompact
 }
 
 // New returns an empty store with one open mutable log.
@@ -468,6 +485,9 @@ func (s *Store) sealLocked() {
 	}
 	s.mem = newMemtable()
 	s.stats.Seals++
+	if s.onSeal != nil {
+		s.onSeal(len(rows))
+	}
 	s.maybeTierLocked()
 }
 
@@ -498,6 +518,9 @@ func (s *Store) maybeTierLocked() {
 		}
 		s.stats.Compactions++
 		s.stats.CompactedAway += uint64(dropped)
+		if s.onCompact != nil {
+			s.onCompact(len(inputs))
+		}
 	}
 }
 
@@ -517,6 +540,9 @@ func (s *Store) Compact() int {
 		inputs = append(inputs, s.levels[i]...)
 	}
 	s.stats.Compactions++
+	if s.onCompact != nil {
+		s.onCompact(len(inputs))
+	}
 	if len(inputs) == 0 {
 		s.levels = nil
 		return sealDropped

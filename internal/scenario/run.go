@@ -24,6 +24,10 @@ type RunOptions struct {
 	// report is byte-identical at every width; the knob exists so CI can
 	// prove that.
 	Shards int
+	// Spans, when non-nil, attaches a flight recorder to the run
+	// (rockettrace's export path). Recorded timelines inherit the
+	// report's determinism: byte-identical across widths and reruns.
+	Spans *rocket.SpanRecorder
 }
 
 // Run executes the scenario and returns its report. The error return is
@@ -73,9 +77,9 @@ func Run(sc *Scenario, opts RunOptions) (*Report, error) {
 	var runErr error
 	switch run.Mode {
 	case ModeFleet:
-		metrics, summary, runErr = runFleet(&run, faults, probes, opts.Shards)
+		metrics, summary, runErr = runFleet(&run, faults, probes, opts.Shards, opts.Spans)
 	default:
-		metrics, summary, runErr = runPairs(&run, faults, probes)
+		metrics, summary, runErr = runPairs(&run, faults, probes, opts.Spans)
 	}
 	if runErr != nil {
 		return nil, runErr
@@ -131,7 +135,7 @@ func Run(sc *Scenario, opts RunOptions) (*Report, error) {
 }
 
 // runPairs executes the all-pairs application through the public API.
-func runPairs(sc *Scenario, faults *fault.Schedule, probes []fault.Probe) (map[string]float64, string, error) {
+func runPairs(sc *Scenario, faults *fault.Schedule, probes []fault.Probe, spans *rocket.SpanRecorder) (map[string]float64, string, error) {
 	app, err := jobspec.Spec{ID: sc.Name, App: sc.App.Kind, Items: sc.App.Items}.BuildApp(sc.Seed)
 	if err != nil {
 		return nil, "", err
@@ -143,6 +147,7 @@ func runPairs(sc *Scenario, faults *fault.Schedule, probes []fault.Probe) (map[s
 		rocket.WithDistCache(sc.Fleet.DistCache),
 		rocket.WithFaults(faults),
 		rocket.WithFaultProbes(probes...),
+		rocket.WithSpans(spans),
 	)
 	m, err := r.Run(app)
 	if err != nil {
@@ -173,7 +178,7 @@ func runPairs(sc *Scenario, faults *fault.Schedule, probes []fault.Probe) (map[s
 }
 
 // runFleet executes the fleet workload over the sharded engine.
-func runFleet(sc *Scenario, faults *fault.Schedule, probes []fault.Probe, shards int) (map[string]float64, string, error) {
+func runFleet(sc *Scenario, faults *fault.Schedule, probes []fault.Probe, shards int, spans *rocket.SpanRecorder) (map[string]float64, string, error) {
 	if shards < 1 {
 		shards = 1
 	}
@@ -188,6 +193,7 @@ func runFleet(sc *Scenario, faults *fault.Schedule, probes []fault.Probe, shards
 		rocket.WithShards(shards),
 		rocket.WithFaults(faults),
 		rocket.WithFaultProbes(probes...),
+		rocket.WithSpans(spans),
 	)
 	res, err := r.RunFleet(func(c *rocket.FleetConfig) {
 		c.Duration = sc.Duration

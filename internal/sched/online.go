@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"rocket/internal/core"
+	"rocket/internal/obs"
 	"rocket/internal/sim"
 )
 
@@ -185,6 +187,15 @@ type Online struct {
 	events     []Event
 	eventsBase int
 	wake       chan struct{} // closed and replaced on every event
+	// Wait accounting for the monitoring endpoints: waits holds every
+	// realized queue wait in virtual nanoseconds (unsorted; WaitStats
+	// sorts a copy for exact quantiles), tenantWaits log-buckets the same
+	// values per tenant for the histogram exposition, and depth tracks
+	// the number of currently queued jobs incrementally so a gauge read
+	// never scans the submission list.
+	waits       []int64
+	tenantWaits map[string]*obs.Histogram
+	depth       int
 
 	done   chan struct{} // loop exited; result/runErr valid
 	result *Metrics
@@ -205,12 +216,13 @@ func StartOnline(cfg Config) (*Online, error) {
 	// A failed job must not take the service down with it.
 	cfg.KeepGoing = true
 	o := &Online{
-		cfg:       cfg,
-		wallStart: time.Now(),
-		byID:      make(map[string]*onlineJob),
-		seen:      make(map[string]int),
-		wake:      make(chan struct{}),
-		done:      make(chan struct{}),
+		cfg:         cfg,
+		wallStart:   time.Now(),
+		byID:        make(map[string]*onlineJob),
+		seen:        make(map[string]int),
+		tenantWaits: make(map[string]*obs.Histogram),
+		wake:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	o.cond = sync.NewCond(&o.mu)
 	go o.loop()
@@ -393,6 +405,43 @@ func (o *Online) Counts() Counts {
 	return c
 }
 
+// WaitStats is the monitoring view of realized queue waits: one sample
+// per placement (a retried job contributes one sample per start, each
+// measured from its original arrival), all in virtual nanoseconds.
+type WaitStats struct {
+	// Depth is the number of currently queued jobs.
+	Depth int
+	// Count is the number of realized waits.
+	Count int
+	// P50NS and P99NS are the exact median and 99th-percentile waits,
+	// computed from the raw samples (not the log-bucketed histograms).
+	P50NS int64
+	P99NS int64
+	// Tenants holds an independent per-tenant wait histogram clone,
+	// keyed by tenant name.
+	Tenants map[string]*obs.Histogram
+}
+
+// WaitStats returns a consistent snapshot of the wait accounting.
+func (o *Online) WaitStats() WaitStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ws := WaitStats{Depth: o.depth, Count: len(o.waits)}
+	if len(o.waits) > 0 {
+		sorted := append([]int64(nil), o.waits...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		ws.P50NS = sorted[len(sorted)/2]
+		ws.P99NS = sorted[(len(sorted)*99)/100]
+	}
+	if len(o.tenantWaits) > 0 {
+		ws.Tenants = make(map[string]*obs.Histogram, len(o.tenantWaits))
+		for tenant, h := range o.tenantWaits {
+			ws.Tenants[tenant] = h.Clone()
+		}
+	}
+	return ws
+}
+
 // eventCap bounds the retained event window (a var so tests can shrink
 // it). At the default, the window is a few MB at most.
 var eventCap = 1 << 16
@@ -546,6 +595,7 @@ func (o *Online) wait() bool {
 func (o *Online) jobAdmitted(js *jobState) {
 	o.updateJob(js, EventQueued, func(oj *onlineJob) {
 		oj.info.Status = StatusQueued
+		o.depth++
 	})
 }
 
@@ -560,6 +610,15 @@ func (o *Online) jobStarted(js *jobState) {
 		oj.info.Status = StatusRunning
 		oj.info.Nodes = append([]int(nil), js.lease...)
 		oj.info.StartNS = int64(js.start)
+		o.depth--
+		wait := int64(js.start - js.job.Arrival)
+		o.waits = append(o.waits, wait)
+		h := o.tenantWaits[js.tenant]
+		if h == nil {
+			h = &obs.Histogram{}
+			o.tenantWaits[js.tenant] = h
+		}
+		h.Observe(wait)
 	})
 }
 
@@ -568,6 +627,7 @@ func (o *Online) jobRetrying(js *jobState) {
 		oj.info.Status = StatusQueued
 		oj.info.Nodes = nil
 		oj.info.Retries = js.attempt
+		o.depth++
 	})
 }
 

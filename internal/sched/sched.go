@@ -28,6 +28,7 @@ import (
 	"rocket/internal/core"
 	"rocket/internal/fault"
 	"rocket/internal/gpu"
+	"rocket/internal/obs"
 	"rocket/internal/pairs"
 	"rocket/internal/pairstore"
 	"rocket/internal/sim"
@@ -138,6 +139,13 @@ type Config struct {
 	// policy decides how much of it is active at any virtual instant.
 	// Nil keeps the classic fixed fleet.
 	Elastic *Autoscale
+	// Spans, when non-nil, records job wait/run intervals and pairstore
+	// seal/compaction instants into the flight recorder. Recording
+	// happens only at the scheduler loop's deterministic points
+	// (placement, completion, merge) — never from inner-simulation
+	// goroutines — so traces replay byte-identically. Nil (the default)
+	// adds one nil check per completion.
+	Spans *obs.Recorder
 }
 
 // jobState tracks one job through the scheduler.
@@ -401,6 +409,9 @@ type scheduler struct {
 	store *pairstore.Store
 	// pool tracks elastic slot lifecycles; nil for fixed fleets.
 	pool *elasticPool
+	// spans is the flight recorder (nil = off), written only from the
+	// loop goroutine.
+	spans *obs.Recorder
 }
 
 func newScheduler(cfg Config, obs observer) *scheduler {
@@ -418,7 +429,7 @@ func newScheduler(cfg Config, obs observer) *scheduler {
 			free[i] = i
 		}
 	}
-	return &scheduler{
+	s := &scheduler{
 		cfg:   cfg,
 		free:  free,
 		usage: make(map[string]float64),
@@ -426,7 +437,29 @@ func newScheduler(cfg Config, obs observer) *scheduler {
 		obs:   obs,
 		store: cfg.Store,
 		pool:  pool,
+		spans: cfg.Spans,
 	}
+	s.attachStoreHooks()
+	return s
+}
+
+// attachStoreHooks wires the pair store's maintenance hooks to the
+// flight recorder. The store is only sealed/compacted from the loop
+// goroutine (Merge/MaybeSeal at completion points), so the hooks may
+// read s.clock: they fire at the deterministic virtual instant of the
+// merge that triggered them.
+func (s *scheduler) attachStoreHooks() {
+	if s.spans == nil || s.store == nil {
+		return
+	}
+	s.store.SetMaintenanceHooks(
+		func(rows int) {
+			s.spans.RecordInstant(0, obs.KindSeal, "store", "seal", s.clock, int64(rows))
+		},
+		func(inputs int) {
+			s.spans.RecordInstant(0, obs.KindCompact, "store", "compact", s.clock, int64(inputs))
+		},
+	)
 }
 
 // syncPool applies pool lifecycle events due by the scheduler clock:
@@ -562,6 +595,7 @@ func (s *scheduler) run(f frontier) error {
 					// this clock already happened, later merges are invisible.
 					if s.store == nil {
 						s.store = pairstore.New()
+						s.attachStoreHooks()
 					}
 					js.storeSnap = s.store.Snapshot()
 					js.storeBatch = pairstore.NewBatch()
@@ -672,6 +706,28 @@ func (s *scheduler) run(f frontier) error {
 					// pushdown fast path. Deterministic — it depends only
 					// on merged-entry counts, not wall-clock.
 					s.store.MaybeSeal()
+				}
+				if s.spans != nil {
+					// Completion is a deterministic loop point: both spans
+					// are pure functions of arrival/placement/completion
+					// times, so the recording order (and the trace) is
+					// independent of worker scheduling.
+					if js.retry {
+						s.spans.RecordInstant(0, obs.KindMark, "sched",
+							js.id+"/retry", s.clock, int64(js.attempt+1))
+					} else {
+						var pairs int64
+						if js.inner != nil {
+							pairs = int64(js.inner.Pairs)
+						}
+						s.spans.Record(0, obs.Span{Kind: obs.KindJobWait, Track: "sched",
+							Name: js.id, Tenant: js.tenant,
+							Start: js.job.Arrival, End: js.start})
+						s.spans.Record(0, obs.Span{Kind: obs.KindJobRun, Track: "sched",
+							Name: js.id, Tenant: js.tenant,
+							Start: js.start, End: js.end,
+							Arg: int64(len(js.lease)), Arg2: pairs})
+					}
 				}
 				if js.retry {
 					js.resetForRetry()

@@ -29,6 +29,7 @@ type apiV1 interface {
 	handleDatasetAppend(w http.ResponseWriter, r *http.Request)
 	handleDatasetJob(w http.ResponseWriter, r *http.Request)
 	handleStore(w http.ResponseWriter, r *http.Request)
+	handleTrace(w http.ResponseWriter, r *http.Request)
 	handleCapabilities(w http.ResponseWriter, r *http.Request)
 	handleMetrics(w http.ResponseWriter, r *http.Request)
 	handleHealthz(w http.ResponseWriter, r *http.Request)
@@ -56,6 +57,7 @@ var v1Routes = []route{
 	{"POST /v1/datasets/{id}/append", func(v apiV1) http.HandlerFunc { return v.handleDatasetAppend }},
 	{"POST /v1/datasets/{id}/jobs", func(v apiV1) http.HandlerFunc { return v.handleDatasetJob }},
 	{"GET /v1/store", func(v apiV1) http.HandlerFunc { return v.handleStore }},
+	{"GET /v1/trace", func(v apiV1) http.HandlerFunc { return v.handleTrace }},
 	{"GET /v1/capabilities", func(v apiV1) http.HandlerFunc { return v.handleCapabilities }},
 	{"GET /metrics", func(v apiV1) http.HandlerFunc { return v.handleMetrics }},
 	{"GET /healthz", func(v apiV1) http.HandlerFunc { return v.handleHealthz }},

@@ -27,6 +27,7 @@ func TestRoutesTableCoversEverything(t *testing.T) {
 		"POST /v1/datasets/{id}/append",
 		"POST /v1/datasets/{id}/jobs",
 		"GET /v1/store",
+		"GET /v1/trace",
 		"GET /v1/capabilities",
 		"GET /metrics",
 		"GET /healthz",

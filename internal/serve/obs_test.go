@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rocket/internal/jobspec"
+)
+
+func getBody(t *testing.T, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.StatusCode
+}
+
+// TestTraceEndpointDisabled: without Config.Trace there is no recorder,
+// and the endpoint says so instead of serving an empty trace.
+func TestTraceEndpointDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Nodes: 2, Seed: 1, TimeScale: 0})
+	body, code := getBody(t, ts.URL+"/v1/trace")
+	if code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", code)
+	}
+	if !strings.Contains(body, "tracing disabled") {
+		t.Fatalf("body %q does not explain the 404", body)
+	}
+}
+
+// TestTraceEndpointServesSpans: with tracing on, completed jobs appear
+// as job-wait/job-run spans in the Perfetto export.
+func TestTraceEndpointServesSpans(t *testing.T) {
+	_, ts := newTestServer(t, Config{Nodes: 2, Seed: 7, TimeScale: 0, Trace: true})
+	id, code := postJob(t, ts.URL, jobspec.Spec{Tenant: "acme", App: "forensics", Items: 8, Nodes: 1})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitTerminal(t, ts.URL, id)
+
+	body, code := getBody(t, ts.URL+"/v1/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace: status %d", code)
+	}
+	for _, want := range []string{`"traceEvents":[`, `"cat":"job-wait"`, `"cat":"job-run"`, `"tenant":"acme"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+}
+
+// TestMetricsWaitSeries: /metrics exposes the queue-depth and wait
+// gauges plus the per-tenant wait histogram, each with HELP and TYPE.
+func TestMetricsWaitSeries(t *testing.T) {
+	_, ts := newTestServer(t, Config{Nodes: 2, Seed: 3, TimeScale: 0})
+	id, code := postJob(t, ts.URL, jobspec.Spec{Tenant: "acme", App: "forensics", Items: 8, Nodes: 1})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitTerminal(t, ts.URL, id)
+
+	body, code := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE rocketd_queue_depth gauge",
+		"rocketd_queue_depth 0",
+		"# TYPE rocketd_p50_wait_seconds gauge",
+		"# TYPE rocketd_p99_wait_seconds gauge",
+		"# TYPE rocketd_wait_seconds histogram",
+		`rocketd_wait_seconds_bucket{tenant="acme",le="+Inf"} 1`,
+		`rocketd_wait_seconds_count{tenant="acme"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Every series must carry HELP and TYPE: any rocketd_ sample line's
+	// metric family name must have appeared in a preceding # TYPE line.
+	typed := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[name] && !typed[family] {
+			t.Errorf("sample %q has no preceding # TYPE", line)
+		}
+	}
+}

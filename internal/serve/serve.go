@@ -11,6 +11,7 @@
 //	GET  /v1/jobs/{id}/events SSE stream of the job's lifecycle
 //	GET  /v1/events           SSE stream of all scheduler events
 //	GET  /v1/log              the replayable arrival log (a manifest)
+//	GET  /v1/trace            flight-recorder spans as Perfetto JSON (404 unless Config.Trace)
 //	GET  /v1/capabilities     API version, route table, shard count, store state
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness; 503 while draining
@@ -34,10 +35,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 
 	"rocket/internal/cluster"
 	"rocket/internal/jobspec"
+	"rocket/internal/obs"
 	"rocket/internal/pairstore"
 	"rocket/internal/sched"
 )
@@ -74,6 +78,14 @@ type Config struct {
 	// It is informational: all-pairs results are width-invariant, so it
 	// never changes scheduling outcomes. 0 reports 1.
 	Shards int
+	// Trace attaches a flight recorder to the scheduler: placement spans
+	// (job-wait, job-run) and store maintenance marks are recorded and
+	// served as Perfetto JSON on GET /v1/trace. Off by default; a nil
+	// recorder costs nothing on the scheduling path.
+	Trace bool
+	// TraceCapacity bounds the recorder ring (spans retained, oldest
+	// overwritten first); 0 means the obs default (64Ki).
+	TraceCapacity int
 }
 
 // Server owns the online scheduler and the recorded submission specs.
@@ -81,6 +93,7 @@ type Server struct {
 	cfg   Config
 	queue *sched.Online
 	store *pairstore.Store
+	spans *obs.Recorder // nil unless Config.Trace
 	mux   *http.ServeMux
 
 	mu       sync.Mutex
@@ -95,6 +108,10 @@ func New(cfg Config) (*Server, error) {
 	if store == nil {
 		store = pairstore.New()
 	}
+	var spans *obs.Recorder
+	if cfg.Trace {
+		spans = obs.New(1, cfg.TraceCapacity)
+	}
 	q, err := sched.StartOnline(sched.Config{
 		Nodes:      cfg.Nodes,
 		NodeSpec:   cfg.NodeSpec,
@@ -106,11 +123,12 @@ func New(cfg Config) (*Server, error) {
 		Seed:       cfg.Seed,
 		TimeScale:  cfg.TimeScale,
 		Store:      store,
+		Spans:      spans,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, queue: q, store: store, datasets: make(map[string]*Dataset)}
+	s := &Server{cfg: cfg, queue: q, store: store, spans: spans, datasets: make(map[string]*Dataset)}
 	for i := range cfg.Datasets {
 		ds := cfg.Datasets[i]
 		if _, dup := s.datasets[ds.ID]; dup {
@@ -362,6 +380,21 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTrace serves the flight recorder's current contents as Chrome
+// trace-event JSON (Perfetto-loadable). ?engine=1 includes the
+// width-dependent engine spans; the default export is width-invariant.
+// Without Config.Trace there is no recorder and the endpoint is 404.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.spans == nil {
+		writeError(w, r, http.StatusNotFound,
+			fmt.Errorf("tracing disabled; start rocketd with -trace"))
+		return
+	}
+	opts := obs.ExportOptions{IncludeEngine: r.URL.Query().Get("engine") == "1"}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteTrace(w, s.spans.Snapshot(), opts)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.queue.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
@@ -392,6 +425,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "rocketd_virtual_clock_seconds %g\n", s.queue.Clock().Seconds())
 	fmt.Fprintf(w, "# HELP rocketd_draining Whether shutdown has begun.\n# TYPE rocketd_draining gauge\n")
 	fmt.Fprintf(w, "rocketd_draining %d\n", draining)
+
+	ws := s.queue.WaitStats()
+	fmt.Fprintf(w, "# HELP rocketd_queue_depth Jobs currently queued for placement.\n# TYPE rocketd_queue_depth gauge\n")
+	fmt.Fprintf(w, "rocketd_queue_depth %d\n", ws.Depth)
+	fmt.Fprintf(w, "# HELP rocketd_p50_wait_seconds Exact median queue wait across placements (virtual time).\n# TYPE rocketd_p50_wait_seconds gauge\n")
+	fmt.Fprintf(w, "rocketd_p50_wait_seconds %g\n", float64(ws.P50NS)/1e9)
+	fmt.Fprintf(w, "# HELP rocketd_p99_wait_seconds Exact 99th-percentile queue wait across placements (virtual time).\n# TYPE rocketd_p99_wait_seconds gauge\n")
+	fmt.Fprintf(w, "rocketd_p99_wait_seconds %g\n", float64(ws.P99NS)/1e9)
+	fmt.Fprintf(w, "# HELP rocketd_wait_seconds Queue wait per tenant (virtual time, log-bucketed).\n# TYPE rocketd_wait_seconds histogram\n")
+	tenants := make([]string, 0, len(ws.Tenants))
+	for tenant := range ws.Tenants {
+		tenants = append(tenants, tenant)
+	}
+	sort.Strings(tenants)
+	for _, tenant := range tenants {
+		h := ws.Tenants[tenant]
+		for _, b := range h.Buckets() {
+			fmt.Fprintf(w, "rocketd_wait_seconds_bucket{tenant=%q,le=%q} %d\n",
+				tenant, strconv.FormatFloat(float64(b.Le)/1e9, 'g', -1, 64), b.Count)
+		}
+		fmt.Fprintf(w, "rocketd_wait_seconds_bucket{tenant=%q,le=\"+Inf\"} %d\n", tenant, h.Count())
+		fmt.Fprintf(w, "rocketd_wait_seconds_sum{tenant=%q} %g\n", tenant, float64(h.Sum())/1e9)
+		fmt.Fprintf(w, "rocketd_wait_seconds_count{tenant=%q} %d\n", tenant, h.Count())
+	}
 
 	st := s.store.Stats()
 	s.mu.Lock()

@@ -7,10 +7,18 @@ package sim
 type EnvOption func(*envConfig)
 
 type envConfig struct {
-	seed      uint64
-	shards    int
-	lookahead Time
+	seed       uint64
+	shards     int
+	lookahead  Time
+	windowHook WindowHook
 }
+
+// WindowHook observes one completed shard window: shard executed its
+// events in virtual interval [start, end] and dispatched events of them.
+// Hooks for different shards may run concurrently (windows execute on
+// parallel OS threads), so implementations must be safe for concurrent
+// use across shards — e.g. by writing to per-shard sinks.
+type WindowHook func(shard int, start, end Time, events uint64)
 
 // DefaultLookahead is the conservative window bound used when WithShards is
 // given without WithLookahead. It matches the smallest cross-node delay in
@@ -42,6 +50,14 @@ func WithShards(n int) EnvOption {
 // uses. Ignored without WithShards.
 func WithLookahead(d Time) EnvOption {
 	return func(c *envConfig) { c.lookahead = d }
+}
+
+// WithWindowHook installs a per-window observer on a sharded environment
+// (the flight recorder's engine feed). Each non-empty window invokes the
+// hook once per shard that dispatched events. Ignored without WithShards;
+// nil disables. The hook costs one nil check per shard-window when unset.
+func WithWindowHook(h WindowHook) EnvOption {
+	return func(c *envConfig) { c.windowHook = h }
 }
 
 // Seed returns the seed recorded by WithSeed (0 if none was given).

@@ -64,6 +64,9 @@ type ShardSet struct {
 	dropped uint64
 	// windows counts completed synchronization windows (barrier rounds).
 	windows uint64
+	// windowHook, when non-nil, observes each shard's non-empty windows
+	// (WithWindowHook).
+	windowHook WindowHook
 }
 
 // Shard is one partition of a ShardSet: a private Env plus the inbound
@@ -99,7 +102,7 @@ func newShardSet(cfg envConfig) *ShardSet {
 	if la <= 0 {
 		la = DefaultLookahead
 	}
-	ss := &ShardSet{lookahead: la}
+	ss := &ShardSet{lookahead: la, windowHook: cfg.windowHook}
 	ss.shards = make([]*Shard, cfg.shards)
 	for i := range ss.shards {
 		sh := &Shard{set: ss, id: i, env: newMemberEnv(cfg.seed)}
@@ -218,10 +221,28 @@ func (sh *Shard) nextTime() (Time, bool) {
 	return 0, false
 }
 
-// runWindow executes the shard's events strictly before bound,
+// runWindow executes one window, reporting it to the set's window hook
+// when one is installed and the window dispatched any events. The hook
+// runs on the shard's executing goroutine, so a window's observation cost
+// is one nil check when tracing is off.
+func (sh *Shard) runWindow(bound Time) {
+	hook := sh.set.windowHook
+	if hook == nil {
+		sh.runWindowEvents(bound)
+		return
+	}
+	start := sh.env.now
+	before := sh.env.eventsProcessed
+	sh.runWindowEvents(bound)
+	if ev := sh.env.eventsProcessed - before; ev > 0 {
+		hook(sh.id, start, sh.env.now, ev)
+	}
+}
+
+// runWindowEvents executes the shard's events strictly before bound,
 // interleaving local events and inbound deliveries; at equal timestamps
 // deliveries apply first (rule 2 of the determinism argument).
-func (sh *Shard) runWindow(bound Time) {
+func (sh *Shard) runWindowEvents(bound Time) {
 	e := sh.env
 	for {
 		mt, mok := sh.merge.peek()

@@ -63,6 +63,18 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind maps a wire name produced by Kind.String back to its kind,
+// so tools that filter recorded timelines by stage name ("compare",
+// "store-read", ...) can validate the name against the enum.
+func ParseKind(name string) (Kind, error) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown task kind %q", name)
+}
+
 // Class groups resources the way the paper groups threads in Fig. 8:
 // GPU, CPU, CPU→GPU, GPU→CPU, and IO.
 type Class int

@@ -23,6 +23,32 @@ func TestKindAndClassStrings(t *testing.T) {
 	}
 }
 
+// TestKindRoundTrip: every kind's wire name parses back to itself, names
+// are distinct, and unknown names are rejected.
+func TestKindRoundTrip(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("kinds %v and %v share the name %q", prev, k, name)
+		}
+		seen[name] = k
+		got, err := ParseKind(name)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", name, err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", name, got, k)
+		}
+	}
+	if _, err := ParseKind("warp-drive"); err == nil {
+		t.Error("ParseKind accepted an unknown name")
+	}
+	if _, err := ParseKind(""); err == nil {
+		t.Error("ParseKind accepted the empty name")
+	}
+}
+
 func TestRecordAggregates(t *testing.T) {
 	tr := New(false)
 	tr.Record(Task{Resource: "n0/gpu0", Class: ClassGPU, Kind: KindCompare, Item: 1, Item2: 2, Start: 0, End: sim.Millis(2)})

@@ -31,9 +31,12 @@
 package rocket
 
 import (
+	"io"
+
 	"rocket/internal/cluster"
 	"rocket/internal/core"
 	"rocket/internal/gpu"
+	"rocket/internal/obs"
 	"rocket/internal/pairstore"
 	"rocket/internal/sched"
 	"rocket/internal/serve"
@@ -164,6 +167,34 @@ type (
 	// PairDigest identifies one item's content within a dataset lineage.
 	PairDigest = pairstore.Digest
 )
+
+// Observability types: see package rocket/internal/obs for full
+// documentation. The flight recorder collects virtual-time spans whose
+// exported timelines are byte-identical across engine widths and reruns
+// — instrumentation under the same determinism contract as the results.
+type (
+	// SpanRecorder is the flight recorder: per-lane fixed-size rings of
+	// virtual-time spans, nil-safe (a nil recorder is the off state).
+	SpanRecorder = obs.Recorder
+	// Span is one recorded interval of virtual time on a track.
+	Span = obs.Span
+	// SpanSnapshot is a canonical-order copy of a recorder's contents.
+	SpanSnapshot = obs.Snapshot
+	// TraceExportOptions controls ExportTrace (engine-span inclusion).
+	TraceExportOptions = obs.ExportOptions
+)
+
+// NewSpanRecorder returns a flight recorder with the given number of
+// lanes (one per engine shard; minimum 1) and per-lane span capacity
+// (0 = the 64Ki default). Pass it to New via WithSpans.
+func NewSpanRecorder(lanes, capacity int) *SpanRecorder { return obs.New(lanes, capacity) }
+
+// ExportTrace writes a span snapshot as Chrome trace-event JSON,
+// loadable by Perfetto (ui.perfetto.dev) and chrome://tracing. The byte
+// stream is a pure function of the snapshot, so exports diff cleanly.
+func ExportTrace(w io.Writer, snap SpanSnapshot, opts TraceExportOptions) error {
+	return obs.WriteTrace(w, snap, opts)
+}
 
 // NewPairStore returns an empty pair store.
 func NewPairStore() *PairStore { return pairstore.New() }

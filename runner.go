@@ -245,6 +245,21 @@ func WithPairStore(s *PairStore) Option {
 	return func(r *Runner) { r.queue.Store = s }
 }
 
+// WithSpans attaches a flight recorder: Run, RunFleet, and RunQueue
+// record virtual-time spans (GPU kernel/copy phases, job wait/run
+// intervals, steal round trips, pairstore maintenance) into it, to be
+// snapshotted and exported after the run (see NewSpanRecorder,
+// ExportTrace). Nil — the default — keeps the observability layer
+// entirely off. Spans are stamped in virtual time and exported in a
+// canonical order, so recorded timelines are byte-identical across
+// engine widths and reruns.
+func WithSpans(rec *SpanRecorder) Option {
+	return func(r *Runner) {
+		r.cfg.Spans = rec
+		r.queue.Spans = rec
+	}
+}
+
 // WithElasticity drives fleet runs (RunFleet) with seeded membership
 // churn: nodes join along the configured arrival pattern and spot
 // preemptions drain victims mid-run. Zero-valued Seed, Nodes, and
@@ -381,6 +396,7 @@ func (r *Runner) RunFleet(fn func(*FleetConfig)) (FleetResult, error) {
 	}
 	cfg.GPUs = gpus
 	cfg.Elastic = r.elastic
+	cfg.Spans = r.cfg.Spans
 	if fn != nil {
 		fn(&cfg)
 	}
